@@ -1,0 +1,32 @@
+# Convenience targets for the FBF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report --output REPORT.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/deduplicate_names.py
+	$(PYTHON) examples/health_department_linkage.py 120
+	$(PYTHON) examples/scaling_study.py 600
+	$(PYTHON) examples/blocking_vs_filtering.py
+	$(PYTHON) examples/incremental_updates.py 200 3
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

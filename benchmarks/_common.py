@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_table*`` / ``test_fig*`` file regenerates one table or
+figure from the paper's evaluation:
+
+* it runs the corresponding experiment at the configured scale
+  (reduced by default; ``REPRO_PAPER_SCALE=1`` for paper sizes),
+* prints and saves a paper-style rendering next to the paper's own
+  numbers (``benchmarks/results/*.txt``; these files are the source for
+  EXPERIMENTS.md),
+* asserts the qualitative findings that must hold at any scale, and
+* feeds the table's headline method to pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` reports its timing
+  distribution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eval.scale import RL_N, TABLE_N, paper_scale, scaled
+from repro.eval.timing import TimingProtocol
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def table_n() -> int:
+    """Sample size for the table experiments (paper: 5000)."""
+    return scaled(TABLE_N["default"], TABLE_N["paper"])
+
+
+def rl_n() -> int:
+    """Record count for the RL experiment (paper: 1000)."""
+    return scaled(RL_N["default"], RL_N["paper"])
+
+
+def protocol() -> TimingProtocol:
+    """Reduced runs by default; the paper's 5-run protocol at scale."""
+    return TimingProtocol.PAPER_TABLES if paper_scale() else TimingProtocol.QUICK
+
+
+def curve_protocol() -> TimingProtocol:
+    return TimingProtocol.PAPER_CURVES if paper_scale() else TimingProtocol.QUICK
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist one reproduced table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def paper_reference(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    """Render the paper's own numbers for side-by-side comparison."""
+    from repro.eval.tables import format_table
+
+    return format_table(headers, rows, title=f"[paper] {title}")

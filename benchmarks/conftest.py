@@ -1,0 +1,68 @@
+"""Benchmark-suite configuration and shared (expensive) fixtures.
+
+The three curve-based artefacts (Figure 7, Table 9, Table 10) share one
+runtime sweep, and (Figure 9, Table 11) share another; session-scoped
+fixtures compute each sweep once per benchmark run.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `import _common` from any invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture(scope="session")
+def fig7_curve():
+    """The Figure 7 sweep: all unfiltered + FBF methods over n."""
+    from _common import curve_protocol
+
+    from repro.eval.curves import FIG7_METHODS, run_runtime_curve
+    from repro.eval.scale import curve_sizes
+
+    return run_runtime_curve(
+        "LN",
+        ns=curve_sizes(),
+        methods=FIG7_METHODS,
+        k=1,
+        seed=700,
+        protocol=curve_protocol(),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig9_curve():
+    """The Figure 9 sweep: length-filter method combinations over n."""
+    from _common import curve_protocol
+
+    from repro.eval.curves import FIG9_METHODS, run_runtime_curve
+    from repro.eval.scale import curve_sizes
+
+    return run_runtime_curve(
+        "LN",
+        ns=curve_sizes(),
+        methods=("DL", "FDL", "FPDL") + FIG9_METHODS,
+        k=1,
+        seed=900,
+        protocol=curve_protocol(),
+    )
+
+
+@pytest.fixture(scope="session")
+def ssn_curve():
+    """The Figure 6 sweep: per-pair FBF costs on fixed-length SSNs."""
+    from _common import curve_protocol
+
+    from repro.eval.curves import run_runtime_curve
+    from repro.eval.scale import curve_sizes
+
+    return run_runtime_curve(
+        "SSN",
+        ns=curve_sizes(),
+        methods=("DL", "FDL", "FPDL", "FBF"),
+        k=1,
+        seed=600,
+        protocol=curve_protocol(),
+    )

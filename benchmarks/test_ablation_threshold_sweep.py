@@ -1,0 +1,50 @@
+"""Ablation: the full threshold trade-off behind Tables 1-4.
+
+The paper reports one accuracy point per method at fixed thresholds.
+This ablation sweeps them: k for the edit family, theta for Jaro — and
+asserts the sweep-level version of the accuracy story: no Jaro
+threshold simultaneously matches DL's Type 1 and Type 2 at k=1.
+"""
+
+from _common import save_result, table_n
+
+from repro.data.datasets import dataset_for_family
+from repro.eval.sweep import sweep_edit_threshold, sweep_similarity_threshold
+from repro.eval.tables import format_table
+
+
+def test_ablation_threshold_sweep(benchmark):
+    n = min(table_n(), 300)
+    dp = dataset_for_family("LN", n, seed=99)
+
+    edit_points = sweep_edit_threshold(dp, "FPDL", ks=(0, 1, 2, 3))
+    dl1 = sweep_edit_threshold(dp, "DL", ks=(1,))[0]
+    thetas = tuple(t / 20 for t in range(12, 20))
+    jaro_points = sweep_similarity_threshold(dp, "Jaro", thetas)
+
+    rows = [["FPDL", f"k={int(p.threshold)}", p.type1, p.type2]
+            for p in edit_points]
+    rows += [["Jaro", f"theta={p.threshold:g}", p.type1, p.type2]
+             for p in jaro_points]
+    table = format_table(
+        ["method", "threshold", "Type 1", "Type 2"],
+        rows,
+        title=f"Ablation — threshold sweeps, LN n={n}",
+    )
+    save_result("ablation_threshold_sweep", table)
+
+    # Edit thresholds: k=0 misses everything injected; k>=1 full recall.
+    assert edit_points[0].type2 == n
+    assert edit_points[1].type2 == 0
+    # Type 1 grows monotonically with k.
+    type1s = [p.type1 for p in edit_points]
+    assert type1s == sorted(type1s)
+    # The Jaro trade-off never dominates DL at k=1 on both axes.
+    for p in jaro_points:
+        assert p.type1 > dl1.type1 or p.type2 > dl1.type2
+
+    benchmark.pedantic(
+        lambda: sweep_similarity_threshold(dp, "Jaro", (0.8,)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Paper Table 6: the record-linkage experiment.
+
+Paper finding: with the same deterministic point-and-threshold pipeline,
+swapping DL for FDL/FPDL in the string-comparator slots gives 45x/48.9x
+end-to-end speedup (FBF-only 50.4x) at identical decisions.
+"""
+
+from _common import paper_reference, protocol, rl_n, save_result
+
+from repro.eval.experiments import run_rl_experiment
+from repro.eval.tables import format_rl_experiment
+
+PAPER_TABLE_6 = paper_reference(
+    "Table 6 — RL experiment, 1000 clean vs 1000 error records",
+    ["RL", "DL", "PDL", "FDL", "FPDL", "FBF", "Gen"],
+    [
+        ["Time ms", 13762.0, 3464.6, 305.6, 281.6, 273.2, 2.0],
+        ["Speedup", 1.0, 4.0, 45.0, 48.9, 50.4, 6881.0],
+    ],
+)
+
+
+def test_table06_record_linkage(benchmark):
+    n = rl_n()
+    result = run_rl_experiment(n, seed=106, protocol=protocol())
+    save_result(
+        "table06_record_linkage",
+        format_rl_experiment(result) + "\n\n" + PAPER_TABLE_6,
+    )
+
+    dl = result.row("DL")
+    # Identical linkage decisions for every DL-wrapped stack.
+    for m in ("PDL", "FDL", "FPDL"):
+        assert (result.row(m).type1, result.row(m).type2) == (dl.type1, dl.type2)
+    # Zero missed links under single-edit corruption.
+    assert dl.type2 == 0
+    # The paper's speedup ordering: FBF >= FPDL > FDL > PDL > DL.
+    assert result.row("FPDL").speedup > result.row("PDL").speedup > 1.0
+    assert result.row("FDL").speedup > result.row("PDL").speedup
+    assert result.row("FPDL").speedup > 10
+    # Gen (signature prep) is a vanishing fraction of the DL run.
+    assert result.gen_time_ms < dl.time_ms / 50
+
+    # Benchmark the FPDL-configured engine end to end (smaller n: the
+    # scalar engine is the unit under test here).
+    import random
+
+    from repro.linkage import RecordCorruptor, default_engine, generate_records
+
+    rng = random.Random(106)
+    records = generate_records(min(n, 150), rng)
+    corrupted = RecordCorruptor().corrupt_many(records, rng)
+    engine = default_engine("FPDL")
+    benchmark(lambda: engine.link(records, corrupted))

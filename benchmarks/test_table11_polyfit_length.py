@@ -1,0 +1,50 @@
+"""Paper Table 11: quadratic fits of the Figure 9 (length-filter) curves.
+
+Paper finding: LFPDL's growth coefficient (3.41e-5) is ~27% below
+FPDL's (4.67e-5, Table 9) — prefiltering by length shrinks even the
+FBF stack's quadratic term; the bare length filter itself ("Len") is an
+order of magnitude cheaper still.
+"""
+
+from _common import paper_reference, save_result
+
+from repro.eval.polyfit import fit_curves
+from repro.eval.tables import format_table
+
+PAPER_TABLE_11 = paper_reference(
+    "Table 11 — polyfit coefficients, length-filter stacks",
+    ["", "LDL", "LPDL", "Len", "LFDL", "LFPDL", "LFil"],
+    [
+        ["a", 5.38e-4, 2.21e-4, 9.23e-6, 3.34e-5, 3.41e-5, 3.21e-5],
+        ["b", 0.263, 0.119, 0.004, 0.012, 0.001, -0.003],
+        ["c", -531.126, -244.743, -9.159, -10.796, 6.730, 14.420],
+    ],
+)
+
+
+def test_table11_polyfit_length(fig9_curve, benchmark):
+    fits = fit_curves(fig9_curve)
+    methods = list(fig9_curve.times_ms)
+    table = format_table(
+        ["", *methods],
+        [
+            ["a", *(f"{fits[m].a:.3e}" for m in methods)],
+            ["b", *(f"{fits[m].b:.3f}" for m in methods)],
+            ["c", *(f"{fits[m].c:.3f}" for m in methods)],
+        ],
+        title="Table 11 reproduction — quadratic fits of the Figure 9 curves",
+    )
+    save_result("table11_polyfit_length", table + "\n\n" + PAPER_TABLE_11)
+
+    # The combined stacks grow slower than the length-only stacks.
+    assert fits["LFPDL"].a < fits["LPDL"].a
+    assert fits["LFDL"].a < fits["LDL"].a
+    # The paper's Section 6 comparison: LFPDL's quadratic term sits
+    # below FPDL's (the length filter removes FindDiffBits calls).
+    assert fits["LFPDL"].a < fits["FPDL"].a
+    # The bare length filter is the cheapest curve of the family.
+    assert fits["LF"].a == min(
+        fits[m].a for m in ("LDL", "LPDL", "LF", "LFDL", "LFPDL", "LFBF")
+    )
+
+    benchmark.pedantic(lambda: fit_curves(fig9_curve), rounds=5, iterations=1)

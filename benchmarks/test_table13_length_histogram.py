@@ -1,0 +1,57 @@
+"""Paper Table 13: the census last-name length histogram.
+
+This is the data-generation validation: the synthetic last-name pool
+must reproduce the length distribution of the 151,670-name 2000 Census
+file, because both the length filter's selectivity (Tables 12, 14) and
+the DP costs depend on it.
+"""
+
+import random
+from collections import Counter
+
+from _common import paper_reference, save_result, table_n
+
+from repro.data.names import PAPER_LN_LENGTH_HISTOGRAM, build_last_name_pool
+from repro.eval.tables import format_table
+
+PAPER_TABLE_13 = paper_reference(
+    "Table 13 — Census last-name length counts (151,670 names)",
+    ["Length", "Frequency"],
+    [[L, PAPER_LN_LENGTH_HISTOGRAM[L]] for L in sorted(PAPER_LN_LENGTH_HISTOGRAM)],
+)
+
+
+def test_table13_length_histogram(benchmark):
+    pool_size = max(4 * table_n(), 5000)
+    pool = build_last_name_pool(pool_size, random.Random(113))
+    counts = Counter(len(name) for name in pool)
+    total = sum(PAPER_LN_LENGTH_HISTOGRAM.values())
+    rows = []
+    for L in sorted(PAPER_LN_LENGTH_HISTOGRAM):
+        expected = PAPER_LN_LENGTH_HISTOGRAM[L] * pool_size / total
+        rows.append([L, counts.get(L, 0), round(expected, 1)])
+    table = format_table(
+        ["Length", "generated", "target (scaled)"],
+        rows,
+        title=f"Table 13 reproduction — pool of {pool_size} synthetic last names",
+    )
+    save_result("table13_length_histogram", table + "\n\n" + PAPER_TABLE_13)
+
+    # Distribution shape: every well-populated bucket within 25% of the
+    # paper's (scaled) frequency; modal length preserved (6).
+    for L in sorted(PAPER_LN_LENGTH_HISTOGRAM):
+        expected = PAPER_LN_LENGTH_HISTOGRAM[L] * pool_size / total
+        if expected >= 50:
+            assert abs(counts.get(L, 0) - expected) <= 0.25 * expected, L
+    assert counts.most_common(1)[0][0] == 6
+    # Range preserved: nothing shorter than 2 or longer than 15.
+    assert min(counts) >= 2 and max(counts) <= 15
+    # Mean length near the paper's 6.89.
+    mean = sum(L * c for L, c in counts.items()) / pool_size
+    assert 6.3 <= mean <= 7.5
+
+    benchmark.pedantic(
+        lambda: build_last_name_pool(1000, random.Random(113)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""Blocking vs safe filtering: the paper's Section 1 argument, measured.
+
+Traditional blocking prunes the pair space by *key* — and silently drops
+true matches when the key itself carries the typo.  FBF prunes by a
+*per-pair guarantee* and never drops a match.  This example measures
+both on error-injected last names:
+
+* pairs completeness — share of true matches still in the candidate set,
+* reduction ratio — share of the pair space avoided.
+
+Run:  python examples/blocking_vs_filtering.py [n]
+"""
+
+import random
+import sys
+
+from repro.core.vectorized import alpha_signatures_batch, fbf_candidates
+from repro.data.datasets import dataset_for_family
+from repro.distance.soundex import soundex
+from repro.linkage.blocking import (
+    BigramIndexing,
+    CanopyClustering,
+    SortedNeighbourhood,
+    StandardBlocking,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    dp = dataset_for_family("LN", n, seed=5)
+    total_pairs = n * n
+    print(f"{n} clean last names vs {n} single-edit twins "
+          f"({total_pairs:,} pairs)\n")
+    print(f"{'method':28s} {'candidates':>11s} {'reduction':>9s} "
+          f"{'completeness':>12s}")
+
+    methods = [
+        ("standard blocking (exact)", StandardBlocking()),
+        ("standard blocking (soundex)", StandardBlocking(key=soundex)),
+        ("sorted neighbourhood w=7", SortedNeighbourhood(7)),
+        ("bigram indexing t=0.8", BigramIndexing(0.8)),
+        ("canopy tf-idf 0.2/0.8", CanopyClustering(0.2, 0.8)),
+    ]
+    for label, blocker in methods:
+        pairs = set(blocker.pairs(dp.clean, dp.error))
+        retained = sum(1 for i, j in pairs if i == j)
+        print(f"{label:28s} {len(pairs):11,} "
+              f"{1 - len(pairs)/total_pairs:9.1%} {retained/n:12.1%}")
+
+    # The FBF filter, same accounting.
+    sigs_c = alpha_signatures_batch(dp.clean, 2)
+    sigs_e = alpha_signatures_batch(dp.error, 2)
+    ii, jj = fbf_candidates(sigs_c, sigs_e, bound=2)  # 2k for k=1
+    retained = int((ii == jj).sum())
+    print(f"{'FBF filter (safe, k=1)':28s} {len(ii):11,} "
+          f"{1 - len(ii)/total_pairs:9.1%} {retained/n:12.1%}")
+
+    print(
+        "\nEvery blocking method trades matches for speed; the FBF\n"
+        "filter reaches comparable reduction at 100.0% completeness —\n"
+        "and can additionally run *inside* each surviving block."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Deduplicate a messy name roster with FBF-filtered edit distance.
+
+Scenario: a registration system has collected the same people multiple
+times with typos (the paper's data-entry error model: one substitution,
+deletion, insertion or adjacent transposition).  We find duplicate
+clusters with an FPDL self-join and compare against the Soundex approach
+the paper's client originally used.
+
+Run:  python examples/deduplicate_names.py [n]
+"""
+
+import random
+import sys
+import time
+from collections import defaultdict
+
+from repro import ChunkedJoin
+from repro.data.errors import ErrorInjector
+from repro.data.names import build_last_name_pool
+
+
+def build_messy_roster(n_people: int, rng: random.Random) -> tuple[list[str], list[int]]:
+    """A roster where ~30% of people appear twice with a typo.
+
+    Returns the roster and the ground-truth person id per entry.
+    """
+    people = build_last_name_pool(n_people, rng)
+    injector = ErrorInjector()
+    roster: list[str] = []
+    owner: list[int] = []
+    for pid, name in enumerate(people):
+        roster.append(name)
+        owner.append(pid)
+        if rng.random() < 0.3:
+            roster.append(injector.inject(name, rng))
+            owner.append(pid)
+    order = list(range(len(roster)))
+    rng.shuffle(order)
+    return [roster[i] for i in order], [owner[i] for i in order]
+
+
+def cluster(matches: list[tuple[int, int]], n: int) -> list[set[int]]:
+    """Union-find over declared duplicate pairs."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, j in matches:
+        if i != j:
+            parent[find(i)] = find(j)
+    groups: dict[int, set[int]] = defaultdict(set)
+    for i in range(n):
+        groups[find(i)].add(i)
+    return [g for g in groups.values() if len(g) > 1]
+
+
+def main() -> None:
+    n_people = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    rng = random.Random(7)
+    roster, owner = build_messy_roster(n_people, rng)
+    print(f"roster: {len(roster)} entries covering {n_people} people\n")
+
+    for method in ("FPDL", "SDX"):
+        join = ChunkedJoin(roster, roster, k=1, scheme_kind="alpha",
+                           record_matches=True)
+        start = time.perf_counter()
+        result = join.run(method)
+        elapsed = time.perf_counter() - start
+        pairs = [(i, j) for i, j in result.matches if i < j]
+        clusters = cluster(pairs, len(roster))
+        # Score against ground truth: a declared duplicate pair is right
+        # iff both entries belong to the same person.
+        right = sum(1 for i, j in pairs if owner[i] == owner[j])
+        true_dupes = sum(1 for i in range(len(roster)) for j in range(i + 1, len(roster))
+                         if owner[i] == owner[j])
+        print(f"[{method}] {elapsed*1e3:7.1f} ms  "
+              f"declared={len(pairs)}  correct={right}/{true_dupes}  "
+              f"clusters={len(clusters)}")
+
+    print(
+        "\nFPDL recovers every injected duplicate with few false pairs;\n"
+        "Soundex misses typo-ed twins whose code changed and over-merges\n"
+        "phonetically similar strangers (the paper's Tables 7-8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

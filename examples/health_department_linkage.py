@@ -1,0 +1,56 @@
+"""The paper's motivating scenario: nightly health-department record linkage.
+
+Two client databases must be linked without a reliable unique id: over
+40% of SSNs are missing (the paper's reported rate) and every record
+carries a data-entry error.  We run the deterministic point-and-threshold
+pipeline with each comparator stack and show what the switch from DL to
+FBF-filtered DL buys — the paper's "40-hour update becomes an hour or
+two" story at demo scale.
+
+Run:  python examples/health_department_linkage.py [n]
+"""
+
+import random
+import sys
+import time
+
+from repro.linkage import RecordCorruptor, default_engine, generate_records
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    rng = random.Random(11)
+
+    print(f"generating {n} client records ...")
+    db_a = generate_records(n, rng)
+    corruptor = RecordCorruptor(
+        fields_per_record=1,
+        missing_rates={"ssn": 0.40},  # the paper: >40% of SSNs missing
+    )
+    db_b = corruptor.corrupt_many(db_a, rng)
+    print("database B: one field edited per record, 40% of SSNs blanked\n")
+
+    print(f"{'method':8s} {'time':>10s} {'speedup':>8s} {'recall':>7s} "
+          f"{'precision':>9s}")
+    baseline = None
+    for method in ("DL", "PDL", "FDL", "FPDL"):
+        engine = default_engine(method, k=1)
+        start = time.perf_counter()
+        result = engine.link(db_a, db_b)
+        elapsed = time.perf_counter() - start
+        baseline = baseline or elapsed
+        print(
+            f"{method:8s} {elapsed*1e3:8.1f}ms {baseline/elapsed:7.1f}x "
+            f"{result.recall:7.3f} {result.precision:9.3f}"
+        )
+
+    print(
+        "\nAll stacks make identical linkage decisions; the FBF filter\n"
+        "only removes comparisons that provably cannot match.  At the\n"
+        "paper's production scale (1.5M clients / 50M records) the same\n"
+        "ratio turns a 40-hour DL update into about an hour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Mini scaling study: regenerate the paper's Figure 7 / Table 9 story.
+
+Sweeps the dataset size, times every method family, fits the quadratic
+growth model, and prints an ASCII runtime chart plus the projected
+large-n speedup (the paper projects FPDL ~28.3x over DL at n=500,000).
+
+Run:  python examples/scaling_study.py [max_n]
+"""
+
+import sys
+
+from repro.eval.curves import run_runtime_curve, speedup_by_n
+from repro.eval.polyfit import fit_curves
+from repro.eval.timing import TimingProtocol
+
+METHODS = ("DL", "PDL", "Ham", "FDL", "FPDL", "LFPDL")
+
+
+def ascii_chart(curve, width: int = 60) -> str:
+    """One row of blocks per method, scaled to the slowest at max n."""
+    peak = max(t[-1] for t in curve.times_ms.values())
+    lines = []
+    for method in METHODS:
+        t = curve.times_ms[method][-1]
+        bar = "#" * max(1, round(width * t / peak))
+        lines.append(f"{method:6s} {bar} {t:,.0f} ms")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    step = max(100, max_n // 5)
+    ns = list(range(step, max_n + 1, step))
+    print(f"sweeping n = {ns} on census-like last names, k=1 ...\n")
+    # Three runs per point: single-run curves are too noisy for a
+    # credible quadratic fit (the paper used 5 runs, dropping extremes).
+    curve = run_runtime_curve(
+        "LN", ns=ns, methods=METHODS, k=1, seed=42,
+        protocol=TimingProtocol(runs=3),
+    )
+
+    print(f"runtime at n={ns[-1]}:")
+    print(ascii_chart(curve))
+
+    print("\nFPDL speedup over DL by n (paper Table 10: flat ~28x):")
+    for n, s in speedup_by_n(curve, "FPDL", "DL"):
+        print(f"  n={n:6d}  {s:5.1f}x")
+
+    fits = fit_curves(curve)
+    print("\nquadratic growth coefficients (paper Table 9):")
+    for method in METHODS:
+        print(f"  {method:6s} a = {fits[method].a:.3e}")
+    proj = fits["FPDL"].asymptotic_speedup_over(fits["DL"])
+    print(f"\nprojected large-n FPDL speedup over DL: {proj:.1f}x")
+    days_dl = fits["DL"].predict(500_000) / 86_400_000
+    days_f = fits["FPDL"].predict(500_000) / 86_400_000
+    print(
+        f"projected 500k x 500k merge: DL {days_dl:.2f} days, "
+        f"FPDL {days_f:.2f} days (paper: 3.8 vs 0.13 on 2012 hardware)"
+    )
+
+
+if __name__ == "__main__":
+    main()

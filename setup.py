@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work on
+environments without the ``wheel`` package (offline boxes):
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

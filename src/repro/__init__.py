@@ -1,0 +1,84 @@
+"""repro — Fast Bitwise Filter (FBF) approximate string matching.
+
+A from-scratch reproduction of *"Understanding Cloud Data Using
+Approximate String Matching and Edit Distance"* (Jupin, Shi, Obradovic —
+SC 2012): the FBF filter-and-verify system for edit-distance string
+matching and the record-linkage pipeline it was built for.
+
+Quickstart::
+
+    from repro import build_matcher, match_strings
+
+    clean = ["123456789", "555443333"]
+    dirty = ["123456780", "555443333"]
+    matcher = build_matcher("FPDL", k=1, scheme="numeric")
+    result = match_strings(clean, dirty, matcher)
+    assert result.match_count == 2
+
+Package map (details in DESIGN.md):
+
+* :mod:`repro.core` — FBF signatures, filters, the 14 evaluated method
+  stacks and the similarity join (the paper's contribution).
+* :mod:`repro.distance` — the string metrics substrate (DL/OSA, PDL,
+  Jaro, Jaro-Winkler, Hamming, Soundex, q-grams) plus vectorized
+  pair-batch engines.
+* :mod:`repro.data` — calibrated synthetic demographic data and
+  single-edit error injection.
+* :mod:`repro.linkage` — the record-linkage system (comparators,
+  scorers, blocking, engine).
+* :mod:`repro.parallel` — scaled join drivers (chunked NumPy engine,
+  multiprocessing pool).
+* :mod:`repro.eval` — the paper's experiments, timing protocols and
+  table rendering.
+"""
+
+from repro.core.filters import FBFFilter, FilterChain, LengthFilter
+from repro.core.join import JoinResult, match_strings
+from repro.core.matchers import METHOD_NAMES, build_matcher
+from repro.core.signatures import (
+    SignatureScheme,
+    alnum_signature,
+    alpha_signature,
+    diff_bits,
+    find_diff_bits,
+    num_signature,
+    scheme_for,
+)
+from repro.distance import (
+    damerau_levenshtein,
+    hamming,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    pdl,
+    soundex,
+)
+from repro.parallel.chunked import ChunkedJoin
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChunkedJoin",
+    "FBFFilter",
+    "FilterChain",
+    "JoinResult",
+    "LengthFilter",
+    "METHOD_NAMES",
+    "SignatureScheme",
+    "__version__",
+    "alnum_signature",
+    "alpha_signature",
+    "build_matcher",
+    "damerau_levenshtein",
+    "diff_bits",
+    "find_diff_bits",
+    "hamming",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "match_strings",
+    "num_signature",
+    "pdl",
+    "scheme_for",
+    "soundex",
+]

@@ -1,0 +1,249 @@
+"""Command-line interface: ``repro-fbf``.
+
+Three subcommands cover the workflows the paper motivates:
+
+* ``match``  — approximate-join two newline-delimited string files and
+  print the matching pairs (the nightly linkage job).
+* ``dedupe`` — self-join one file and print duplicate clusters.
+* ``experiment`` — run one of the paper's string experiments and print
+  its table (``--family SSN --n 500 --k 1``).
+
+Examples::
+
+    repro-fbf match clean.txt dirty.txt --k 1 --method FPDL
+    repro-fbf dedupe roster.txt --k 1
+    repro-fbf experiment --family LN --n 400 --k 1
+
+The module is import-safe: ``main(argv)`` takes an explicit argument
+list, so the test suite drives it without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.matchers import METHOD_NAMES
+from repro.linkage.resolution import resolve
+from repro.parallel.chunked import ChunkedJoin
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fbf",
+        description=(
+            "FBF filter-and-verify approximate string matching "
+            "(SC 2012 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    match = sub.add_parser("match", help="join two string files")
+    match.add_argument("left", type=Path, help="newline-delimited strings")
+    match.add_argument("right", type=Path, help="newline-delimited strings")
+    _common_join_args(match)
+
+    dedupe = sub.add_parser("dedupe", help="find duplicate clusters in one file")
+    dedupe.add_argument("path", type=Path, help="newline-delimited strings")
+    _common_join_args(dedupe)
+
+    exp = sub.add_parser("experiment", help="run one paper string experiment")
+    exp.add_argument(
+        "--family",
+        default="SSN",
+        choices=["FN", "LN", "Ad", "Ph", "Bi", "SSN"],
+        help="data family (paper abbreviation)",
+    )
+    exp.add_argument("--n", type=int, default=500, help="sample size per list")
+    exp.add_argument("--k", type=int, default=1, help="edit threshold")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--length-filter",
+        action="store_true",
+        help="run the Table 12/14 method set instead of the Table 1 set",
+    )
+
+    link = sub.add_parser(
+        "link", help="record-linkage over two CSV record files"
+    )
+    link.add_argument("left", type=Path, help="CSV with a header row")
+    link.add_argument("right", type=Path, help="CSV with a header row")
+    link.add_argument("--k", type=int, default=1, help="per-field edit threshold")
+    link.add_argument(
+        "--method",
+        default="FPDL",
+        choices=list(METHOD_NAMES),
+        help="string-comparator stack for the approximate fields",
+    )
+    link.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="point-and-threshold score cutoff (default: scorer default)",
+    )
+    link.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write matched pairs to this CSV",
+    )
+
+    report = sub.add_parser(
+        "report", help="assemble REPORT.md from saved benchmark results"
+    )
+    report.add_argument(
+        "--results",
+        type=Path,
+        default=Path("benchmarks/results"),
+        help="directory of saved benchmark tables",
+    )
+    report.add_argument(
+        "--output", type=Path, default=None, help="write to this file"
+    )
+    return parser
+
+
+def _common_join_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--k", type=int, default=1, help="edit threshold")
+    sub.add_argument(
+        "--method",
+        default="FPDL",
+        choices=list(METHOD_NAMES),
+        help="method stack (paper name)",
+    )
+    sub.add_argument(
+        "--scheme",
+        default=None,
+        choices=[None, "numeric", "alpha", "alnum"],
+        help="FBF signature kind (auto-detected by default)",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+
+
+def _read_lines(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
+    if not lines:
+        raise SystemExit(f"error: {path} contains no strings")
+    return lines
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    left = _read_lines(args.left)
+    right = _read_lines(args.right)
+    join = ChunkedJoin(
+        left, right, k=args.k, scheme_kind=args.scheme, record_matches=True
+    )
+    result = join.run(args.method)
+    if not args.quiet:
+        for i, j in result.matches:
+            print(f"{left[i]}\t{right[j]}")
+    print(
+        f"# {result.match_count} matches over {result.pairs_compared:,} pairs "
+        f"({args.method}, k={args.k}, verified {result.verified_pairs:,})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_dedupe(args: argparse.Namespace) -> int:
+    strings = _read_lines(args.path)
+    join = ChunkedJoin(
+        strings, strings, k=args.k, scheme_kind=args.scheme, record_matches=True
+    )
+    result = join.run(args.method)
+    pairs = [(i, j) for i, j in result.matches if i < j]
+    clusters = [c for c in resolve(len(strings), pairs) if len(c) > 1]
+    if not args.quiet:
+        for cluster in clusters:
+            print(" | ".join(strings[i] for i in cluster))
+    print(
+        f"# {len(clusters)} duplicate clusters among {len(strings)} strings "
+        f"({args.method}, k={args.k})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import (
+        DEFAULT_TABLE_METHODS,
+        LENGTH_TABLE_METHODS,
+        run_string_experiment,
+    )
+    from repro.eval.tables import format_string_experiment
+
+    methods = LENGTH_TABLE_METHODS if args.length_filter else DEFAULT_TABLE_METHODS
+    result = run_string_experiment(
+        args.family, args.n, k=args.k, seed=args.seed, methods=methods
+    )
+    print(format_string_experiment(result))
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from repro.io import read_records_csv, write_matches_csv
+    from repro.linkage.engine import default_engine
+    from repro.linkage.scoring import PointThresholdScorer
+
+    try:
+        left = read_records_csv(args.left)
+        right = read_records_csv(args.right)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    scorer = (
+        PointThresholdScorer(threshold=args.threshold)
+        if args.threshold is not None
+        else None
+    )
+    engine = default_engine(args.method, args.k, scorer=scorer)
+    engine.record_matches = args.output is not None
+    result = engine.link(left, right)
+    if args.output is not None:
+        rows = write_matches_csv(args.output, result.matches, left, right)
+        print(f"wrote {rows} matched pairs to {args.output}", file=sys.stderr)
+    print(
+        f"# {result.true_positives + result.false_positives} matches over "
+        f"{result.candidates:,} candidate pairs "
+        f"(precision vs positional truth: {result.precision:.3f}, "
+        f"recall: {result.recall:.3f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "match":
+        return _cmd_match(args)
+    if args.command == "dedupe":
+        return _cmd_dedupe(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "link":
+        return _cmd_link(args)
+    if args.command == "report":
+        from repro.eval.report import build_report
+
+        text = build_report(args.results)
+        if args.output is not None:
+            args.output.write_text(text)
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""BK-tree index (extension: the classic metric-tree baseline).
+
+A Burkhard-Keller tree partitions a dataset by distance to pivot
+elements; a within-k search only descends into children whose edge
+distance ``d_edge`` satisfies ``|d_edge - d(query, pivot)| <= k`` — the
+triangle inequality does the pruning.
+
+That correctness argument **requires a true metric**.  The paper's OSA
+distance violates the triangle inequality (``CA -> AC -> ABC``), so a
+BK-tree over OSA can silently miss matches.  The tree therefore runs on
+plain Levenshtein (default) or the unrestricted Damerau metric — which
+is exactly the comparison the benchmark draws: FBF filters the paper's
+preferred non-metric at zero recall cost, while the classic metric tree
+must either change metrics or lose correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.distance.damerau import true_damerau_levenshtein
+from repro.distance.levenshtein import levenshtein
+
+__all__ = ["BKTree"]
+
+_METRICS: dict[str, Callable[[str, str], int]] = {
+    "levenshtein": levenshtein,
+    "true-damerau": true_damerau_levenshtein,
+}
+
+
+class _Node:
+    __slots__ = ("value", "ids", "children")
+
+    def __init__(self, value: str, sid: int):
+        self.value = value
+        self.ids = [sid]
+        self.children: dict[int, _Node] = {}
+
+
+class BKTree:
+    """A BK-tree over short strings.
+
+    ``metric`` is ``"levenshtein"`` (default) or ``"true-damerau"``
+    (both true metrics); a custom callable is accepted for
+    experimentation, with the caller responsible for metric axioms.
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str] = (),
+        *,
+        metric: str | Callable[[str, str], int] = "levenshtein",
+    ):
+        if callable(metric):
+            self._metric = metric
+            self.metric_name = getattr(metric, "__name__", "custom")
+        else:
+            if metric not in _METRICS:
+                raise ValueError(
+                    f"metric must be one of {sorted(_METRICS)} or a callable, "
+                    f"got {metric!r}"
+                )
+            self._metric = _METRICS[metric]
+            self.metric_name = metric
+        self._root: _Node | None = None
+        self._strings: list[str] = []
+        self.extend(strings)
+
+    def add(self, s: str) -> int:
+        """Index one string; returns its id."""
+        sid = len(self._strings)
+        self._strings.append(s)
+        if self._root is None:
+            self._root = _Node(s, sid)
+            return sid
+        node = self._root
+        while True:
+            d = self._metric(s, node.value)
+            if d == 0:
+                node.ids.append(sid)
+                return sid
+            child = node.children.get(d)
+            if child is None:
+                node.children[d] = _Node(s, sid)
+                return sid
+            node = child
+
+    def extend(self, strings: Sequence[str]) -> None:
+        for s in strings:
+            self.add(s)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __getitem__(self, sid: int) -> str:
+        return self._strings[sid]
+
+    def search(self, query: str, k: int = 1) -> list[int]:
+        """Ids of indexed strings within ``k`` edits (tree metric)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if self._root is None:
+            return []
+        out: list[int] = []
+        stack = [self._root]
+        self.last_nodes_visited = 0
+        while stack:
+            node = stack.pop()
+            self.last_nodes_visited += 1
+            d = self._metric(query, node.value)
+            if d <= k:
+                out.extend(node.ids)
+            # Triangle inequality: children at edge distance outside
+            # [d-k, d+k] cannot contain matches.
+            for edge, child in node.children.items():
+                if d - k <= edge <= d + k:
+                    stack.append(child)
+        out.sort()
+        return out
+
+    def search_strings(self, query: str, k: int = 1) -> list[str]:
+        return [self._strings[sid] for sid in self.search(query, k)]

@@ -1,0 +1,163 @@
+"""Pair filters: FBF, length filter and the filter-chain framework.
+
+A *filter* is a cheap pair predicate that may only err in one direction:
+when it rejects, the pair is **guaranteed** not to match within the edit
+threshold; when it accepts, the expensive verifier still decides.  The
+paper composes up to two filters in front of DL/PDL (Algorithm 7 and the
+LFDL/LFPDL stacks of Section 6); :class:`FilterChain` generalizes that to
+any ordered stack and records the pass/reject counts the paper reports
+(e.g. "FBF removed 12,369,182 unnecessary pair-wise comparisons").
+
+Filters here operate on *prepared* datasets: each filter is given the two
+string lists once and precomputes whatever it needs (FBF signatures,
+lengths), so the per-pair test touches only small integers.  This mirrors
+the paper's design, where signature generation ("Gen" rows of Tables 1-4)
+is a separate, measured, once-per-dataset cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.signatures import SignatureScheme, detect_kind, scheme_for
+from repro.distance.base import validate_threshold
+
+__all__ = ["PairFilter", "FBFFilter", "LengthFilter", "FilterChain", "FilterStats"]
+
+
+class PairFilter:
+    """Base class for safe pair filters.
+
+    Subclasses implement :meth:`prepare` (per-dataset precomputation) and
+    :meth:`passes` (per-pair test by index into the prepared datasets).
+    The contract — enforced by the property suite — is *safety*::
+
+        damerau_levenshtein(S[i], T[j]) <= k  =>  passes(i, j)
+
+    i.e. a filter may pass junk but may never reject a true match.
+    """
+
+    #: human-readable name used in experiment tables
+    name: str = "filter"
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        """Precompute per-string state for the two datasets."""
+        raise NotImplementedError
+
+    def passes(self, i: int, j: int) -> bool:
+        """Cheap test for pair ``(left[i], right[j])``."""
+        raise NotImplementedError
+
+
+class FBFFilter(PairFilter):
+    """The Fast Bitwise Filter: pass iff ``diff_bits(m, n) <= 2k + slack``.
+
+    ``scheme`` selects the signature layout (see
+    :func:`repro.core.signatures.scheme_for`); if omitted it is detected
+    from the data at :meth:`prepare` time.  ``k`` is the edit threshold
+    the downstream verifier will use.
+    """
+
+    def __init__(self, k: int, scheme: SignatureScheme | str | None = None):
+        self.k = validate_threshold(k)
+        if isinstance(scheme, str):
+            scheme = scheme_for(scheme)
+        self.scheme = scheme
+        self.name = "fbf"
+        self._left_sigs: list[tuple[int, ...]] = []
+        self._right_sigs: list[tuple[int, ...]] = []
+        self._bound = 0
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        scheme = self.scheme
+        if scheme is None:
+            kind = detect_kind(list(left[:128]) + list(right[:128]))
+            scheme = scheme_for(kind)
+            self.scheme = scheme
+        self._left_sigs = scheme.signatures(left)
+        self._right_sigs = scheme.signatures(right)
+        self._bound = scheme.safe_threshold(self.k)
+
+    def passes(self, i: int, j: int) -> bool:
+        m = self._left_sigs[i]
+        n = self._right_sigs[j]
+        # Inlined diff_bits: this is the innermost loop of the whole
+        # system, and one call frame per pair is measurable in CPython.
+        x = 0
+        for mi, ni in zip(m, n):
+            x += (mi ^ ni).bit_count()
+        return x <= self._bound
+
+
+class LengthFilter(PairFilter):
+    """Paper Algorithm 3: pass iff ``abs(|s| - |t|) <= k``.
+
+    Safe because ``k`` edits can change a string's length by at most
+    ``k``.  Useless on fixed-length fields (SSNs, phone numbers) — every
+    pair passes — which is why the paper only evaluates it on names and
+    addresses.
+    """
+
+    def __init__(self, k: int):
+        self.k = validate_threshold(k)
+        self.name = "length"
+        self._left_lens: list[int] = []
+        self._right_lens: list[int] = []
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        self._left_lens = [len(s) for s in left]
+        self._right_lens = [len(t) for t in right]
+
+    def passes(self, i: int, j: int) -> bool:
+        return abs(self._left_lens[i] - self._right_lens[j]) <= self.k
+
+
+@dataclass
+class FilterStats:
+    """Pass/reject accounting for one filter position in a chain."""
+
+    name: str
+    tested: int = 0
+    passed: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.tested - self.passed
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passed / self.tested if self.tested else 0.0
+
+
+@dataclass
+class FilterChain:
+    """An ordered stack of safe filters evaluated with short-circuiting.
+
+    The paper's LFDL/LFPDL stacks are ``FilterChain([LengthFilter(k),
+    FBFFilter(k)])``: the length test is cheapest, so it runs first and
+    shields the FBF signature comparison (Section 6 credits exactly this
+    for the extra 32% over FPDL).  Order is preserved as given.
+    """
+
+    filters: list[PairFilter]
+    collect_stats: bool = False
+    stats: list[FilterStats] = field(default_factory=list)
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        for f in self.filters:
+            f.prepare(left, right)
+        self.stats = [FilterStats(f.name) for f in self.filters]
+
+    def passes(self, i: int, j: int) -> bool:
+        if self.collect_stats:
+            for f, st in zip(self.filters, self.stats):
+                st.tested += 1
+                if not f.passes(i, j):
+                    return False
+                st.passed += 1
+            return True
+        for f in self.filters:
+            if not f.passes(i, j):
+                return False
+        return True

@@ -1,0 +1,108 @@
+"""Algorithm 7: ``MatchStrings`` — the all-pairs similarity join.
+
+The paper's driver compares every pair of the Cartesian product
+``S x T``, first through the filter chain, then (for survivors) the
+verifier, and declares *match* or *unmatch*.  This module is the faithful
+sequential driver; :mod:`repro.parallel` provides the partitioned /
+vectorized drivers for larger inputs.
+
+The evaluation's ground truth is positional — ``left[i]`` is the clean
+twin of ``right[i]`` — so :class:`JoinResult` carries both the match set
+and, when asked, only its confusion summary (true/false positive counts)
+to keep memory flat when a sloppy method matches millions of pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.matchers import PreparedMatcher
+
+__all__ = ["JoinResult", "match_strings"]
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one similarity join.
+
+    ``matches`` is populated only when the join is run with
+    ``record_matches=True``; the counters are always correct either way.
+    """
+
+    method: str
+    n_left: int
+    n_right: int
+    match_count: int = 0
+    #: matches where ``i == j`` (hits against the positional ground truth)
+    diagonal_matches: int = 0
+    verified_pairs: int = 0
+    matches: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def pairs_compared(self) -> int:
+        return self.n_left * self.n_right
+
+    @property
+    def off_diagonal_matches(self) -> int:
+        """Matches the positional ground truth calls false positives."""
+        return self.match_count - self.diagonal_matches
+
+
+def match_strings(
+    left: Sequence[str],
+    right: Sequence[str],
+    matcher: PreparedMatcher,
+    *,
+    record_matches: bool = False,
+    pairs: Iterable[tuple[int, int]] | None = None,
+) -> JoinResult:
+    """Run ``matcher`` over ``left x right`` (or an explicit pair subset).
+
+    Parameters
+    ----------
+    left, right:
+        The two string datasets (the paper's ``S`` and ``T``).
+    matcher:
+        A method stack from :func:`repro.core.matchers.build_matcher`.
+        :meth:`PreparedMatcher.prepare` is called here; callers need not.
+    record_matches:
+        Keep the full ``(i, j)`` match list.  Off by default: a sloppy
+        comparator over a large product can match millions of pairs.
+    pairs:
+        Restrict the join to these index pairs (used by blocking methods
+        and the parallel partitioner); defaults to the full product.
+
+    >>> from repro.core.matchers import build_matcher
+    >>> m = build_matcher("FPDL", k=1, scheme="numeric")
+    >>> r = match_strings(["123456789"], ["123456780"], m)
+    >>> (r.match_count, r.diagonal_matches)
+    (1, 1)
+    """
+    matcher.prepare(left, right)
+    result = JoinResult(matcher.name, len(left), len(right))
+    matches = result.matches if record_matches else None
+    match_count = 0
+    diagonal = 0
+    mfn = matcher.matches
+    if pairs is None:
+        for i in range(len(left)):
+            for j in range(len(right)):
+                if mfn(i, j):
+                    match_count += 1
+                    if i == j:
+                        diagonal += 1
+                    if matches is not None:
+                        matches.append((i, j))
+    else:
+        for i, j in pairs:
+            if mfn(i, j):
+                match_count += 1
+                if i == j:
+                    diagonal += 1
+                if matches is not None:
+                    matches.append((i, j))
+    result.match_count = match_count
+    result.diagonal_matches = diagonal
+    result.verified_pairs = matcher.verified_pairs
+    return result

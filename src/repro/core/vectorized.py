@@ -1,0 +1,221 @@
+"""NumPy batch engines for FBF signatures and signature filtering.
+
+The paper's constant factors come from signatures living in machine words
+and the filter being one XOR + POPCNT.  Interpreted CPython cannot show
+that per call, so — per the calibration note in DESIGN.md — this module
+moves the *batch* operations into NumPy:
+
+* :func:`alpha_signatures_batch` / :func:`num_signatures_batch` /
+  :func:`alnum_signatures_batch` — signature matrices ``(n, width)`` of
+  ``uint32``, bit-identical to the scalar Algorithms 4-5 (pinned by
+  tests).
+* :func:`pairwise_diff_bits` — the full ``(n_left, n_right)`` diff-bit
+  matrix via XOR broadcasting and a byte-table popcount.
+* :func:`fbf_candidates` — the filter proper: the index pairs whose
+  diff-bits are within the safe threshold, computed in row chunks so
+  memory stays flat at ``O(chunk * n_right)``.
+* :func:`length_candidates` — the length filter over a batch.
+
+These are the building blocks of the scaled joins in
+:mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.popcount import popcount_batch_u32
+from repro.core.signatures import (
+    ALPHA_DOUBLED_BIT,
+    ALPHA_OVERFLOW_BIT,
+    SignatureScheme,
+)
+from repro.distance.codec import ALPHA_CODEC, DIGIT_CODEC
+
+__all__ = [
+    "alpha_signatures_batch",
+    "num_signatures_batch",
+    "alnum_signatures_batch",
+    "signatures_for_scheme",
+    "pairwise_diff_bits",
+    "fbf_candidates",
+    "length_candidates",
+]
+
+
+def _occurrence_counts(strings: Sequence[str], codec, n_symbols: int) -> np.ndarray:
+    """Per-string occurrence count of each alphabet symbol: ``(n, n_symbols)``.
+
+    Encodes the batch once into a padded code matrix and histograms each
+    row.  Codes are 1-based (0 is padding, ``n_symbols + 1`` is "other"),
+    so column ``c`` of the result counts symbol ``c`` of the codec
+    alphabet.
+    """
+    codes, _lengths = codec.encode_padded(strings)
+    n = len(strings)
+    if codes.size == 0:
+        return np.zeros((n, n_symbols), dtype=np.int64)
+    # Histogram all rows at once: offset each row's codes into a private
+    # bucket range, then one bincount over the flattened array.
+    offsets = (np.arange(n, dtype=np.int64) * (n_symbols + 2))[:, None]
+    flat = (codes.astype(np.int64) + offsets).ravel()
+    counts = np.bincount(flat, minlength=n * (n_symbols + 2))
+    counts = counts.reshape(n, n_symbols + 2)
+    return counts[:, 1 : n_symbols + 1]
+
+
+def alpha_signatures_batch(
+    strings: Sequence[str], levels: int = 1, *, extended: bool = False
+) -> np.ndarray:
+    """Batch Algorithm 4: ``(n, levels)`` uint32 signature matrix.
+
+    Equivalent to ``[alpha_signature(s, levels, extended=extended) for s
+    in strings]`` (property-tested), built from one histogram pass.
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    counts = _occurrence_counts(strings, ALPHA_CODEC, 26)
+    n = len(strings)
+    sigs = np.zeros((n, levels), dtype=np.uint32)
+    weights = (np.uint32(1) << np.arange(26, dtype=np.uint32)).astype(np.uint32)
+    for j in range(levels):
+        present = counts > j  # (n, 26): has at least j+1 occurrences
+        sigs[:, j] = (present * weights).sum(axis=1, dtype=np.uint32)
+    if extended:
+        overflow = (counts > levels).any(axis=1)
+        doubled = _has_doubled_letter(strings)
+        sigs[:, -1] |= overflow.astype(np.uint32) << np.uint32(ALPHA_OVERFLOW_BIT)
+        sigs[:, -1] |= doubled.astype(np.uint32) << np.uint32(ALPHA_DOUBLED_BIT)
+    return sigs
+
+
+def _has_doubled_letter(strings: Sequence[str]) -> np.ndarray:
+    """Boolean per string: two identical letters adjacent (case-folded)."""
+    codes, _ = ALPHA_CODEC.encode_padded(strings)
+    if codes.shape[1] < 2:
+        return np.zeros(len(strings), dtype=bool)
+    a = codes[:, :-1]
+    b = codes[:, 1:]
+    is_letter = (a >= 1) & (a <= 26)
+    return ((a == b) & is_letter).any(axis=1)
+
+
+def num_signatures_batch(strings: Sequence[str]) -> np.ndarray:
+    """Batch Algorithm 5: ``(n,)`` uint32 numeric signatures."""
+    counts = _occurrence_counts(strings, DIGIT_CODEC, 10)
+    n = len(strings)
+    sig = np.zeros(n, dtype=np.uint32)
+    for c in range(10):
+        for j in range(3):
+            bit = (counts[:, c] > j).astype(np.uint32)
+            sig |= bit << np.uint32(3 * c + j)
+    return sig
+
+
+def alnum_signatures_batch(
+    strings: Sequence[str], alpha_levels: int = 2, *, extended: bool = False
+) -> np.ndarray:
+    """Batch alphanumeric signatures: ``(n, alpha_levels + 1)`` uint32."""
+    alpha = alpha_signatures_batch(strings, alpha_levels, extended=extended)
+    num = num_signatures_batch(strings)
+    return np.concatenate([alpha, num[:, None]], axis=1)
+
+
+def signatures_for_scheme(
+    strings: Sequence[str], scheme: SignatureScheme
+) -> np.ndarray:
+    """Batch signatures matching a scalar :class:`SignatureScheme`.
+
+    Dispatches on the scheme name produced by
+    :func:`repro.core.signatures.scheme_for`; unknown (custom) schemes
+    fall back to calling the scalar generator per string.
+    """
+    name = scheme.name
+    extended = name.endswith("x")
+    if name == "numeric":
+        return num_signatures_batch(strings)[:, None]
+    if name.startswith("alpha"):
+        levels = int(name[len("alpha") :].rstrip("x"))
+        return alpha_signatures_batch(strings, levels, extended=extended)
+    if name.startswith("alnum"):
+        levels = int(name[len("alnum") :].rstrip("x"))
+        return alnum_signatures_batch(strings, levels, extended=extended)
+    # Custom scheme: scalar fallback, one row per string.
+    rows = [scheme.signature(s) for s in strings]
+    return np.array(rows, dtype=np.uint32).reshape(len(strings), scheme.width)
+
+
+def _as_sig_matrix(sigs: np.ndarray) -> np.ndarray:
+    """Coerce a signature array to ``(n, width)`` uint32.
+
+    A 1-D input is a width-1 signature *column* (one word per string),
+    not a single multi-word signature — hence the explicit reshape
+    rather than ``np.atleast_2d`` (which would produce ``(1, n)``).
+    """
+    arr = np.asarray(sigs, dtype=np.uint32)
+    if arr.ndim == 1:
+        return arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"signatures must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def pairwise_diff_bits(left_sigs: np.ndarray, right_sigs: np.ndarray) -> np.ndarray:
+    """Full diff-bit matrix: ``out[i, j] = diff_bits(left[i], right[j])``.
+
+    Inputs are ``(n, width)`` uint32 matrices (a 1-D array is treated as
+    width 1).  Output is ``(n_left, n_right)`` uint16.  Allocates one
+    ``n_left x n_right`` uint32 temporary per signature word; use
+    :func:`fbf_candidates` for products too large to hold.
+    """
+    L = _as_sig_matrix(left_sigs)
+    R = _as_sig_matrix(right_sigs)
+    if L.shape[1] != R.shape[1]:
+        raise ValueError(f"signature widths differ: {L.shape[1]} vs {R.shape[1]}")
+    out = np.zeros((L.shape[0], R.shape[0]), dtype=np.uint16)
+    for w in range(L.shape[1]):
+        xor = L[:, w][:, None] ^ R[:, w][None, :]
+        out += popcount_batch_u32(xor)
+    return out
+
+
+def fbf_candidates(
+    left_sigs: np.ndarray,
+    right_sigs: np.ndarray,
+    bound: int,
+    *,
+    chunk_rows: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs with ``diff_bits <= bound`` — the FBF filter at scale.
+
+    Streams the left side in ``chunk_rows`` blocks so peak memory is
+    ``O(chunk_rows * n_right)`` regardless of product size.  Returns
+    ``(ii, jj)`` int64 arrays.
+    """
+    L = _as_sig_matrix(left_sigs)
+    R = _as_sig_matrix(right_sigs)
+    ii_parts: list[np.ndarray] = []
+    jj_parts: list[np.ndarray] = []
+    for start in range(0, L.shape[0], chunk_rows):
+        block = L[start : start + chunk_rows]
+        db = pairwise_diff_bits(block, R)
+        bi, bj = np.nonzero(db <= bound)
+        ii_parts.append(bi.astype(np.int64) + start)
+        jj_parts.append(bj.astype(np.int64))
+    if not ii_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(ii_parts), np.concatenate(jj_parts)
+
+
+def length_candidates(
+    left_lengths: np.ndarray, right_lengths: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs passing the length filter: ``abs(|s| - |t|) <= k``."""
+    ll = np.asarray(left_lengths, dtype=np.int64)
+    rl = np.asarray(right_lengths, dtype=np.int64)
+    diff = np.abs(ll[:, None] - rl[None, :])
+    ii, jj = np.nonzero(diff <= k)
+    return ii.astype(np.int64), jj.astype(np.int64)

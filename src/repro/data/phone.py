@@ -1,0 +1,68 @@
+"""NANP-valid synthetic phone numbers.
+
+The paper generated 12,000 phone numbers "based on the numbering scheme
+of the North American Numbering Plan".  The NANP format is
+``NPA-NXX-XXXX`` rendered here as a fixed 10-digit string (the paper's
+phone field is 10 characters, no separators):
+
+* **NPA** (area code): ``[2-9][0-8][0-9]``, excluding the N11 service
+  codes and the 37X/96X expansion reserves.
+* **NXX** (central office / exchange): ``[2-9][0-9][0-9]``, excluding
+  N11 service codes and 555 (fiction / directory assistance).
+* **XXXX** (subscriber): ``0000``-``9999``.
+
+Fixed-length numeric strings are the length filter's worst case — every
+pair passes — which is why the paper demonstrates FBF on them first.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["random_nanp_number", "build_phone_pool", "is_valid_nanp"]
+
+
+def random_nanp_number(rng: random.Random) -> str:
+    """One NANP-valid 10-digit phone number."""
+    while True:
+        npa = f"{rng.randint(2, 9)}{rng.randint(0, 8)}{rng.randint(0, 9)}"
+        if npa[1:] == "11" or npa[1] == "7" and npa[0] == "3":
+            continue  # N11 service codes, 37X reserve
+        if npa[0] == "9" and npa[1] == "6":
+            continue  # 96X reserve
+        break
+    while True:
+        nxx = f"{rng.randint(2, 9)}{rng.randint(0, 9)}{rng.randint(0, 9)}"
+        if nxx[1:] == "11" or nxx == "555":
+            continue
+        break
+    subscriber = f"{rng.randint(0, 9999):04d}"
+    return npa + nxx + subscriber
+
+
+def is_valid_nanp(number: str) -> bool:
+    """Does a 10-digit string satisfy the constraints generated above?"""
+    if len(number) != 10 or not number.isdigit():
+        return False
+    npa, nxx = number[:3], number[3:6]
+    if npa[0] in "01" or npa[1] == "9":
+        return False
+    if npa[1:] == "11" or (npa[0] == "3" and npa[1] == "7"):
+        return False
+    if npa[0] == "9" and npa[1] == "6":
+        return False
+    if nxx[0] in "01" or nxx[1:] == "11" or nxx == "555":
+        return False
+    return True
+
+
+def build_phone_pool(size: int, rng: random.Random) -> list[str]:
+    """A pool of ``size`` unique NANP numbers."""
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < size:
+        n = random_nanp_number(rng)
+        if n not in seen:
+            seen.add(n)
+            out.append(n)
+    return out

@@ -1,0 +1,50 @@
+"""Synthetic Social Security Numbers under the pre-2011 SSA scheme.
+
+The paper generated 12,000 SSNs "by the same rules that the Social
+Security Administration uses to issue actual SSNs" — i.e. the scheme in
+force in 2012, before randomization:
+
+* **Area** (3 digits): 001-899, excluding 666 (never issued; 900-999
+  are reserved for ITINs).
+* **Group** (2 digits): 01-99 (00 invalid).
+* **Serial** (4 digits): 0001-9999 (0000 invalid).
+
+Rendered as a fixed 9-digit string, the paper's SSN field shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["random_ssn", "build_ssn_pool", "is_valid_ssn"]
+
+
+def random_ssn(rng: random.Random) -> str:
+    """One SSA-valid 9-digit SSN string."""
+    while True:
+        area = rng.randint(1, 899)
+        if area != 666:
+            break
+    group = rng.randint(1, 99)
+    serial = rng.randint(1, 9999)
+    return f"{area:03d}{group:02d}{serial:04d}"
+
+
+def is_valid_ssn(ssn: str) -> bool:
+    """Does a 9-digit string satisfy the pre-2011 issuance constraints?"""
+    if len(ssn) != 9 or not ssn.isdigit():
+        return False
+    area, group, serial = int(ssn[:3]), int(ssn[3:5]), int(ssn[5:])
+    return 1 <= area <= 899 and area != 666 and group >= 1 and serial >= 1
+
+
+def build_ssn_pool(size: int, rng: random.Random) -> list[str]:
+    """A pool of ``size`` unique SSNs."""
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < size:
+        s = random_ssn(rng)
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out

@@ -1,0 +1,163 @@
+"""Realistic typo models: keyboard adjacency and OCR confusion.
+
+The base :class:`repro.data.errors.ErrorInjector` substitutes uniformly
+over the field's alphabet.  Real data entry errors are not uniform:
+typists hit *neighbouring* keys, and scanned documents confuse
+*look-alike* glyphs.  These models bias the replacement distribution
+accordingly while preserving the ground-truth invariant everything
+depends on — the corrupted string stays at OSA distance exactly 1.
+
+FBF's safety guarantee is distribution-free, so all experiments must
+come out accuracy-identical under any of these models; the error-model
+ablation (``benchmarks/test_ablation_error_models.py``) verifies that
+and measures how filter *selectivity* shifts (neighbour-key errors
+produce signatures closer to the original than uniform ones do... or
+not — the signature only sees which character, not which key).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.errors import EditOp, ErrorInjector
+
+__all__ = [
+    "QWERTY_NEIGHBOURS",
+    "KEYPAD_NEIGHBOURS",
+    "OCR_CONFUSIONS",
+    "keyboard_injector",
+    "keypad_injector",
+    "ocr_injector",
+]
+
+#: QWERTY physical adjacency (letters only, uppercase).
+QWERTY_NEIGHBOURS: dict[str, str] = {
+    "Q": "WA",
+    "W": "QESA",
+    "E": "WRDS",
+    "R": "ETFD",
+    "T": "RYGF",
+    "Y": "TUHG",
+    "U": "YIJH",
+    "I": "UOKJ",
+    "O": "IPLK",
+    "P": "OL",
+    "A": "QWSZ",
+    "S": "AWEDZX",
+    "D": "SERFXC",
+    "F": "DRTGCV",
+    "G": "FTYHVB",
+    "H": "GYUJBN",
+    "J": "HUIKNM",
+    "K": "JIOLM",
+    "L": "KOP",
+    "Z": "ASX",
+    "X": "ZSDC",
+    "C": "XDFV",
+    "V": "CFGB",
+    "B": "VGHN",
+    "N": "BHJM",
+    "M": "NJK",
+}
+
+#: Telephone/numeric keypad adjacency (3x3 grid with 0 below 8).
+KEYPAD_NEIGHBOURS: dict[str, str] = {
+    "1": "24",
+    "2": "135",
+    "3": "26",
+    "4": "157",
+    "5": "2468",
+    "6": "359",
+    "7": "48",
+    "8": "5790",
+    "9": "68",
+    "0": "8",
+}
+
+#: Common OCR glyph confusions (symmetrized at build time below).
+_OCR_BASE: dict[str, str] = {
+    "0": "OD",
+    "1": "IL",
+    "2": "Z",
+    "5": "S",
+    "6": "G",
+    "8": "B",
+    "O": "0DQ",
+    "I": "1LT",
+    "L": "1I",
+    "Z": "2",
+    "S": "5",
+    "G": "6C",
+    "B": "8R",
+    "D": "0O",
+    "Q": "O",
+    "C": "G",
+    "R": "B",
+    "T": "I",
+}
+
+
+def _symmetrize(table: dict[str, str]) -> dict[str, str]:
+    out: dict[str, set[str]] = {c: set(v) for c, v in table.items()}
+    for c, vs in table.items():
+        for v in vs:
+            out.setdefault(v, set()).add(c)
+    return {c: "".join(sorted(vs - {c})) for c, vs in out.items()}
+
+
+OCR_CONFUSIONS: dict[str, str] = _symmetrize(_OCR_BASE)
+
+
+class _ConfusionInjector(ErrorInjector):
+    """ErrorInjector whose substitutions draw from a confusion table.
+
+    Characters absent from the table fall back to the base alphabet
+    (every character must remain corruptible or the distance-1
+    guarantee would silently fail for table-sparse strings).
+    """
+
+    def __init__(
+        self,
+        confusions: dict[str, str],
+        ops=tuple(EditOp),
+        alphabet: str | None = None,
+        min_length: int = 1,
+    ):
+        super().__init__(ops=ops, alphabet=alphabet, min_length=min_length)
+        self.confusions = {
+            c.upper(): v for c, v in confusions.items() if v
+        }
+
+    def _apply(self, op, s: str, alphabet: str, rng: random.Random):
+        if op is EditOp.SUBSTITUTE:
+            # Prefer a position whose character has confusion entries.
+            positions = list(range(len(s)))
+            rng.shuffle(positions)
+            for i in positions:
+                table = self.confusions.get(s[i].upper())
+                if table:
+                    repl = rng.choice(table)
+                    if repl != s[i]:
+                        return s[:i] + repl + s[i + 1 :]
+            # No confusable character: fall back to a uniform sub.
+            return super()._apply(op, s, alphabet, rng)
+        return super()._apply(op, s, alphabet, rng)
+
+
+def keyboard_injector(
+    ops=tuple(EditOp), min_length: int = 1
+) -> ErrorInjector:
+    """Typist model: substitutions hit QWERTY-adjacent keys."""
+    return _ConfusionInjector(QWERTY_NEIGHBOURS, ops=ops, min_length=min_length)
+
+
+def keypad_injector(
+    ops=tuple(EditOp), min_length: int = 1
+) -> ErrorInjector:
+    """Numeric-entry model: substitutions hit keypad-adjacent digits."""
+    return _ConfusionInjector(KEYPAD_NEIGHBOURS, ops=ops, min_length=min_length)
+
+
+def ocr_injector(ops=tuple(EditOp), min_length: int = 1) -> ErrorInjector:
+    """Scanning model: substitutions confuse look-alike glyphs."""
+    return _ConfusionInjector(OCR_CONFUSIONS, ops=ops, min_length=min_length)

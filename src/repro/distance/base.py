@@ -1,0 +1,68 @@
+"""Shared protocols and helpers for string comparators.
+
+The paper's experiment harness treats every method as a *pair matcher*: a
+Boolean predicate over a string pair, parameterized by a threshold (an
+edit-distance bound ``k`` for distance metrics, a similarity floor for
+Jaro/Jaro-Winkler).  The protocols here give that shape a name so that the
+filter stacks in :mod:`repro.core.matchers` and the join driver in
+:mod:`repro.core.join` can be written against a stable interface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "BoundedMatcher",
+    "StringMetric",
+    "StringSimilarity",
+    "validate_threshold",
+]
+
+
+@runtime_checkable
+class StringMetric(Protocol):
+    """A distance: larger means more different; 0 means identical."""
+
+    def __call__(self, s: str, t: str) -> int: ...
+
+
+@runtime_checkable
+class StringSimilarity(Protocol):
+    """A similarity in [0, 1]: larger means more alike; 1 means identical."""
+
+    def __call__(self, s: str, t: str) -> float: ...
+
+
+@runtime_checkable
+class BoundedMatcher(Protocol):
+    """A Boolean pair predicate — the unit the join driver composes.
+
+    ``matcher(s, t)`` answers "do these strings match under this method's
+    threshold?".  Filter stacks (FBF, length filter) wrap one matcher in
+    another; the outermost object still satisfies this protocol.
+    """
+
+    def __call__(self, s: str, t: str) -> bool: ...
+
+
+def validate_threshold(k: int) -> int:
+    """Check an edit-distance threshold and return it.
+
+    The paper uses ``k`` in {1, 2}; any non-negative integer is accepted
+    here.  Raises :class:`ValueError` for negative or non-integral values
+    so misconfiguration fails at construction time, not per-pair.
+    """
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ValueError(f"threshold k must be an int, got {k!r}")
+    if k < 0:
+        raise ValueError(f"threshold k must be >= 0, got {k}")
+    return k
+
+
+def validate_similarity_threshold(theta: float) -> float:
+    """Check a similarity threshold in [0, 1] and return it."""
+    theta = float(theta)
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"similarity threshold must be in [0, 1], got {theta}")
+    return theta

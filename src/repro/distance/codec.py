@@ -1,0 +1,131 @@
+"""String-to-integer code encodings shared by the vectorized engines.
+
+The NumPy batch engines in :mod:`repro.core.vectorized` and
+:mod:`repro.parallel` operate on fixed-width ``uint8`` code matrices rather
+than Python strings.  A :class:`Codec` maps characters to small integer
+codes; position 0 is reserved as the padding code so that padded cells never
+equal a real character.
+
+Three stock codecs cover the paper's data families:
+
+* :data:`ALPHA_CODEC` — case-folded A-Z (names).
+* :data:`DIGIT_CODEC` — 0-9 (SSNs, phone numbers, birthdates).
+* :data:`ASCII_CODEC` — printable ASCII (addresses and anything else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Codec",
+    "ALPHA_CODEC",
+    "DIGIT_CODEC",
+    "ASCII_CODEC",
+    "encode_batch",
+    "encode_raw",
+]
+
+#: Code value used for cells beyond a string's length in a padded matrix.
+PAD = 0
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A character→code mapping with optional case folding.
+
+    Characters outside the alphabet are mapped to a dedicated "other"
+    code (distinct from padding) so that, e.g., the hyphens in a phone
+    number still participate in positional comparisons, matching how the
+    scalar metrics see raw strings.
+    """
+
+    name: str
+    alphabet: str
+    casefold: bool = True
+    #: lazily built 256-entry lookup, char ordinal -> code
+    _table: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        table = np.full(256, len(self.alphabet) + 1, dtype=np.uint8)  # "other"
+        for i, ch in enumerate(self.alphabet):
+            table[ord(ch)] = i + 1  # 0 is PAD
+            if self.casefold and ch.isalpha():
+                table[ord(ch.swapcase())] = i + 1
+        object.__setattr__(self, "_table", table)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct codes including PAD and "other"."""
+        return len(self.alphabet) + 2
+
+    def encode(self, s: str) -> np.ndarray:
+        """Encode one string to a 1-D uint8 code array (no padding)."""
+        raw = np.frombuffer(s.encode("latin-1", errors="replace"), dtype=np.uint8)
+        return self._table[raw]
+
+    def encode_padded(
+        self, strings: Sequence[str], width: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode a batch into a padded ``(n, width)`` matrix plus lengths.
+
+        Returns ``(codes, lengths)`` where ``codes[i, j]`` is the code of
+        ``strings[i][j]`` (or :data:`PAD` past the end) and
+        ``lengths[i] == len(strings[i])``.
+        """
+        n = len(strings)
+        lengths = np.fromiter((len(s) for s in strings), dtype=np.int64, count=n)
+        w = int(lengths.max()) if (width is None and n) else int(width or 0)
+        codes = np.full((n, w), PAD, dtype=np.uint8)
+        for i, s in enumerate(strings):
+            if s:
+                codes[i, : len(s)] = self.encode(s)[:w]
+        return codes, lengths
+
+
+ALPHA_CODEC = Codec("alpha", "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+DIGIT_CODEC = Codec("digit", "0123456789", casefold=False)
+ASCII_CODEC = Codec(
+    "ascii",
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,'#&/-",
+)
+
+
+def encode_batch(
+    strings: Sequence[str], codec: Codec = ASCII_CODEC
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper: ``codec.encode_padded(strings)``."""
+    return codec.encode_padded(strings)
+
+
+def encode_raw(
+    strings: Sequence[str], width: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lossless latin-1 encoding into a padded ``(n, width)`` uint8 matrix.
+
+    Every distinct character keeps a distinct code (its latin-1 byte), so
+    the vectorized DP engines agree with the scalar metrics character for
+    character.  NUL (the padding byte) must not occur in the data; a
+    string containing it raises :class:`ValueError`.  Characters outside
+    latin-1 likewise raise rather than silently aliasing.
+    """
+    n = len(strings)
+    lengths = np.fromiter((len(s) for s in strings), dtype=np.int64, count=n)
+    w = int(lengths.max()) if (width is None and n) else int(width or 0)
+    codes = np.zeros((n, w), dtype=np.uint8)
+    for i, s in enumerate(strings):
+        if not s:
+            continue
+        try:
+            raw = s.encode("latin-1")
+        except UnicodeEncodeError as exc:
+            raise ValueError(
+                f"string {i} contains non-latin-1 characters: {s!r}"
+            ) from exc
+        if b"\x00" in raw:
+            raise ValueError(f"string {i} contains NUL, the padding byte: {s!r}")
+        codes[i, : len(raw)] = np.frombuffer(raw, dtype=np.uint8)[:w]
+    return codes, lengths

@@ -1,0 +1,82 @@
+"""Classic Levenshtein edit distance.
+
+The paper builds on Damerau's extension (transpositions), but plain
+Levenshtein is the substrate: Algorithm 1 minus the transposition clause.
+It is also the metric for which the triangle inequality genuinely holds
+(OSA violates it), so the property-test suite exercises both.
+"""
+
+from __future__ import annotations
+
+from repro.distance.base import validate_threshold
+
+__all__ = ["levenshtein", "bounded_levenshtein"]
+
+
+def levenshtein(s: str, t: str) -> int:
+    """Minimum number of substitutions, insertions and deletions.
+
+    Dynamic programming over two rolling rows: O(len(s) * len(t)) time,
+    O(min(len(s), len(t))) space.
+
+    >>> levenshtein("Saturday", "Sunday")
+    3
+    """
+    if s == t:
+        return 0
+    # Iterate over the longer string so rows are as short as possible.
+    if len(s) < len(t):
+        s, t = t, s
+    if not t:
+        return len(s)
+    prev = list(range(len(t) + 1))
+    cur = [0] * (len(t) + 1)
+    for i, cs in enumerate(s, start=1):
+        cur[0] = i
+        for j, ct in enumerate(t, start=1):
+            if cs == ct:
+                cur[j] = prev[j - 1]
+            else:
+                cur[j] = min(prev[j], cur[j - 1], prev[j - 1]) + 1
+        prev, cur = cur, prev
+    return prev[len(t)]
+
+
+def bounded_levenshtein(s: str, t: str, k: int) -> int | None:
+    """Banded Levenshtein: the distance if it is ``<= k``, else ``None``.
+
+    Only the diagonal strip ``|i - j| <= k`` is evaluated (Gusfield's
+    2k+1-band optimization, the same idea the paper's PDL applies to DL),
+    with early termination when a whole row exceeds ``k``.
+    """
+    validate_threshold(k)
+    m, n = len(s), len(t)
+    if abs(m - n) > k:
+        return None
+    if s == t:
+        return 0
+    if k == 0:
+        return None  # unequal strings cannot be within 0 edits
+    INF = k + 1
+    prev = [j if j <= k else INF for j in range(n + 1)]
+    cur = [INF] * (n + 1)
+    for i in range(1, m + 1):
+        lo = max(1, i - k)
+        hi = min(n, i + k)
+        cur[lo - 1] = i if (lo - 1 == 0 and i <= k) else INF
+        row_min = cur[lo - 1]
+        cs = s[i - 1]
+        for j in range(lo, hi + 1):
+            if cs == t[j - 1]:
+                d = prev[j - 1]
+            else:
+                d = min(prev[j], cur[j - 1], prev[j - 1]) + 1
+            cur[j] = d if d <= k else INF
+            if cur[j] < row_min:
+                row_min = cur[j]
+        if hi < n:
+            cur[hi + 1] = INF
+        if row_min > k:
+            return None
+        prev, cur = cur, prev
+    return prev[n] if prev[n] <= k else None

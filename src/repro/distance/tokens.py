@@ -1,0 +1,126 @@
+"""Token- and set-based similarity (the paper's excluded family).
+
+Section 2 of the paper: "In [14], the authors determined that
+token-based methods do not perform well for this type of data.  Hence,
+we do not include token-based methods in our background or
+experiments."  To make that exclusion *checkable* rather than taken on
+faith, this module implements the family's standard members —
+
+* Jaccard / Dice / overlap coefficients over word tokens,
+* the same coefficients over character q-gram sets (the "soft token"
+  variant used by SSJoin-style systems),
+* cosine similarity over q-gram count vectors —
+
+and the accuracy ablation (``benchmarks/test_ablation_token_methods.py``)
+measures them against edit distance on the paper's demographic data,
+reproducing the finding: on 6-9 character fields, token sets are too
+coarse to separate single-edit twins from unrelated strings at any
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable
+
+__all__ = [
+    "word_tokens",
+    "qgram_set",
+    "jaccard",
+    "dice",
+    "overlap_coefficient",
+    "cosine_qgrams",
+    "token_matcher",
+]
+
+
+def word_tokens(s: str) -> frozenset[str]:
+    """Case-folded whitespace tokens."""
+    return frozenset(s.casefold().split())
+
+
+def qgram_set(s: str, q: int = 2) -> frozenset[str]:
+    """The *set* (not multiset) of padded character q-grams."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    pad = "\x00" * (q - 1)
+    padded = f"{pad}{s.casefold()}{pad}"
+    return frozenset(
+        padded[i : i + q] for i in range(max(0, len(padded) - q + 1))
+    )
+
+
+def _set_similarity(
+    a: frozenset, b: frozenset, combine: Callable[[int, int, int], float]
+) -> float:
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    return combine(inter, len(a), len(b))
+
+
+def jaccard(s: str, t: str, *, q: int | None = 2) -> float:
+    """Jaccard similarity: |A∩B| / |A∪B|.
+
+    ``q`` selects character q-gram sets; ``q=None`` uses word tokens
+    (the classic record-linkage "token" method).
+
+    >>> jaccard("ABC", "ABC")
+    1.0
+    """
+    to_set = word_tokens if q is None else (lambda x: qgram_set(x, q))
+    return _set_similarity(
+        to_set(s), to_set(t), lambda i, la, lb: i / (la + lb - i)
+    )
+
+
+def dice(s: str, t: str, *, q: int | None = 2) -> float:
+    """Dice coefficient: 2|A∩B| / (|A| + |B|)."""
+    to_set = word_tokens if q is None else (lambda x: qgram_set(x, q))
+    return _set_similarity(to_set(s), to_set(t), lambda i, la, lb: 2 * i / (la + lb))
+
+
+def overlap_coefficient(s: str, t: str, *, q: int | None = 2) -> float:
+    """Overlap coefficient: |A∩B| / min(|A|, |B|)."""
+    to_set = word_tokens if q is None else (lambda x: qgram_set(x, q))
+    return _set_similarity(to_set(s), to_set(t), lambda i, la, lb: i / min(la, lb))
+
+
+def cosine_qgrams(s: str, t: str, q: int = 2) -> float:
+    """Cosine similarity over q-gram *count* vectors."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    ca = Counter(qgram_multiset(s, q))
+    cb = Counter(qgram_multiset(t, q))
+    if not ca and not cb:
+        return 1.0
+    if not ca or not cb:
+        return 0.0
+    dot = sum(ca[g] * cb[g] for g in ca.keys() & cb.keys())
+    na = math.sqrt(sum(v * v for v in ca.values()))
+    nb = math.sqrt(sum(v * v for v in cb.values()))
+    return dot / (na * nb)
+
+
+def qgram_multiset(s: str, q: int = 2) -> list[str]:
+    """Padded q-grams as a list (multiset semantics for cosine)."""
+    pad = "\x00" * (q - 1)
+    padded = f"{pad}{s.casefold()}{pad}"
+    return [padded[i : i + q] for i in range(max(0, len(padded) - q + 1))]
+
+
+def token_matcher(
+    theta: float, similarity: Callable[[str, str], float] = jaccard
+) -> Callable[[str, str], bool]:
+    """Bind a similarity floor over any token similarity."""
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+
+    def matcher(s: str, t: str) -> bool:
+        return similarity(s, t) >= theta
+
+    matcher.__name__ = f"token_{getattr(similarity, '__name__', 'sim')}_{theta:g}"
+    return matcher

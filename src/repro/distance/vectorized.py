@@ -1,0 +1,345 @@
+"""Vectorized pair-batch string metrics (NumPy engines).
+
+Every function here evaluates one metric over a *batch of pairs* at once:
+the two datasets are encoded once into padded ``uint8`` code matrices
+(:func:`repro.distance.codec.encode_raw`, lossless so results match the
+scalar metrics exactly), and the dynamic programs run with the pair axis
+vectorized — each DP cell update is one NumPy operation over the whole
+batch instead of one Python statement per pair.
+
+This is the guides' "vectorize the inner loop" discipline applied to
+string comparison, and it is what lets the benchmark harness run the
+paper's quadratic experiments at meaningful sizes in CPython.  The
+scalar implementations in the sibling modules remain the specification;
+``tests/distance/test_vectorized.py`` pins exact agreement.
+
+All functions share the same signature shape::
+
+    f(codes_a, lengths_a, codes_b, lengths_b, ii, jj, ...) -> ndarray
+
+where ``ii``/``jj`` are index arrays selecting the pairs
+``(a[ii[p]], b[jj[p]])``.  Callers chunk ``ii``/``jj`` to bound memory;
+:mod:`repro.parallel.chunked` does exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "osa_pairs",
+    "osa_within_k_pairs",
+    "levenshtein_pairs",
+    "hamming_pairs",
+    "jaro_pairs",
+    "jaro_winkler_pairs",
+]
+
+
+def _gather(codes: np.ndarray, lengths: np.ndarray, idx: np.ndarray):
+    sel = np.asarray(idx, dtype=np.int64)
+    return codes[sel], np.asarray(lengths, dtype=np.int64)[sel]
+
+
+def osa_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+) -> np.ndarray:
+    """Restricted Damerau-Levenshtein (OSA) distance for a pair batch.
+
+    Full dynamic program, pair axis vectorized; rolling rows with the
+    extra row the transposition clause needs.  Each pair's result is
+    captured when the row index reaches its left-string length.
+    Complexity: ``O(max_len_a * max_len_b)`` vector operations of batch
+    width.
+    """
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    P = sa.shape[0]
+    La, Lb = sa.shape[1], sb.shape[1]
+    cols = np.arange(Lb + 1, dtype=np.int32)
+    prev = np.broadcast_to(cols, (P, Lb + 1)).copy()
+    prev2 = np.zeros((P, Lb + 1), dtype=np.int32)
+    cur = np.zeros((P, Lb + 1), dtype=np.int32)
+    result = np.where(la == 0, lb, -1).astype(np.int32)
+    # Pairs with empty left strings were resolved at row 0 above.
+    pending = int((la > 0).sum())
+    max_rows = int(la.max()) if P else 0
+    for i in range(1, max_rows + 1):
+        cur[:, 0] = i
+        si = sa[:, i - 1]
+        si_prev = sa[:, i - 2] if i > 1 else None
+        for j in range(1, Lb + 1):
+            tj = sb[:, j - 1]
+            eq = si == tj
+            d = np.minimum(np.minimum(prev[:, j], cur[:, j - 1]), prev[:, j - 1]) + 1
+            d = np.where(eq, prev[:, j - 1], d)
+            if i > 1 and j > 1:
+                trans = (si == sb[:, j - 2]) & (si_prev == tj)
+                # Safe to apply even when eq holds: the diagonal value
+                # never exceeds prev2[j-2] + 1.
+                d = np.where(trans, np.minimum(d, prev2[:, j - 2] + 1), d)
+            cur[:, j] = d
+        done = la == i
+        if done.any():
+            rows = np.nonzero(done)[0]
+            result[rows] = cur[rows, lb[rows]]
+            pending -= len(rows)
+            if pending == 0:
+                break
+        prev2, prev, cur = prev, cur, prev2
+    return result
+
+
+def levenshtein_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+) -> np.ndarray:
+    """Plain Levenshtein distance for a pair batch (no transpositions)."""
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    P = sa.shape[0]
+    Lb = sb.shape[1]
+    cols = np.arange(Lb + 1, dtype=np.int32)
+    prev = np.broadcast_to(cols, (P, Lb + 1)).copy()
+    cur = np.zeros((P, Lb + 1), dtype=np.int32)
+    result = np.where(la == 0, lb, -1).astype(np.int32)
+    pending = int((la > 0).sum())
+    max_rows = int(la.max()) if P else 0
+    for i in range(1, max_rows + 1):
+        cur[:, 0] = i
+        si = sa[:, i - 1]
+        for j in range(1, Lb + 1):
+            eq = si == sb[:, j - 1]
+            d = np.minimum(np.minimum(prev[:, j], cur[:, j - 1]), prev[:, j - 1]) + 1
+            cur[:, j] = np.where(eq, prev[:, j - 1], d)
+        done = la == i
+        if done.any():
+            rows = np.nonzero(done)[0]
+            result[rows] = cur[rows, lb[rows]]
+            pending -= len(rows)
+            if pending == 0:
+                break
+        prev, cur = cur, prev
+    return result
+
+
+def osa_within_k_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Banded OSA threshold test for a pair batch — vectorized PDL.
+
+    Returns a boolean array: ``osa(a, b) <= k`` per pair.  Only the
+    ``2k + 1``-wide diagonal band is computed (the paper's prefix-pruning
+    strip), and the batch stops early once every still-undecided pair has
+    exceeded ``k`` in some row — the vector analogue of Algorithm 2's
+    ``x <= 0`` termination.
+
+    Pairs with ``abs(len_a - len_b) > k`` are rejected without touching
+    the DP, and — matching the paper's Step 1 — pairs with an empty
+    string on either side are rejected outright.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    P = sa.shape[0]
+    Lb = sb.shape[1]
+    out = np.zeros(P, dtype=bool)
+    viable = (np.abs(la - lb) <= k) & (la > 0) & (lb > 0)
+    if k == 0:
+        # Within the band nothing but equality survives.
+        width = sa.shape[1]
+        if width == 0 or Lb == 0:
+            return out
+        w = min(width, Lb)
+        eq = (sa[:, :w] == sb[:, :w]).all(axis=1) & (la == lb) & (la <= w)
+        out[:] = viable & eq
+        return out
+    INF = np.int32(k + 1)
+    prev2 = np.full((P, Lb + 2), INF, dtype=np.int32)
+    prev = np.full((P, Lb + 2), INF, dtype=np.int32)
+    cur = np.full((P, Lb + 2), INF, dtype=np.int32)
+    w0 = min(k + 1, Lb + 2)
+    prev[:, :w0] = np.arange(w0, dtype=np.int32)  # row 0 inside the band
+    alive = viable.copy()
+    max_rows = int(la.max()) if P else 0
+    for i in range(1, max_rows + 1):
+        lo = max(1, i - k)
+        hi = min(Lb, i + k)
+        if lo > Lb:
+            break
+        cur[:, lo - 1] = np.int32(i) if (lo == 1 and i <= k) else INF
+        if hi + 1 <= Lb + 1:
+            cur[:, hi + 1] = INF
+        si = sa[:, i - 1]
+        si_prev = sa[:, i - 2] if i > 1 else None
+        row_min = np.full(P, INF, dtype=np.int32)
+        if lo == 1 and i <= k:
+            row_min[:] = np.int32(i)
+        for j in range(lo, hi + 1):
+            tj = sb[:, j - 1]
+            eq = si == tj
+            d = np.minimum(np.minimum(prev[:, j], cur[:, j - 1]), prev[:, j - 1]) + 1
+            d = np.where(eq, prev[:, j - 1], d)
+            if i > 1 and j > 1:
+                trans = (si == sb[:, j - 2]) & (si_prev == tj)
+                d = np.where(trans, np.minimum(d, prev2[:, j - 2] + 1), d)
+            d = np.minimum(d, INF)  # clamp so the band border stays INF-like
+            cur[:, j] = d
+            np.minimum(row_min, d, out=row_min)
+        finished = alive & (la == i)
+        if finished.any():
+            rows = np.nonzero(finished)[0]
+            out[rows] = cur[rows, lb[rows]] <= k
+        alive &= row_min <= k
+        if not (alive & (la > i)).any():
+            break
+        prev2, prev, cur = prev, cur, prev2
+        cur[:, lo - 1 : hi + 2] = INF  # reset the recycled row's band
+    return out
+
+
+def hamming_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+) -> np.ndarray:
+    """Hamming distance (overhang counted) for a pair batch.
+
+    Positional mismatches over the common prefix length plus the length
+    difference — identical to :func:`repro.distance.hamming.hamming`.
+    Padding bytes are zero on both sides, so positions beyond both
+    lengths never mismatch; positions covered by exactly one string
+    compare a character against NUL and are re-counted exactly by the
+    common-length correction below.
+    """
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    w = min(sa.shape[1], sb.shape[1])
+    mism = (sa[:, :w] != sb[:, :w]).sum(axis=1, dtype=np.int32) if w else np.zeros(
+        len(sa), dtype=np.int32
+    )
+    # Mismatches counted in the overhang region (char vs NUL) equal the
+    # overhang size itself, which is what the scalar metric adds; beyond
+    # the shared padded width every cell is NUL vs NUL.  The only
+    # correction needed is overhang that falls outside the shared width.
+    common = np.minimum(la, lb)
+    longer = np.maximum(la, lb)
+    overhang_in_w = np.minimum(longer, w) - np.minimum(common, w)
+    mism += (longer - common - overhang_in_w).astype(np.int32)
+    return mism
+
+
+def jaro_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    variant: str = "paper",
+) -> np.ndarray:
+    """Jaro similarity for a pair batch.
+
+    Reproduces the scalar greedy matching exactly: for each position of
+    the left string, the first unclaimed window position of the right
+    string with the same character is claimed.  The i/j loops stay in
+    Python but every iteration operates on the whole batch.
+    Transpositions are counted by scattering matched characters into
+    rank-ordered buffers and comparing them slot by slot.  ``variant``
+    follows :func:`repro.distance.jaro.jaro`.
+    """
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    P = sa.shape[0]
+    La, Lb = sa.shape[1], sb.shape[1]
+    window = np.maximum(np.maximum(la, lb) // 2 - 1, 0)
+    s_matched = np.zeros((P, La), dtype=bool)
+    t_matched = np.zeros((P, Lb), dtype=bool)
+    for i in range(La):
+        valid_i = i < la
+        for j in range(Lb):
+            # Window width varies per pair, so no columns can be
+            # statically skipped; the claim test is one vector op.
+            claim = (
+                valid_i
+                & (j < lb)
+                & ~s_matched[:, i]
+                & ~t_matched[:, j]
+                & (np.abs(i - j) <= window)
+                & (sa[:, i] == sb[:, j])
+            )
+            if claim.any():
+                s_matched[:, i] |= claim
+                t_matched[:, j] |= claim
+    m = s_matched.sum(axis=1).astype(np.int64)
+    # Rank-order matched characters to count transpositions.
+    max_m = int(m.max()) if P else 0
+    if max_m:
+        buf_s = np.zeros((P, max_m + 1), dtype=np.uint8)
+        buf_t = np.zeros((P, max_m + 1), dtype=np.uint8)
+        rank_s = np.cumsum(s_matched, axis=1) * s_matched  # 0 for unmatched
+        rank_t = np.cumsum(t_matched, axis=1) * t_matched
+        np.put_along_axis(
+            buf_s, np.minimum(rank_s, max_m), np.where(s_matched, sa, 0), axis=1
+        )
+        np.put_along_axis(
+            buf_t, np.minimum(rank_t, max_m), np.where(t_matched, sb, 0), axis=1
+        )
+        half_trans = (buf_s[:, 1:] != buf_t[:, 1:]).sum(axis=1)
+    else:
+        half_trans = np.zeros(P, dtype=np.int64)
+    if variant == "standard":
+        r = half_trans / 2.0
+    elif variant == "paper":
+        r = half_trans / 4.0
+    else:
+        raise ValueError(f"variant must be 'paper' or 'standard', got {variant!r}")
+    safe_m = np.maximum(m, 1)
+    safe_ls = np.maximum(la, 1)
+    safe_lt = np.maximum(lb, 1)
+    score = (m / safe_ls + m / safe_lt + (m - r) / safe_m) / 3.0
+    both_empty = (la == 0) & (lb == 0)
+    return np.where(m == 0, np.where(both_empty, 1.0, 0.0), score)
+
+
+def jaro_winkler_pairs(
+    codes_a: np.ndarray,
+    lengths_a: np.ndarray,
+    codes_b: np.ndarray,
+    lengths_b: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    prefix_scale: float = 0.1,
+    variant: str = "paper",
+) -> np.ndarray:
+    """Jaro-Winkler similarity for a pair batch (prefix capped at 4)."""
+    base = jaro_pairs(codes_a, lengths_a, codes_b, lengths_b, ii, jj, variant)
+    sa, la = _gather(codes_a, lengths_a, ii)
+    sb, lb = _gather(codes_b, lengths_b, jj)
+    P = sa.shape[0]
+    depth = min(4, sa.shape[1], sb.shape[1])
+    still = np.ones(P, dtype=bool)
+    prefix = np.zeros(P, dtype=np.int64)
+    for d in range(depth):
+        still &= (d < la) & (d < lb) & (sa[:, d] == sb[:, d])
+        prefix += still
+    return base + prefix * prefix_scale * (1.0 - base)

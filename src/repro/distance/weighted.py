@@ -1,0 +1,129 @@
+"""Weighted edit distance (extension).
+
+Production record linkage often refines plain edit distance with
+*costs*: substituting a QWERTY-neighbour or an OCR look-alike is weaker
+evidence of a different identity than substituting an arbitrary
+character.  This module provides an OSA-shaped dynamic program with a
+pluggable substitution-cost function, plus stock cost models built from
+the :mod:`repro.data.typo_models` confusion tables.
+
+Relationship to FBF: the filter bound ``diff_bits <= 2k`` is proved
+against *unit* costs.  With substitution costs in ``[min_cost, 1]``, a
+pair within weighted threshold ``T`` can span up to ``ceil(T /
+min_cost)`` unit edits, so a safe FBF prefilter must use ``k = ceil(T /
+min_cost)``.  The stock cost functions carry their ``min_cost`` as an
+attribute so :class:`repro.linkage.comparators.WeightedComparator` can
+derive that bound automatically.  (Property-tested.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.data.typo_models import KEYPAD_NEIGHBOURS, OCR_CONFUSIONS, QWERTY_NEIGHBOURS
+
+__all__ = [
+    "CostFn",
+    "weighted_osa",
+    "confusion_cost",
+    "keyboard_cost",
+    "keypad_cost",
+    "ocr_cost",
+]
+
+CostFn = Callable[[str, str], float]
+
+
+def weighted_osa(
+    s: str,
+    t: str,
+    *,
+    substitution_cost: CostFn | None = None,
+    indel_cost: float = 1.0,
+    transposition_cost: float = 1.0,
+) -> float:
+    """OSA dynamic program with configurable operation costs.
+
+    ``substitution_cost(a, b)`` returns the cost of replacing ``a`` with
+    ``b`` (defaults to 1.0 for any unequal pair).  Insertions/deletions
+    and adjacent transpositions have flat costs.  With all defaults this
+    is exactly :func:`repro.distance.damerau.damerau_levenshtein`.
+
+    >>> weighted_osa("CAT", "CAT")
+    0.0
+    >>> weighted_osa("CAT", "CUT")
+    1.0
+    """
+    if indel_cost <= 0 or transposition_cost <= 0:
+        raise ValueError("operation costs must be positive")
+    m, n = len(s), len(t)
+    if m == 0:
+        return n * indel_cost
+    if n == 0:
+        return m * indel_cost
+    sub = substitution_cost or (lambda a, b: 1.0)
+    prev2 = [0.0] * (n + 1)
+    prev = [j * indel_cost for j in range(n + 1)]
+    cur = [0.0] * (n + 1)
+    for i in range(1, m + 1):
+        cur[0] = i * indel_cost
+        si = s[i - 1]
+        for j in range(1, n + 1):
+            tj = t[j - 1]
+            if si == tj:
+                d = prev[j - 1]
+            else:
+                cost = sub(si, tj)
+                if cost < 0:
+                    raise ValueError(f"negative substitution cost for {si!r}->{tj!r}")
+                d = min(
+                    prev[j] + indel_cost,
+                    cur[j - 1] + indel_cost,
+                    prev[j - 1] + cost,
+                )
+                if i > 1 and j > 1 and si == t[j - 2] and s[i - 2] == tj:
+                    d = min(d, prev2[j - 2] + transposition_cost)
+            cur[j] = d
+        prev2, prev, cur = prev, cur, prev2
+    return prev[n]
+
+
+def confusion_cost(
+    confusions: Mapping[str, str], confusable_cost: float = 0.5
+) -> CostFn:
+    """Cost function from a confusion table.
+
+    Substitutions listed in ``confusions`` (case-folded) cost
+    ``confusable_cost``; all others cost 1.0.  ``confusable_cost`` must
+    lie in (0, 1] so the weighted metric never exceeds unit OSA.  The
+    returned function carries ``min_cost`` (the smallest cost it can
+    emit) for safe-filter sizing.
+    """
+    if not 0.0 < confusable_cost <= 1.0:
+        raise ValueError(
+            f"confusable_cost must be in (0, 1], got {confusable_cost}"
+        )
+    folded = {c.upper(): set(v.upper()) for c, v in confusions.items()}
+
+    def cost(a: str, b: str) -> float:
+        if b.upper() in folded.get(a.upper(), ()):
+            return confusable_cost
+        return 1.0
+
+    cost.min_cost = confusable_cost
+    return cost
+
+
+def keyboard_cost(confusable_cost: float = 0.5) -> CostFn:
+    """Typist model: QWERTY-adjacent substitutions are cheap."""
+    return confusion_cost(QWERTY_NEIGHBOURS, confusable_cost)
+
+
+def keypad_cost(confusable_cost: float = 0.5) -> CostFn:
+    """Numeric-entry model: keypad-adjacent digit substitutions are cheap."""
+    return confusion_cost(KEYPAD_NEIGHBOURS, confusable_cost)
+
+
+def ocr_cost(confusable_cost: float = 0.5) -> CostFn:
+    """Scanning model: look-alike glyph substitutions are cheap."""
+    return confusion_cost(OCR_CONFUSIONS, confusable_cost)

@@ -1,0 +1,68 @@
+"""Experiment harness: the paper's evaluation, runnable.
+
+* :mod:`repro.eval.metrics` — confusion accounting (the paper's Type 1 /
+  Type 2 columns and Tables 7-8's TP/FN/FP/TN).
+* :mod:`repro.eval.timing` — the paper's timing protocols (average of 5;
+  or best-of-middle: 5 runs, drop fastest and slowest).
+* :mod:`repro.eval.scale` — experiment sizing: reduced defaults that run
+  in minutes, paper-scale via ``REPRO_PAPER_SCALE=1``.
+* :mod:`repro.eval.experiments` — the string-comparison experiments
+  (Tables 1-5, 12, 14, appendix), the Soundex experiments (Tables 7-8)
+  and the record-linkage experiment (Table 6).
+* :mod:`repro.eval.curves` — runtime-vs-n curves (Figures 7, 9),
+  speedup-by-n (Table 10) and per-pair times (Figure 6).
+* :mod:`repro.eval.polyfit` — quadratic fits of the curves (Tables 9, 11).
+* :mod:`repro.eval.tables` — paper-style plain-text table rendering.
+"""
+
+from repro.eval.curves import CurveResult, per_pair_times, run_runtime_curve, speedup_by_n
+from repro.eval.experiments import (
+    MethodRow,
+    RLExperimentResult,
+    SoundexRow,
+    StringExperimentResult,
+    run_rl_experiment,
+    run_soundex_experiment,
+    run_string_experiment,
+)
+from repro.eval.figures import ascii_chart, render_curve_figure
+from repro.eval.metrics import Confusion
+from repro.eval.report import build_report
+from repro.eval.polyfit import QuadraticFit, fit_quadratic
+from repro.eval.scale import curve_sizes, paper_scale, scaled
+from repro.eval.sweep import (
+    SweepPoint,
+    sweep_edit_threshold,
+    sweep_similarity_threshold,
+)
+from repro.eval.tables import format_table
+from repro.eval.timing import TimingProtocol, time_callable
+
+__all__ = [
+    "Confusion",
+    "ascii_chart",
+    "build_report",
+    "render_curve_figure",
+    "CurveResult",
+    "MethodRow",
+    "QuadraticFit",
+    "RLExperimentResult",
+    "SoundexRow",
+    "StringExperimentResult",
+    "SweepPoint",
+    "TimingProtocol",
+    "curve_sizes",
+    "fit_quadratic",
+    "format_table",
+    "paper_scale",
+    "per_pair_times",
+    "run_rl_experiment",
+    "run_runtime_curve",
+    "run_soundex_experiment",
+    "run_string_experiment",
+    "scaled",
+    "speedup_by_n",
+    "sweep_edit_threshold",
+    "sweep_similarity_threshold",
+    "time_callable",
+]

@@ -1,0 +1,104 @@
+"""ASCII rendering of the paper's figures.
+
+The evaluation has three figures (6, 7, 9) that are line charts.  With
+no plotting stack assumed, this module renders multi-series charts as
+monospace text — enough to *see* the curve shapes the paper shows (DL's
+steep quadratic vs the near-flat FBF family) in a terminal, a test log,
+or REPORT.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "render_curve_figure"]
+
+#: glyphs assigned to series, in order
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series onto one character grid.
+
+    Each series gets a glyph; the legend maps glyphs back to names.
+    ``log_y`` plots a log10 y-axis — useful when DL and FBF live three
+    orders of magnitude apart, exactly the paper's Figure 7 situation.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        transform = lambda y: math.log10(max(y, floor))
+    else:
+        transform = lambda y: y
+    ty = [transform(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(_GLYPHS, series.items()):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi:,.0f}" if log_y else f"{y_hi:,.0f}"
+    bot_label = f"{10 ** y_lo:,.0f}" if log_y else f"{y_lo:,.0f}"
+    label_width = max(len(top_label), len(bot_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bot_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_lo:,.0f}".ljust(width // 2)
+        + f"{x_hi:,.0f}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    unit = f"  [y: {y_label}{', log scale' if log_y else ''}]" if (y_label or log_y) else ""
+    lines.append(f"legend: {legend}{unit}")
+    return "\n".join(lines)
+
+
+def render_curve_figure(
+    curve,
+    methods: Sequence[str] | None = None,
+    *,
+    title: str = "",
+    log_y: bool = True,
+) -> str:
+    """Chart a :class:`repro.eval.curves.CurveResult` (Figures 7 / 9)."""
+    methods = list(methods or curve.times_ms)
+    series = {m: curve.series(m) for m in methods}
+    return ascii_chart(
+        series,
+        title=title or f"runtime vs n ({curve.family}, k={curve.k})",
+        log_y=log_y,
+        y_label="ms",
+    )

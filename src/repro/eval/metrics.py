@@ -1,0 +1,89 @@
+"""Confusion accounting against the positional ground truth.
+
+The experiments match a clean list against its error-injected twin;
+``clean[i]`` truly matches ``error[i]`` and nothing else.  The paper
+reports:
+
+* **Type 1** errors — false positives: declared matches off the diagonal
+  (including genuinely similar pool entries, e.g. SMITH/SMYTH; the paper
+  counts those against every method equally).
+* **Type 2** errors — false negatives: diagonal pairs a method failed to
+  declare.
+
+Tables 7-8 report the full TP/FN/FP/TN quadruple; :class:`Confusion`
+carries both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Confusion"]
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Counts over an ``n_left x n_right`` pair space with diagonal truth."""
+
+    n_left: int
+    n_right: int
+    match_count: int
+    diagonal_matches: int
+
+    @property
+    def true_positives(self) -> int:
+        return self.diagonal_matches
+
+    @property
+    def false_positives(self) -> int:
+        """The paper's Type 1 errors."""
+        return self.match_count - self.diagonal_matches
+
+    @property
+    def false_negatives(self) -> int:
+        """The paper's Type 2 errors."""
+        return min(self.n_left, self.n_right) - self.diagonal_matches
+
+    @property
+    def true_negatives(self) -> int:
+        return (
+            self.n_left * self.n_right
+            - self.true_positives
+            - self.false_positives
+            - self.false_negatives
+        )
+
+    # paper aliases
+    @property
+    def type1(self) -> int:
+        return self.false_positives
+
+    @property
+    def type2(self) -> int:
+        return self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        declared = self.true_positives + self.false_positives
+        return self.true_positives / declared if declared else 0.0
+
+    @property
+    def recall(self) -> float:
+        truth = min(self.n_left, self.n_right)
+        return self.true_positives / truth if truth else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_left < 0 or self.n_right < 0:
+            raise ValueError("dataset sizes must be non-negative")
+        if not 0 <= self.diagonal_matches <= self.match_count:
+            raise ValueError(
+                f"inconsistent counts: diagonal {self.diagonal_matches} "
+                f"vs total {self.match_count}"
+            )
+        if self.diagonal_matches > min(self.n_left, self.n_right):
+            raise ValueError("more diagonal matches than diagonal pairs")

@@ -1,0 +1,59 @@
+"""Quadratic fits of the runtime curves (paper Tables 9 and 11).
+
+The paper fits each method's runtime curve with Matlab's ``polyfit`` to
+``a*n^2 + b*n + c`` and reads the growth-rate story off the ``a``
+coefficients (FBF's is two orders of magnitude below DL's).  The same
+fit here uses :func:`numpy.polyfit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.eval.curves import CurveResult
+
+__all__ = ["QuadraticFit", "fit_quadratic", "fit_curves"]
+
+
+@dataclass(frozen=True)
+class QuadraticFit:
+    """Coefficients of ``a*n^2 + b*n + c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def predict(self, n: float) -> float:
+        return self.a * n * n + self.b * n + self.c
+
+    def asymptotic_speedup_over(self, other: "QuadraticFit") -> float:
+        """``other.a / self.a``: the large-n speedup the paper projects
+        (e.g. FPDL over DL at n = 500,000, Section 6)."""
+        if self.a == 0:
+            return float("inf")
+        return other.a / self.a
+
+
+def fit_quadratic(ns: Sequence[float], times_ms: Sequence[float]) -> QuadraticFit:
+    """Least-squares quadratic through one runtime curve.
+
+    Requires at least three points (the polynomial has three degrees of
+    freedom).
+    """
+    if len(ns) != len(times_ms):
+        raise ValueError(f"length mismatch: {len(ns)} ns vs {len(times_ms)} times")
+    if len(ns) < 3:
+        raise ValueError("a quadratic fit needs at least 3 points")
+    a, b, c = np.polyfit(np.asarray(ns, dtype=float), np.asarray(times_ms, dtype=float), 2)
+    return QuadraticFit(float(a), float(b), float(c))
+
+
+def fit_curves(curve: CurveResult) -> dict[str, QuadraticFit]:
+    """Tables 9/11: one fit per method in a curve result."""
+    return {
+        method: fit_quadratic(curve.ns, times)
+        for method, times in curve.times_ms.items()
+    }

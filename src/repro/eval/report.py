@@ -1,0 +1,123 @@
+"""Reproduction report assembly.
+
+The benchmark harness saves every regenerated table under
+``benchmarks/results/``.  :func:`build_report` stitches those files into
+one markdown document (reproduced table next to the paper's published
+one, in the paper's order) — the machine-written companion to the
+hand-written analysis in EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.eval.report [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["build_report", "RESULT_ORDER"]
+
+#: result-file stems in the paper's presentation order.
+RESULT_ORDER: tuple[str, ...] = (
+    "table01_ssn_k1",
+    "table02_ssn_k2",
+    "fig06_per_pair_time",
+    "table03_lastnames",
+    "table04_addresses",
+    "table05_fpdl_speedup",
+    "table06_record_linkage",
+    "table07_soundex_error",
+    "table08_soundex_clean",
+    "fig07_runtime_curves",
+    "table09_polyfit",
+    "table10_speedup_by_n",
+    "fig09_length_filter_curves",
+    "table11_polyfit_length",
+    "table12_ln_length_filter",
+    "table13_length_histogram",
+    "table14_ad_length_filter",
+    "tableA1_firstnames",
+    "tableA2_phones",
+    "tableA3_birthdates",
+)
+
+_TITLES: dict[str, str] = {
+    "table01_ssn_k1": "Table 1 — SSN, k=1",
+    "table02_ssn_k2": "Table 2 — SSN, k=2",
+    "fig06_per_pair_time": "Figure 6 — per-pair comparison time",
+    "table03_lastnames": "Table 3 — Census last names",
+    "table04_addresses": "Table 4 — street addresses",
+    "table05_fpdl_speedup": "Table 5 — FPDL speedup across families",
+    "table06_record_linkage": "Table 6 — record-linkage experiment",
+    "table07_soundex_error": "Table 7 — Soundex vs DL (error-injected)",
+    "table08_soundex_clean": "Table 8 — Soundex vs DL (clean)",
+    "fig07_runtime_curves": "Figure 7 — runtime curves",
+    "table09_polyfit": "Table 9 — quadratic fit coefficients",
+    "table10_speedup_by_n": "Table 10 — FPDL/DL speedup by n",
+    "fig09_length_filter_curves": "Figure 9 — length-filter runtime curves",
+    "table11_polyfit_length": "Table 11 — length-filter fit coefficients",
+    "table12_ln_length_filter": "Table 12 — LN with length filter",
+    "table13_length_histogram": "Table 13 — last-name length histogram",
+    "table14_ad_length_filter": "Table 14 — Ad with length filter",
+    "tableA1_firstnames": "Appendix Table 9 — first names",
+    "tableA2_phones": "Appendix Table 10 — phone numbers",
+    "tableA3_birthdates": "Appendix Table 11 — birthdates",
+}
+
+
+def build_report(results_dir: Path | str) -> str:
+    """Assemble the full reproduction report from saved result files.
+
+    Experiments whose results are missing (benchmarks not run yet) are
+    listed as pending rather than silently dropped, so a partial run
+    still produces an honest document.
+    """
+    results_dir = Path(results_dir)
+    sections: list[str] = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/` — run "
+        "`pytest benchmarks/ --benchmark-only` to refresh. "
+        "See EXPERIMENTS.md for analysis and DESIGN.md for the "
+        "experiment-to-module index.",
+    ]
+    missing: list[str] = []
+    for stem in RESULT_ORDER:
+        path = results_dir / f"{stem}.txt"
+        title = _TITLES.get(stem, stem)
+        if not path.exists():
+            missing.append(title)
+            continue
+        sections.append(f"\n## {title}\n")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+    ablations = sorted(results_dir.glob("ablation_*.txt"))
+    if ablations:
+        sections.append("\n## Ablations\n")
+        for path in ablations:
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```")
+    if missing:
+        sections.append("\n## Pending (benchmarks not yet run)\n")
+        for title in missing:
+            sections.append(f"* {title}")
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    results = Path(argv[0]) if argv else Path("benchmarks/results")
+    report = build_report(results)
+    if len(argv) > 1:
+        Path(argv[1]).write_text(report)
+        print(f"wrote {argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

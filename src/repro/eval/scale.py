@@ -1,0 +1,43 @@
+"""Experiment sizing.
+
+The paper's table experiments join two 5,000-string lists (25 million
+pairs) and its curves sweep n from 1,000 to 18,000.  The benchmark suite
+defaults to reduced sizes that preserve every qualitative result while
+finishing in minutes; setting ``REPRO_PAPER_SCALE=1`` in the environment
+restores the paper's sizes (budget on the order of an hour with the
+vectorized engine).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["paper_scale", "scaled", "curve_sizes", "TABLE_N", "RL_N"]
+
+_ENV_FLAG = "REPRO_PAPER_SCALE"
+
+#: sample size per dataset in the table experiments
+TABLE_N = {"default": 500, "paper": 5000}
+#: record count in the RL experiment (Table 6)
+RL_N = {"default": 300, "paper": 1000}
+
+
+def paper_scale() -> bool:
+    """Is paper-scale mode requested via ``REPRO_PAPER_SCALE``?"""
+    return os.environ.get(_ENV_FLAG, "").strip() in {"1", "true", "yes", "on"}
+
+
+def scaled(default: int, paper: int) -> int:
+    """Pick a size by mode."""
+    return paper if paper_scale() else default
+
+
+def curve_sizes() -> list[int]:
+    """The n sweep for the runtime-curve experiments (Figures 7/9).
+
+    Paper: 1,000 to 18,000 step 1,000.  Default: 200 to 1,200 step 200 —
+    six points, enough for a stable quadratic fit.
+    """
+    if paper_scale():
+        return list(range(1000, 18001, 1000))
+    return list(range(200, 1201, 200))

@@ -1,0 +1,88 @@
+"""Paper-style plain-text table rendering.
+
+The benchmark harness prints each reproduced table in the paper's layout
+so the two can be compared row by row.  Rendering is deliberately plain
+monospace (no external dependencies) and returns strings, so the same
+formatting serves tests, benchmarks and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiments import (
+    RLExperimentResult,
+    SoundexRow,
+    StringExperimentResult,
+)
+
+__all__ = [
+    "format_table",
+    "format_string_experiment",
+    "format_soundex_rows",
+    "format_rl_experiment",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Align ``rows`` under ``headers`` (first column left, rest right)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[col]) for r in cells) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(cells):
+        padded = [
+            row[0].ljust(widths[0]),
+            *(c.rjust(w) for c, w in zip(row[1:], widths[1:])),
+        ]
+        lines.append("  ".join(padded))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.01:
+            return f"{value:.2e}"  # fit coefficients, etc.
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_string_experiment(result: StringExperimentResult, title: str = "") -> str:
+    """Render in the layout of the paper's Tables 1-4/12/14 plus Gen."""
+    headers = [result.family, "Type 1", "Type 2", "Time ms", "Speedup"]
+    rows: list[list[object]] = [
+        [r.method, r.type1, r.type2, r.time_ms, r.speedup] for r in result.rows
+    ]
+    rows.append(["Gen", "", "", result.gen_time_ms, result.gen_speedup])
+    heading = title or (
+        f"{result.family} experiment: n={result.n}, k={result.k}, "
+        f"theta={result.theta:g}, engine={result.engine}"
+    )
+    return format_table(headers, rows, heading)
+
+
+def format_soundex_rows(rows: Sequence[SoundexRow], title: str = "") -> str:
+    """Render in the layout of the paper's Tables 7-8."""
+    headers = ["", "TP", "FN", "FP", "TN", "Time ms"]
+    body = [[r.label, r.tp, r.fn, r.fp, r.tn, r.time_ms] for r in rows]
+    return format_table(headers, body, title)
+
+
+def format_rl_experiment(result: RLExperimentResult, title: str = "") -> str:
+    """Render in the layout of the paper's Table 6 (transposed)."""
+    headers = ["RL", "Time ms", "Speedup", "FP", "FN"]
+    rows: list[list[object]] = [
+        [r.method, r.time_ms, r.speedup, r.type1, r.type2] for r in result.rows
+    ]
+    rows.append(["Gen", result.gen_time_ms, None, "", ""])
+    heading = title or f"RL experiment: n={result.n}"
+    return format_table(headers, rows, heading)

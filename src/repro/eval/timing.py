@@ -1,0 +1,74 @@
+"""The paper's timing protocols.
+
+Section 5 describes two: the table experiments "were run 5 times and
+their average was recorded", while the runtime-curve experiments "ran
+each experiment 5 times, discarding the fastest and slowest times from
+each and averaging the remaining times".  :class:`TimingProtocol`
+captures both (and a quick single-run mode for tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimingProtocol", "TimingResult", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingProtocol:
+    """How many runs, and whether extremes are trimmed before averaging."""
+
+    runs: int = 1
+    drop_extremes: bool = False
+
+    #: the paper's table protocol: mean of 5
+    PAPER_TABLES: "TimingProtocol" = None  # type: ignore[assignment]
+    #: the paper's curve protocol: 5 runs, drop min and max
+    PAPER_CURVES: "TimingProtocol" = None  # type: ignore[assignment]
+    #: test/CI protocol: one run
+    QUICK: "TimingProtocol" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.drop_extremes and self.runs < 3:
+            raise ValueError("dropping extremes requires at least 3 runs")
+
+
+TimingProtocol.PAPER_TABLES = TimingProtocol(runs=5, drop_extremes=False)
+TimingProtocol.PAPER_CURVES = TimingProtocol(runs=5, drop_extremes=True)
+TimingProtocol.QUICK = TimingProtocol(runs=1, drop_extremes=False)
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """All raw run times (ms) plus the protocol's summary."""
+
+    times_ms: tuple[float, ...]
+    mean_ms: float
+
+    @property
+    def best_ms(self) -> float:
+        return min(self.times_ms)
+
+
+def time_callable(
+    fn: Callable[[], object],
+    protocol: TimingProtocol = TimingProtocol.QUICK,
+) -> tuple[TimingResult, object]:
+    """Run ``fn`` under a protocol; returns the timing and the *last*
+    run's return value (all runs must be deterministic, which every
+    experiment here is by construction)."""
+    times: list[float] = []
+    value: object = None
+    for _ in range(protocol.runs):
+        start = time.perf_counter()
+        value = fn()
+        times.append((time.perf_counter() - start) * 1e3)
+    summary = sorted(times)
+    if protocol.drop_extremes:
+        summary = summary[1:-1]
+    mean = sum(summary) / len(summary)
+    return TimingResult(tuple(times), mean), value

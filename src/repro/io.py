@@ -1,0 +1,114 @@
+"""Dataset I/O: CSV record files and plain string lists.
+
+The linkage engine operates on :class:`repro.linkage.records.Record`
+lists; real deployments read them from files.  This module provides the
+minimal, dependency-free I/O a downstream user needs:
+
+* :func:`read_records_csv` / :func:`write_records_csv` — client records
+  with the paper's seven-field schema.  Unknown columns are ignored,
+  missing columns become empty fields (the comparators' missing-value
+  convention), so partial extracts load cleanly.
+* :func:`read_strings` / :func:`write_strings` — newline-delimited
+  string lists (what the ``match``/``dedupe`` CLI commands consume).
+* :func:`write_matches_csv` — match pairs with their records side by
+  side, the file a review workflow consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.linkage.records import FIELDS, Record
+
+__all__ = [
+    "read_records_csv",
+    "write_records_csv",
+    "read_strings",
+    "write_strings",
+    "write_matches_csv",
+]
+
+
+def read_records_csv(path: Path | str) -> list[Record]:
+    """Load records from a CSV file with a header row.
+
+    Header names are matched case-insensitively against the schema
+    (``first_name, last_name, address, phone, gender, ssn, birthdate``);
+    at least one schema column must be present.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file, expected a CSV header")
+        mapping = {
+            name: name.strip().lower()
+            for name in reader.fieldnames
+            if name and name.strip().lower() in FIELDS
+        }
+        if not mapping:
+            raise ValueError(
+                f"{path}: no schema columns found in header "
+                f"{reader.fieldnames}; expected some of {list(FIELDS)}"
+            )
+        records = []
+        for row in reader:
+            values = {field: "" for field in FIELDS}
+            for col, field in mapping.items():
+                values[field] = (row.get(col) or "").strip()
+            records.append(Record(**values))
+    if not records:
+        raise ValueError(f"{path}: no data rows")
+    return records
+
+
+def write_records_csv(path: Path | str, records: Sequence[Record]) -> None:
+    """Write records with the full schema header."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(FIELDS)
+        for r in records:
+            writer.writerow([r[field] for field in FIELDS])
+
+
+def read_strings(path: Path | str) -> list[str]:
+    """Non-empty stripped lines of a text file."""
+    path = Path(path)
+    lines = [line.strip() for line in path.read_text().splitlines()]
+    lines = [line for line in lines if line]
+    if not lines:
+        raise ValueError(f"{path}: contains no strings")
+    return lines
+
+
+def write_strings(path: Path | str, strings: Iterable[str]) -> None:
+    Path(path).write_text("".join(f"{s}\n" for s in strings))
+
+
+def write_matches_csv(
+    path: Path | str,
+    matches: Iterable[tuple[int, int]],
+    left: Sequence[Record],
+    right: Sequence[Record],
+) -> int:
+    """Write matched record pairs side by side; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["left_id", "right_id"]
+            + [f"left_{f}" for f in FIELDS]
+            + [f"right_{f}" for f in FIELDS]
+        )
+        for i, j in matches:
+            writer.writerow(
+                [i, j]
+                + [left[i][f] for f in FIELDS]
+                + [right[j][f] for f in FIELDS]
+            )
+            count += 1
+    return count

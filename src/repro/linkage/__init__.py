@@ -1,0 +1,89 @@
+"""Record-linkage substrate.
+
+The paper's motivating system is a health-department record linkage (RL)
+pipeline: match client records across heterogeneous databases without a
+reliable unique identifier (Section 1).  Table 6 evaluates FBF inside "a
+simple deterministic point and threshold based algorithm" over records
+with the paper's seven demographic fields.
+
+This subpackage is that system, built from scratch:
+
+* :mod:`repro.linkage.records` — the record schema (First Name, Last
+  Name, Address, Phone, Gender, SSN, Birth Date), a demographic record
+  generator, and record-level error injection (field edits, missing
+  values, swapped fields).
+* :mod:`repro.linkage.comparators` — per-field comparators: exact,
+  DL/PDL thresholds and their FBF/length-filtered wrappings, Soundex,
+  Jaro-Winkler.
+* :mod:`repro.linkage.scoring` — the deterministic point-and-threshold
+  scorer (the paper's client's method class) and a Fellegi-Sunter
+  probabilistic scorer (the field's standard model, paper ref [2]) as an
+  extension.
+* :mod:`repro.linkage.blocking` — the four traditional blocking methods
+  the paper's introduction discusses (standard blocking, sorted
+  neighbourhood, bigram indexing, canopy clustering with tf-idf), so the
+  "FBF as a wrapper inside a blocked system" configuration is testable.
+* :mod:`repro.linkage.engine` — the end-to-end engine: candidate
+  generation (full product or blocked), field comparison, scoring,
+  classification, and confusion accounting against ground truth.
+"""
+
+from repro.linkage.blocking import (
+    BigramIndexing,
+    BlockingMethod,
+    CanopyClustering,
+    FullProduct,
+    SortedNeighbourhood,
+    StandardBlocking,
+)
+from repro.linkage.comparators import (
+    ExactComparator,
+    FieldComparator,
+    SoundexComparator,
+    StringMatchComparator,
+    WeightedComparator,
+)
+from repro.linkage.em import EMEstimate, collect_patterns, estimate_fs_parameters
+from repro.linkage.engine import LinkageEngine, LinkageResult, default_engine
+from repro.linkage.resolution import EntityResolver, UnionFind, resolve
+from repro.linkage.records import (
+    FIELDS,
+    Record,
+    RecordCorruptor,
+    generate_records,
+)
+from repro.linkage.scoring import (
+    FellegiSunterScorer,
+    PointThresholdScorer,
+    Scorer,
+)
+
+__all__ = [
+    "BigramIndexing",
+    "BlockingMethod",
+    "CanopyClustering",
+    "EMEstimate",
+    "EntityResolver",
+    "ExactComparator",
+    "FIELDS",
+    "FellegiSunterScorer",
+    "FieldComparator",
+    "FullProduct",
+    "LinkageEngine",
+    "LinkageResult",
+    "PointThresholdScorer",
+    "Record",
+    "RecordCorruptor",
+    "Scorer",
+    "SortedNeighbourhood",
+    "SoundexComparator",
+    "StandardBlocking",
+    "StringMatchComparator",
+    "UnionFind",
+    "WeightedComparator",
+    "collect_patterns",
+    "default_engine",
+    "estimate_fs_parameters",
+    "generate_records",
+    "resolve",
+]

@@ -1,0 +1,194 @@
+"""Per-field record comparators.
+
+A field comparator answers "do these two field values agree?" for one
+schema field.  The linkage engine runs one comparator per configured
+field and hands the agreement vector to the scorer.
+
+Comparators follow the same prepared-dataset pattern as
+:class:`repro.core.matchers.PreparedMatcher`: :meth:`prepare` receives
+the two field-value columns once (so FBF signatures and lengths are
+computed per value, not per pair), and :meth:`agrees` tests a pair by
+index.  :class:`StringMatchComparator` accepts *any* method stack name
+from :mod:`repro.core.matchers`, which is how the RL experiment swaps
+DL / PDL / FDL / FPDL / FBF inside an otherwise identical pipeline
+(Table 6's columns).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.filters import FBFFilter
+from repro.core.matchers import PreparedMatcher, build_matcher
+from repro.core.signatures import SignatureScheme
+from repro.distance.soundex import soundex
+from repro.distance.weighted import CostFn, weighted_osa
+
+__all__ = [
+    "FieldComparator",
+    "ExactComparator",
+    "StringMatchComparator",
+    "SoundexComparator",
+    "WeightedComparator",
+]
+
+
+class FieldComparator:
+    """Base class: a named per-field agreement test."""
+
+    def __init__(self, field: str):
+        self.field = field
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        raise NotImplementedError
+
+    def agrees(self, i: int, j: int) -> bool:
+        raise NotImplementedError
+
+
+class ExactComparator(FieldComparator):
+    """Byte-for-byte equality; empty values never agree.
+
+    The paper's client system used exact matching for gender, address
+    and phone.  Interning the column values lets the per-pair test be a
+    pointer comparison in CPython.
+    """
+
+    def __init__(self, field: str, *, casefold: bool = False):
+        super().__init__(field)
+        self.casefold = casefold
+        self._left: list[str] = []
+        self._right: list[str] = []
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        import sys
+
+        fold = (lambda s: s.casefold()) if self.casefold else (lambda s: s)
+        self._left = [sys.intern(fold(v)) for v in left]
+        self._right = [sys.intern(fold(v)) for v in right]
+
+    def agrees(self, i: int, j: int) -> bool:
+        v = self._left[i]
+        return bool(v) and v is self._right[j]
+
+
+class StringMatchComparator(FieldComparator):
+    """Approximate agreement via any core method stack (DL, FPDL, ...).
+
+    This is the integration point the paper proposes: drop FBF-wrapped
+    edit distance into an existing record comparator without changing
+    its decisions.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        method: str = "FPDL",
+        k: int = 1,
+        theta: float = 0.8,
+        scheme: SignatureScheme | str | None = None,
+    ):
+        super().__init__(field)
+        self.method = method
+        self._matcher: PreparedMatcher = build_matcher(
+            method, k=k, theta=theta, scheme=scheme
+        )
+        self._left: Sequence[str] = ()
+        self._right: Sequence[str] = ()
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        self._left = left
+        self._right = right
+        self._matcher.prepare(left, right)
+
+    def agrees(self, i: int, j: int) -> bool:
+        # Empty fields carry no identity evidence (and PDL would reject
+        # them anyway); keep the rule uniform across methods.
+        if not self._left[i] or not self._right[j]:
+            return False
+        return self._matcher.matches(i, j)
+
+    @property
+    def verified_pairs(self) -> int:
+        """Pairs that reached the stack's verifier (diagnostics)."""
+        return self._matcher.verified_pairs
+
+
+class WeightedComparator(FieldComparator):
+    """Approximate agreement under weighted edit distance (extension).
+
+    Agrees when ``weighted_osa(a, b) <= threshold``.  A pair within
+    weighted threshold ``T`` can span up to ``ceil(T / min_cost)`` unit
+    edits (cheap substitutions stretch the budget), so the safe FBF
+    prefilter runs at that unit-edit ``k``; only survivors are priced.
+    ``min_cost`` is read from the cost function's ``min_cost`` attribute
+    (set by :func:`repro.distance.weighted.confusion_cost`) or passed
+    explicitly.
+
+    Example: tolerate one full edit *or* two cheap keyboard slips::
+
+        WeightedComparator("last_name", threshold=1.0,
+                           substitution_cost=keyboard_cost(0.5),
+                           scheme="alpha")
+    """
+
+    def __init__(
+        self,
+        field: str,
+        threshold: float = 1.0,
+        substitution_cost: CostFn | None = None,
+        scheme: SignatureScheme | str | None = None,
+        min_cost: float | None = None,
+    ):
+        super().__init__(field)
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.substitution_cost = substitution_cost
+        if min_cost is None:
+            min_cost = getattr(substitution_cost, "min_cost", 1.0)
+        if not 0.0 < min_cost <= 1.0:
+            raise ValueError(f"min_cost must be in (0, 1], got {min_cost}")
+        import math
+
+        self._filter = FBFFilter(max(0, math.ceil(threshold / min_cost)), scheme)
+        self._left: list[str] = []
+        self._right: list[str] = []
+
+    def prepare(self, left, right) -> None:
+        self._left = list(left)
+        self._right = list(right)
+        self._filter.prepare(self._left, self._right)
+
+    def agrees(self, i: int, j: int) -> bool:
+        a, b = self._left[i], self._right[j]
+        if not a or not b:
+            return False
+        if not self._filter.passes(i, j):
+            return False
+        return (
+            weighted_osa(a, b, substitution_cost=self.substitution_cost)
+            <= self.threshold
+        )
+
+
+class SoundexComparator(FieldComparator):
+    """Phonetic agreement: equal Soundex codes.
+
+    The method the paper's client used for names before DL; Tables 7-8
+    quantify how much accuracy it costs.  Codes are computed once per
+    value at prepare time.
+    """
+
+    def __init__(self, field: str):
+        super().__init__(field)
+        self._left_codes: list[str] = []
+        self._right_codes: list[str] = []
+
+    def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
+        self._left_codes = [soundex(v) for v in left]
+        self._right_codes = [soundex(v) for v in right]
+
+    def agrees(self, i: int, j: int) -> bool:
+        c = self._left_codes[i]
+        return bool(c) and c == self._right_codes[j]

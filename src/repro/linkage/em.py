@@ -1,0 +1,162 @@
+"""EM estimation of Fellegi-Sunter m/u parameters (extension).
+
+The probabilistic scorer (paper ref [2]) needs per-field
+m-probabilities (agreement given a true match) and u-probabilities
+(agreement given a non-match).  In practice these are estimated from
+unlabelled comparison data with the classic two-class EM of Winkler:
+
+* E-step — for each observed agreement *pattern*, the posterior
+  probability it came from the match class;
+* M-step — re-estimate ``p`` (match prevalence) and each field's m/u
+  from the pattern posteriors, assuming conditional independence of
+  fields given the class.
+
+Patterns are aggregated (there are at most 2^#fields of them), so one
+iteration costs O(patterns * fields) regardless of how many record
+pairs were sampled.
+
+Typical use::
+
+    patterns = collect_patterns(engine_comparators, left, right, pairs)
+    est = estimate_fs_parameters(patterns)
+    scorer = est.to_scorer(upper=..., lower=...)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.linkage.comparators import FieldComparator
+from repro.linkage.scoring import FellegiSunterScorer
+
+__all__ = ["EMEstimate", "estimate_fs_parameters", "collect_patterns"]
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class EMEstimate:
+    """Converged EM parameters."""
+
+    fields: tuple[str, ...]
+    m_probs: Mapping[str, float]
+    u_probs: Mapping[str, float]
+    #: estimated prior probability that a random pair is a match
+    match_prevalence: float
+    iterations: int
+    log_likelihood: float
+
+    def to_scorer(self, upper: float = 10.0, lower: float = 0.0) -> FellegiSunterScorer:
+        """A scorer configured with the estimated parameters.
+
+        Fields whose estimated m does not exceed u carry no evidence and
+        are dropped (FellegiSunterScorer requires m > u).
+        """
+        keep = [f for f in self.fields if self.m_probs[f] > self.u_probs[f]]
+        if not keep:
+            raise ValueError("no field has m > u; estimation degenerated")
+        return FellegiSunterScorer(
+            m_probs={f: self.m_probs[f] for f in keep},
+            u_probs={f: self.u_probs[f] for f in keep},
+            upper=upper,
+            lower=lower,
+        )
+
+
+def collect_patterns(
+    comparators: Sequence[FieldComparator],
+    left: Sequence[object],
+    right: Sequence[object],
+    pairs: Iterable[tuple[int, int]],
+) -> Counter:
+    """Aggregate agreement patterns over candidate pairs.
+
+    ``left``/``right`` are records; each comparator is prepared on its
+    field column and evaluated per pair.  Returns a Counter mapping
+    agreement tuples (ordered like ``comparators``) to pair counts.
+    """
+    for c in comparators:
+        c.prepare([r[c.field] for r in left], [r[c.field] for r in right])
+    patterns: Counter = Counter()
+    for i, j in pairs:
+        patterns[tuple(c.agrees(i, j) for c in comparators)] += 1
+    return patterns
+
+
+def estimate_fs_parameters(
+    patterns: Mapping[tuple[bool, ...], int],
+    fields: Sequence[str] | None = None,
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+    initial_prevalence: float = 0.01,
+    initial_m: float = 0.9,
+    initial_u: float = 0.1,
+) -> EMEstimate:
+    """Two-class EM over aggregated agreement patterns.
+
+    ``patterns`` maps each boolean agreement tuple to its observed
+    count; ``fields`` names the tuple positions (defaults to
+    ``f0..fN``).  Converges when the total log-likelihood improves by
+    less than ``tolerance``.
+    """
+    if not patterns:
+        raise ValueError("patterns must be non-empty")
+    n_fields = len(next(iter(patterns)))
+    if n_fields == 0:
+        raise ValueError("patterns must cover at least one field")
+    if any(len(p) != n_fields for p in patterns):
+        raise ValueError("all patterns must have the same arity")
+    field_names = tuple(fields) if fields else tuple(f"f{i}" for i in range(n_fields))
+    if len(field_names) != n_fields:
+        raise ValueError(
+            f"{len(field_names)} field names for {n_fields}-ary patterns"
+        )
+    total = sum(patterns.values())
+    import math
+
+    p = min(max(initial_prevalence, _EPS), 1 - _EPS)
+    m = [initial_m] * n_fields
+    u = [initial_u] * n_fields
+    prev_ll = -math.inf
+    iterations = 0
+    ll = prev_ll
+    for iterations in range(1, max_iterations + 1):
+        # E-step: posterior match probability per pattern.
+        weights: dict[tuple[bool, ...], float] = {}
+        ll = 0.0
+        for pattern, count in patterns.items():
+            pm = p
+            pu = 1.0 - p
+            for idx, agrees in enumerate(pattern):
+                pm *= m[idx] if agrees else (1.0 - m[idx])
+                pu *= u[idx] if agrees else (1.0 - u[idx])
+            denom = pm + pu
+            weights[pattern] = pm / denom if denom > 0 else 0.0
+            ll += count * math.log(max(denom, 1e-300))
+        # M-step.
+        match_mass = sum(weights[pt] * c for pt, c in patterns.items())
+        unmatch_mass = total - match_mass
+        p = min(max(match_mass / total, _EPS), 1 - _EPS)
+        for idx in range(n_fields):
+            agree_m = sum(
+                weights[pt] * c for pt, c in patterns.items() if pt[idx]
+            )
+            agree_u = sum(
+                (1.0 - weights[pt]) * c for pt, c in patterns.items() if pt[idx]
+            )
+            m[idx] = min(max(agree_m / max(match_mass, _EPS), _EPS), 1 - _EPS)
+            u[idx] = min(max(agree_u / max(unmatch_mass, _EPS), _EPS), 1 - _EPS)
+        if abs(ll - prev_ll) < tolerance:
+            break
+        prev_ll = ll
+    return EMEstimate(
+        fields=field_names,
+        m_probs=dict(zip(field_names, m)),
+        u_probs=dict(zip(field_names, u)),
+        match_prevalence=p,
+        iterations=iterations,
+        log_likelihood=ll,
+    )

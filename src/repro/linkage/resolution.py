@@ -1,0 +1,205 @@
+"""Entity resolution: from pairwise matches to identity clusters.
+
+The paper's conclusion states the project goal: "implement a distributed
+in-memory data graph to process demographic data and resolve entities
+within the data".  This module is that resolution layer: pairwise match
+decisions (from the string join or the record-linkage engine) become an
+undirected match graph whose connected components are the resolved
+entities.
+
+* :class:`UnionFind` — path-halving union-find with union by size.
+* :func:`resolve` — one-shot clustering of a match-pair list.
+* :class:`EntityResolver` — the *incremental* variant for the paper's
+  nightly-update scenario: new records are matched only against the
+  existing population (via an :class:`repro.core.index.FBFIndex` per
+  field) and merged into the running clusters — no full re-join.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.index import FBFIndex
+from repro.linkage.records import Record
+from repro.linkage.scoring import Decision, PointThresholdScorer, Scorer
+
+__all__ = ["UnionFind", "resolve", "EntityResolver", "resolve_sources"]
+
+
+class UnionFind:
+    """Disjoint sets over a growable range of integer ids."""
+
+    def __init__(self, n: int = 0):
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def add(self) -> int:
+        """Create a fresh singleton; returns its id."""
+        sid = len(self._parent)
+        self._parent.append(sid)
+        self._size.append(1)
+        return sid
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> list[list[int]]:
+        """All sets, each sorted, ordered by smallest member."""
+        groups: dict[int, list[int]] = defaultdict(list)
+        for x in range(len(self._parent)):
+            groups[self.find(x)].append(x)
+        return sorted(groups.values(), key=lambda g: g[0])
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def resolve(n: int, matches: Iterable[tuple[int, int]]) -> list[list[int]]:
+    """Connected components of ``n`` items under the given match pairs.
+
+    >>> resolve(4, [(0, 2), (2, 3)])
+    [[0, 2, 3], [1]]
+    """
+    uf = UnionFind(n)
+    for a, b in matches:
+        uf.union(a, b)
+    return uf.components()
+
+
+class EntityResolver:
+    """Incremental identity resolution over demographic records.
+
+    Each configured field gets an FBF index; an incoming record is
+    matched against *candidates* that share at least one field within
+    ``k`` edits (the safe-filter analogue of multi-key blocking), the
+    scorer decides true matches, and union-find maintains the entity
+    clusters.  Adding a record is therefore sub-linear in the
+    population instead of one full O(n) comparison pass — the property
+    the paper's daily-update requirement needs.
+    """
+
+    #: fields indexed for candidate generation, with signature kinds
+    DEFAULT_INDEX_FIELDS: Mapping[str, str] = {
+        "last_name": "alpha",
+        "ssn": "numeric",
+        "phone": "numeric",
+        "birthdate": "numeric",
+    }
+
+    def __init__(
+        self,
+        scorer: Scorer | None = None,
+        *,
+        k: int = 1,
+        index_fields: Mapping[str, str] | None = None,
+    ):
+        self.scorer = scorer or PointThresholdScorer()
+        self.k = k
+        self.index_fields = dict(index_fields or self.DEFAULT_INDEX_FIELDS)
+        self._records: list[Record] = []
+        self._uf = UnionFind()
+        self._indexes: dict[str, FBFIndex] = {
+            field: FBFIndex(scheme=kind)
+            for field, kind in self.index_fields.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: Record) -> int:
+        """Ingest one record; returns its entity root after merging."""
+        rid = len(self._records)
+        candidates: set[int] = set()
+        for field, index in self._indexes.items():
+            value = record[field]
+            if value:
+                candidates.update(index.search(value, self.k))
+        self._records.append(record)
+        self._uf.add()
+        for cid in candidates:
+            if self._matches(record, self._records[cid]):
+                self._uf.union(rid, cid)
+        for field, index in self._indexes.items():
+            index.add(record[field])
+        return self._uf.find(rid)
+
+    def add_all(self, records: Sequence[Record]) -> None:
+        for r in records:
+            self.add(r)
+
+    def _matches(self, a: Record, b: Record) -> bool:
+        from repro.distance.pruned import pdl
+
+        agreements = {}
+        for field in self.scorer.fields:
+            va, vb = a[field], b[field]
+            if not va or not vb:
+                agreements[field] = False
+            elif va == vb:
+                agreements[field] = True
+            else:
+                agreements[field] = pdl(va, vb, self.k)
+        return self.scorer.classify(agreements) == Decision.MATCH
+
+    def entity_of(self, rid: int) -> int:
+        """Current entity root of record ``rid``."""
+        return self._uf.find(rid)
+
+    def entities(self) -> list[list[int]]:
+        """All entity clusters (record-id lists)."""
+        return self._uf.components()
+
+    def entity_count(self) -> int:
+        return len(self.entities())
+
+
+def resolve_sources(
+    sources: Mapping[str, Sequence[Record]],
+    *,
+    resolver: EntityResolver | None = None,
+) -> dict[int, list[tuple[str, int]]]:
+    """Cross-database identity resolution — the paper's motivating task.
+
+    The department "needs to match client records across 11 independent
+    health and social sciences databases without a reliable unique
+    identifier".  This helper streams every source through one
+    incremental :class:`EntityResolver` and returns the global entity
+    map: entity root -> list of ``(source_name, row_index)`` —
+    the "which rows, in which databases, are the same person" answer.
+
+    >>> # doctest-level sketch; see tests for real data
+    >>> from repro.linkage.records import Record  # doctest: +SKIP
+    """
+    # Explicit None test: an empty EntityResolver is falsy (len 0), and
+    # `resolver or ...` would silently discard a caller-provided one.
+    if resolver is None:
+        resolver = EntityResolver()
+    provenance: list[tuple[str, int]] = []
+    for name, records in sources.items():
+        for row, record in enumerate(records):
+            resolver.add(record)
+            provenance.append((name, row))
+    entities: dict[int, list[tuple[str, int]]] = {}
+    for rid, origin in enumerate(provenance):
+        root = resolver.entity_of(rid)
+        entities.setdefault(root, []).append(origin)
+    return entities

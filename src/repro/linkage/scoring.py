@@ -1,0 +1,171 @@
+"""Match scoring: deterministic point-and-threshold and Fellegi-Sunter.
+
+The paper's RL experiment (Table 6) uses "a simple deterministic point
+and threshold based algorithm": each agreeing field contributes its
+configured points, and a record pair whose total reaches the threshold
+is a match.  :class:`PointThresholdScorer` is that model.
+
+:class:`FellegiSunterScorer` is the probabilistic standard the paper
+cites as [2]: each field carries an *m*-probability (agreement given a
+true match) and a *u*-probability (agreement given a non-match); field
+agreement adds ``log2(m/u)`` and disagreement adds
+``log2((1-m)/(1-u))``, with upper/lower thresholds splitting pairs into
+match / possible / non-match.  It is included as the extension that a
+production linkage system would run on top of the same comparators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Scorer", "PointThresholdScorer", "FellegiSunterScorer", "Decision"]
+
+
+class Decision:
+    """Classification outcomes (string constants, not an enum, so scorer
+    output drops straight into result tables)."""
+
+    MATCH = "match"
+    POSSIBLE = "possible"
+    NON_MATCH = "non_match"
+
+
+class Scorer:
+    """Base class: agreement vector -> decision."""
+
+    #: fields this scorer consumes, in evaluation order
+    fields: tuple[str, ...] = ()
+
+    def score(self, agreements: Mapping[str, bool]) -> float:
+        raise NotImplementedError
+
+    def classify(self, agreements: Mapping[str, bool]) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class PointThresholdScorer(Scorer):
+    """Deterministic scorer: sum of per-field points vs a threshold.
+
+    The default configuration mirrors the relative evidential value of
+    the paper's fields: SSN is the strongest quasi-identifier, names and
+    birthdate carry most of the remaining signal, gender is nearly
+    worthless alone.
+    """
+
+    points: Mapping[str, float] = None  # type: ignore[assignment]
+    threshold: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.points is None:
+            self.points = dict(DEFAULT_POINTS)
+        if not self.points:
+            raise ValueError("points must configure at least one field")
+        self.fields = tuple(self.points)
+
+    def score(self, agreements: Mapping[str, bool]) -> float:
+        return sum(p for f, p in self.points.items() if agreements.get(f))
+
+    def classify(self, agreements: Mapping[str, bool]) -> str:
+        return (
+            Decision.MATCH
+            if self.score(agreements) >= self.threshold
+            else Decision.NON_MATCH
+        )
+
+
+#: Default per-field points: SSN is the strongest quasi-identifier,
+#: names and birthdate carry most of the rest, gender is nearly
+#: worthless alone.  Threshold 10 requires SSN plus substantial
+#: corroboration, or most of the non-SSN fields agreeing.
+DEFAULT_POINTS: Mapping[str, float] = {
+    "first_name": 2.0,
+    "last_name": 3.0,
+    "address": 2.0,
+    "phone": 2.0,
+    "gender": 0.5,
+    "ssn": 5.0,
+    "birthdate": 3.0,
+}
+
+
+@dataclass
+class FellegiSunterScorer(Scorer):
+    """Probabilistic scorer with per-field m/u probabilities.
+
+    ``upper`` and ``lower`` are the log2-weight thresholds: at or above
+    ``upper`` is a match, below ``lower`` a non-match, in between a
+    possible match for clerical review.
+    """
+
+    m_probs: Mapping[str, float] = None  # type: ignore[assignment]
+    u_probs: Mapping[str, float] = None  # type: ignore[assignment]
+    upper: float = 10.0
+    lower: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.m_probs is None:
+            self.m_probs = dict(DEFAULT_M_PROBS)
+        if self.u_probs is None:
+            self.u_probs = dict(DEFAULT_U_PROBS)
+        if set(self.m_probs) != set(self.u_probs):
+            raise ValueError("m_probs and u_probs must cover the same fields")
+        if self.lower > self.upper:
+            raise ValueError(f"lower ({self.lower}) exceeds upper ({self.upper})")
+        for f in self.m_probs:
+            m, u = self.m_probs[f], self.u_probs[f]
+            if not (0.0 < m < 1.0 and 0.0 < u < 1.0):
+                raise ValueError(f"field {f}: m and u must lie strictly in (0, 1)")
+            if m <= u:
+                raise ValueError(
+                    f"field {f}: m ({m}) must exceed u ({u}) for agreement "
+                    "to be evidence of a match"
+                )
+        self.fields = tuple(self.m_probs)
+        self._agree_w = {
+            f: math.log2(self.m_probs[f] / self.u_probs[f]) for f in self.fields
+        }
+        self._disagree_w = {
+            f: math.log2((1 - self.m_probs[f]) / (1 - self.u_probs[f]))
+            for f in self.fields
+        }
+
+    def score(self, agreements: Mapping[str, bool]) -> float:
+        total = 0.0
+        for f in self.fields:
+            total += self._agree_w[f] if agreements.get(f) else self._disagree_w[f]
+        return total
+
+    def classify(self, agreements: Mapping[str, bool]) -> str:
+        w = self.score(agreements)
+        if w >= self.upper:
+            return Decision.MATCH
+        if w < self.lower:
+            return Decision.NON_MATCH
+        return Decision.POSSIBLE
+
+
+# Plausible defaults for demographic data: high m everywhere (a true
+# match rarely disagrees after single-edit-tolerant comparison); u set
+# by field cardinality (gender agrees by chance half the time, SSN
+# almost never).
+DEFAULT_M_PROBS: Mapping[str, float] = {
+    "first_name": 0.95,
+    "last_name": 0.95,
+    "address": 0.90,
+    "phone": 0.90,
+    "gender": 0.98,
+    "ssn": 0.95,
+    "birthdate": 0.95,
+}
+DEFAULT_U_PROBS: Mapping[str, float] = {
+    "first_name": 0.005,
+    "last_name": 0.002,
+    "address": 0.001,
+    "phone": 0.0001,
+    "gender": 0.5,
+    "ssn": 0.00005,
+    "birthdate": 0.0002,
+}

@@ -1,0 +1,31 @@
+"""Scaled join drivers (the HPC layer).
+
+The paper's experiments are quadratic joins — 25 million pairs per table
+at paper scale — so the harness needs engines faster than one Python
+call per pair:
+
+* :mod:`repro.parallel.partition` — pair-space partitioning: rectangular
+  blocking of the ``n_left x n_right`` product into cache-sized chunks,
+  and balanced work splits for multi-process runs.
+* :mod:`repro.parallel.chunked` — the vectorized join: every method
+  stack of the evaluation implemented over NumPy pair chunks
+  (:mod:`repro.distance.vectorized` + :mod:`repro.core.vectorized`).
+  One process, no per-pair Python.
+* :mod:`repro.parallel.pool` — a multiprocessing driver that partitions
+  the pair space across worker processes, for the scalar matchers
+  (reference engine at scale) and as the distributed-RL skeleton the
+  paper's conclusion sketches.
+"""
+
+from repro.parallel.chunked import ChunkedJoin, VJoinResult
+from repro.parallel.partition import balanced_splits, iter_pair_blocks, row_blocks
+from repro.parallel.pool import parallel_match_strings
+
+__all__ = [
+    "ChunkedJoin",
+    "VJoinResult",
+    "balanced_splits",
+    "iter_pair_blocks",
+    "parallel_match_strings",
+    "row_blocks",
+]

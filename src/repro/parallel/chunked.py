@@ -1,0 +1,380 @@
+"""The vectorized similarity join: every method stack over NumPy chunks.
+
+:class:`ChunkedJoin` is the scaled twin of
+:func:`repro.core.join.match_strings`: same methods, same decisions
+(pinned by the equivalence tests), but the pair loop runs as NumPy
+operations over bounded chunks instead of per-pair Python.  This is the
+engine the runtime-curve experiments (paper Figures 7 and 9) use, since
+their products reach hundreds of millions of pairs.
+
+Timing fidelity note (DESIGN.md): *all* methods run in the same
+vectorized paradigm here, so relative timings — the paper's speedup
+columns — compare like with like, exactly as the paper's all-C
+implementations did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.signatures import detect_kind, scheme_for
+from repro.core.vectorized import fbf_candidates, signatures_for_scheme
+from repro.distance.codec import encode_raw
+from repro.distance.soundex import soundex
+from repro.distance.vectorized import (
+    hamming_pairs,
+    jaro_pairs,
+    jaro_winkler_pairs,
+    osa_pairs,
+    osa_within_k_pairs,
+)
+from repro.parallel.partition import iter_pair_blocks
+
+__all__ = ["ChunkedJoin", "VJoinResult"]
+
+
+def _group_by_value(values: np.ndarray) -> dict[int, np.ndarray]:
+    """Map each distinct value to the (sorted) indices holding it."""
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    groups: dict[int, np.ndarray] = {}
+    if len(order) == 0:
+        return groups
+    boundaries = np.nonzero(np.diff(sorted_vals))[0] + 1
+    for part in np.split(order, boundaries):
+        groups[int(values[part[0]])] = part
+    return groups
+
+
+@dataclass
+class VJoinResult:
+    """Outcome of one vectorized join (mirrors
+    :class:`repro.core.join.JoinResult`)."""
+
+    method: str
+    n_left: int
+    n_right: int
+    match_count: int = 0
+    diagonal_matches: int = 0
+    #: pairs that reached the verifier (0 for unfiltered/filter-only)
+    verified_pairs: int = 0
+    matches: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def pairs_compared(self) -> int:
+        return self.n_left * self.n_right
+
+    @property
+    def off_diagonal_matches(self) -> int:
+        return self.match_count - self.diagonal_matches
+
+
+class ChunkedJoin:
+    """A prepared vectorized join over two string datasets.
+
+    Encoding, lengths, FBF signatures and Soundex codes are computed
+    once at construction (the paper's "Gen" cost); :meth:`run` then
+    executes any method stack by name.
+
+    Parameters
+    ----------
+    left, right:
+        The datasets.
+    k, theta:
+        Edit threshold and Jaro/Wink similarity floor.
+    scheme_kind:
+        FBF signature kind (``"numeric"`` / ``"alpha"`` / ``"alnum"``),
+        auto-detected when omitted.  Alpha/alnum default to the paper's
+        2-occurrence configuration.
+    chunk:
+        Maximum pairs per NumPy chunk for the dynamic programs, whose
+        per-pair state is hundreds of bytes (three rolling DP rows);
+        the default keeps the working set cache-resident — the
+        chunk-size ablation shows a 2-2.5x DL penalty for chunks that
+        spill to memory.
+    filter_chunk:
+        Maximum pairs per chunk for the cheap sweeps (signature
+        XOR+popcount, length masks, Hamming, Soundex), whose per-pair
+        state is a few bytes; large chunks amortize the per-chunk
+        Python overhead these are dominated by.
+    """
+
+    def __init__(
+        self,
+        left: list[str],
+        right: list[str],
+        *,
+        k: int = 1,
+        theta: float = 0.8,
+        scheme_kind: str | None = None,
+        levels: int = 2,
+        chunk: int = 1 << 12,
+        filter_chunk: int = 1 << 20,
+        variant: str = "paper",
+        record_matches: bool = False,
+    ):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.left = left
+        self.right = right
+        self.k = k
+        self.theta = theta
+        self.chunk = chunk
+        self.filter_chunk = max(chunk, filter_chunk)
+        self.variant = variant
+        self.record_matches = record_matches
+        self.codes_l, self.len_l = encode_raw(left)
+        self.codes_r, self.len_r = encode_raw(right)
+        kind = scheme_kind or detect_kind(list(left[:128]) + list(right[:128]))
+        self.scheme = scheme_for(kind, levels)
+        self.sigs_l = signatures_for_scheme(left, self.scheme)
+        self.sigs_r = signatures_for_scheme(right, self.scheme)
+        if self.sigs_l.ndim == 1:
+            self.sigs_l = self.sigs_l[:, None]
+        if self.sigs_r.ndim == 1:
+            self.sigs_r = self.sigs_r[:, None]
+        self.fbf_bound = self.scheme.safe_threshold(k)
+        self._sdx_l: np.ndarray | None = None
+        self._sdx_r: np.ndarray | None = None
+        self._len_groups_l: dict[int, np.ndarray] | None = None
+        self._len_groups_r: dict[int, np.ndarray] | None = None
+
+    # -- method dispatch ---------------------------------------------------
+
+    def run(self, method: str) -> VJoinResult:
+        """Execute one method stack by its paper name."""
+        handler = getattr(self, f"_run_{method.lower()}", None)
+        if handler is None:
+            raise ValueError(f"unknown method {method!r}")
+        return handler()
+
+    # -- verifiers ----------------------------------------------------------
+
+    def _verify_dl(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        return (
+            osa_pairs(self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj)
+            <= self.k
+        )
+
+    def _verify_pdl(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        return osa_within_k_pairs(
+            self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj, self.k
+        )
+
+    # -- full-product predicate runner ---------------------------------------
+
+    def _full_product(
+        self,
+        method: str,
+        predicate: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        *,
+        chunk: int | None = None,
+    ) -> VJoinResult:
+        result = VJoinResult(method, len(self.left), len(self.right))
+        chunk = chunk or self.chunk
+        for ii, jj in iter_pair_blocks(len(self.left), len(self.right), chunk):
+            hits = predicate(ii, jj)
+            result.match_count += int(hits.sum())
+            result.diagonal_matches += int((hits & (ii == jj)).sum())
+            if self.record_matches:
+                result.matches.extend(
+                    zip(ii[hits].tolist(), jj[hits].tolist())
+                )
+        return result
+
+    # -- filtered runner ------------------------------------------------------
+
+    def _filtered(
+        self,
+        method: str,
+        candidates: tuple[np.ndarray, np.ndarray],
+        verifier: Callable[[np.ndarray, np.ndarray], np.ndarray] | None,
+    ) -> VJoinResult:
+        ii, jj = candidates
+        result = VJoinResult(method, len(self.left), len(self.right))
+        if verifier is None:
+            result.match_count = len(ii)
+            result.diagonal_matches = int((ii == jj).sum())
+            if self.record_matches:
+                result.matches.extend(zip(ii.tolist(), jj.tolist()))
+            return result
+        result.verified_pairs = len(ii)
+        for c0 in range(0, len(ii), self.chunk):
+            bi = ii[c0 : c0 + self.chunk]
+            bj = jj[c0 : c0 + self.chunk]
+            hits = verifier(bi, bj)
+            result.match_count += int(hits.sum())
+            result.diagonal_matches += int((hits & (bi == bj)).sum())
+            if self.record_matches:
+                result.matches.extend(zip(bi[hits].tolist(), bj[hits].tolist()))
+        return result
+
+    # -- candidate generators --------------------------------------------------
+
+    def _fbf_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        chunk_rows = max(1, self.filter_chunk // max(1, len(self.right)))
+        return fbf_candidates(
+            self.sigs_l, self.sigs_r, self.fbf_bound, chunk_rows=chunk_rows
+        )
+
+    def _length_group_blocks(self):
+        """Yield ``(left_idx, right_idx)`` index blocks covering exactly
+        the length-filter-passing pairs.
+
+        This is the vectorized analogue of the paper's length-first
+        short-circuit: per-pair branching does not vectorize, but
+        grouping each side by string length lets whole incompatible
+        group products be *skipped* before any dense work.  Demographic
+        strings have at most a few dozen distinct lengths, so the block
+        count stays tiny.
+        """
+        if self._len_groups_l is None:
+            self._len_groups_l = _group_by_value(self.len_l)
+            self._len_groups_r = _group_by_value(self.len_r)
+        for lv, left_idx in self._len_groups_l.items():
+            right_parts = [
+                idx
+                for rv, idx in self._len_groups_r.items()
+                if abs(lv - rv) <= self.k
+            ]
+            if right_parts:
+                yield left_idx, np.concatenate(right_parts)
+
+    def _length_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        parts_i: list[np.ndarray] = []
+        parts_j: list[np.ndarray] = []
+        for left_idx, right_idx in self._length_group_blocks():
+            ii = np.repeat(left_idx, len(right_idx))
+            jj = np.tile(right_idx, len(left_idx))
+            parts_i.append(ii)
+            parts_j.append(jj)
+        if not parts_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(parts_i), np.concatenate(parts_j)
+
+    def _length_then_fbf_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """FBF restricted to length-compatible group blocks.
+
+        The dense XOR+popcount sweep runs only over the surviving
+        blocks (~half the product for census-name length distributions),
+        which is where the paper's Section 6 "combination beats FBF
+        alone" result comes from.
+        """
+        keep_i: list[np.ndarray] = []
+        keep_j: list[np.ndarray] = []
+        for left_idx, right_idx in self._length_group_blocks():
+            chunk_rows = max(1, self.filter_chunk // max(1, len(right_idx)))
+            bi, bj = fbf_candidates(
+                self.sigs_l[left_idx],
+                self.sigs_r[right_idx],
+                self.fbf_bound,
+                chunk_rows=chunk_rows,
+            )
+            keep_i.append(left_idx[bi])
+            keep_j.append(right_idx[bj])
+        if not keep_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(keep_i), np.concatenate(keep_j)
+
+    # -- soundex -----------------------------------------------------------------
+
+    def _sdx_codes(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._sdx_l is None:
+            table: dict[str, int] = {"": 0}  # empty code: id 0, never matches
+
+            def encode(values: list[str]) -> np.ndarray:
+                out = np.empty(len(values), dtype=np.int64)
+                for idx, v in enumerate(values):
+                    code = soundex(v)
+                    out[idx] = table.setdefault(code, len(table))
+                return out
+
+            self._sdx_l = encode(self.left)
+            self._sdx_r = encode(self.right)
+        return self._sdx_l, self._sdx_r
+
+    # -- the 15 methods -------------------------------------------------------------
+
+    def _run_dl(self) -> VJoinResult:
+        return self._full_product("DL", self._verify_dl)
+
+    def _run_pdl(self) -> VJoinResult:
+        return self._full_product("PDL", self._verify_pdl)
+
+    def _run_ham(self) -> VJoinResult:
+        # Per-pair state is a couple of bytes: the big filter chunk wins.
+        return self._full_product(
+            "Ham",
+            lambda ii, jj: hamming_pairs(
+                self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj
+            )
+            <= self.k,
+            chunk=self.filter_chunk,
+        )
+
+    def _run_jaro(self) -> VJoinResult:
+        # Jaro's per-pair state (match flags + rank buffers) sits
+        # between the DP rows and the byte sweeps; 2x the DP chunk is
+        # its measured sweet spot.
+        return self._full_product(
+            "Jaro",
+            lambda ii, jj: jaro_pairs(
+                self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj,
+                self.variant,
+            )
+            >= self.theta,
+            chunk=self.chunk * 2,
+        )
+
+    def _run_wink(self) -> VJoinResult:
+        return self._full_product(
+            "Wink",
+            lambda ii, jj: jaro_winkler_pairs(
+                self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj,
+                0.1, self.variant,
+            )
+            >= self.theta,
+            chunk=self.chunk * 2,
+        )
+
+    def _run_sdx(self) -> VJoinResult:
+        sl, sr = self._sdx_codes()
+        return self._full_product(
+            "SDX",
+            lambda ii, jj: (sl[ii] == sr[jj]) & (sl[ii] != 0),
+            chunk=self.filter_chunk,
+        )
+
+    def _run_fbf(self) -> VJoinResult:
+        return self._filtered("FBF", self._fbf_pairs(), None)
+
+    def _run_fdl(self) -> VJoinResult:
+        return self._filtered("FDL", self._fbf_pairs(), self._verify_dl)
+
+    def _run_fpdl(self) -> VJoinResult:
+        return self._filtered("FPDL", self._fbf_pairs(), self._verify_pdl)
+
+    def _run_lf(self) -> VJoinResult:
+        return self._filtered("LF", self._length_pairs(), None)
+
+    def _run_ldl(self) -> VJoinResult:
+        return self._filtered("LDL", self._length_pairs(), self._verify_dl)
+
+    def _run_lpdl(self) -> VJoinResult:
+        return self._filtered("LPDL", self._length_pairs(), self._verify_pdl)
+
+    def _run_lfbf(self) -> VJoinResult:
+        return self._filtered("LFBF", self._length_then_fbf_pairs(), None)
+
+    def _run_lfdl(self) -> VJoinResult:
+        return self._filtered("LFDL", self._length_then_fbf_pairs(), self._verify_dl)
+
+    def _run_lfpdl(self) -> VJoinResult:
+        return self._filtered(
+            "LFPDL", self._length_then_fbf_pairs(), self._verify_pdl
+        )

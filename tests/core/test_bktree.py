@@ -1,0 +1,94 @@
+"""Unit and property tests for the BK-tree baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bktree import BKTree
+from repro.distance.damerau import true_damerau_levenshtein
+from repro.distance.levenshtein import levenshtein
+
+pool = st.lists(
+    st.text(alphabet="ABC1", min_size=1, max_size=8), min_size=1, max_size=18
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = BKTree()
+        assert len(tree) == 0
+        assert tree.search("X", 3) == []
+
+    def test_ids_in_order(self):
+        tree = BKTree()
+        assert tree.add("AB") == 0
+        assert tree.add("CD") == 1
+        assert tree[0] == "AB"
+
+    def test_duplicates_share_node(self):
+        tree = BKTree(["AA", "AA", "AB"])
+        assert tree.search("AA", 0) == [0, 1]
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            BKTree(metric="osa")
+
+    def test_custom_metric_callable(self):
+        tree = BKTree(["AB"], metric=levenshtein)
+        assert tree.metric_name == "levenshtein"
+        assert tree.search("AB", 0) == [0]
+
+
+class TestSearch:
+    def test_levenshtein_semantics(self):
+        tree = BKTree(["SMITH", "SMIHT"])
+        # A transposition costs 2 under plain Levenshtein.
+        assert tree.search("SMITH", 1) == [0]
+        assert tree.search("SMITH", 2) == [0, 1]
+
+    def test_true_damerau_semantics(self):
+        tree = BKTree(["SMITH", "SMIHT"], metric="true-damerau")
+        assert tree.search("SMITH", 1) == [0, 1]
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            BKTree(["A"]).search("A", -1)
+
+    def test_search_strings(self):
+        tree = BKTree(["AB", "AC"])
+        assert tree.search_strings("AB", 1) == ["AB", "AC"]
+
+    def test_pruning_visits_fewer_nodes(self):
+        rng = random.Random(0)
+        strings = ["".join(rng.choice("ABCDEFGH") for _ in range(8)) for _ in range(400)]
+        tree = BKTree(strings)
+        tree.search(strings[0], 1)
+        assert tree.last_nodes_visited < len(strings)
+
+    @settings(max_examples=40)
+    @given(pool, st.integers(0, 3), st.integers(0, 10**9))
+    def test_exact_vs_brute_force_levenshtein(self, strings, k, seed):
+        rng = random.Random(seed)
+        query = rng.choice(strings)
+        tree = BKTree(strings)
+        got = tree.search(query, k)
+        want = sorted(
+            i for i, s in enumerate(strings) if levenshtein(query, s) <= k
+        )
+        assert got == want
+
+    @settings(max_examples=25)
+    @given(pool, st.integers(0, 2), st.integers(0, 10**9))
+    def test_exact_vs_brute_force_true_damerau(self, strings, k, seed):
+        rng = random.Random(seed)
+        query = rng.choice(strings)
+        tree = BKTree(strings, metric="true-damerau")
+        got = tree.search(query, k)
+        want = sorted(
+            i
+            for i, s in enumerate(strings)
+            if true_damerau_levenshtein(query, s) <= k
+        )
+        assert got == want

@@ -1,0 +1,120 @@
+"""Unit tests for the pair filters and the filter chain."""
+
+import pytest
+
+from repro.core.filters import FBFFilter, FilterChain, FilterStats, LengthFilter
+from repro.core.signatures import scheme_for
+
+
+class TestFBFFilter:
+    def test_passes_identical(self):
+        f = FBFFilter(1, "numeric")
+        f.prepare(["123456789"], ["123456789"])
+        assert f.passes(0, 0)
+
+    def test_rejects_distant(self):
+        f = FBFFilter(1, "numeric")
+        f.prepare(["111111111"], ["999999999"])
+        assert not f.passes(0, 0)
+
+    def test_bound_is_2k(self):
+        # "12346" vs "12345" differ by one substitution: diff bits = 2.
+        f1 = FBFFilter(1, "numeric")
+        f1.prepare(["12346"], ["12345"])
+        assert f1.passes(0, 0)
+        f0 = FBFFilter(0, "numeric")
+        f0.prepare(["12346"], ["12345"])
+        assert not f0.passes(0, 0)
+
+    def test_scheme_autodetect(self):
+        f = FBFFilter(1)
+        f.prepare(["123"], ["456"])
+        assert f.scheme.name == "numeric"
+        f2 = FBFFilter(1)
+        f2.prepare(["ABC"], ["DEF"])
+        assert f2.scheme.name.startswith("alpha")
+
+    def test_scheme_by_string(self):
+        f = FBFFilter(1, "alnum")
+        f.prepare(["1A"], ["1B"])
+        assert f.scheme.width == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FBFFilter(-1, "numeric")
+
+    def test_extended_scheme_uses_slack(self):
+        scheme = scheme_for("alpha", 1, extended=True)
+        f = FBFFilter(0, scheme)
+        # "AAB" vs "ABA": same multiset, but only AAB has a doubled
+        # letter -> 1 differing indicator bit, within slack for k=0.
+        f.prepare(["AAB"], ["ABA"])
+        assert f.passes(0, 0)
+
+
+class TestLengthFilter:
+    def test_paper_examples(self):
+        # "Joe"/"Jose" and "Jose"/"Josef" pass k=1; "Joe"/"Josef" fails.
+        f = LengthFilter(1)
+        f.prepare(["Joe", "Jose"], ["Jose", "Josef"])
+        assert f.passes(0, 0)  # Joe vs Jose
+        assert f.passes(1, 1)  # Jose vs Josef
+        assert not f.passes(0, 1)  # Joe vs Josef
+
+    def test_useless_on_fixed_length(self):
+        # Every pair of equal-length strings passes: the paper's reason
+        # not to evaluate it on SSN/phone/birthdate.
+        f = LengthFilter(1)
+        ssns = ["111111111", "999999999", "123456789"]
+        f.prepare(ssns, ssns)
+        assert all(f.passes(i, j) for i in range(3) for j in range(3))
+
+    def test_k_zero(self):
+        f = LengthFilter(0)
+        f.prepare(["AB"], ["AB", "ABC"])
+        assert f.passes(0, 0)
+        assert not f.passes(0, 1)
+
+
+class TestFilterChain:
+    def test_short_circuit_order(self):
+        chain = FilterChain([LengthFilter(1), FBFFilter(1, "alpha")])
+        chain.prepare(["AB"], ["ABCDEF"])
+        assert not chain.passes(0, 0)
+
+    def test_empty_chain_passes_everything(self):
+        chain = FilterChain([])
+        chain.prepare(["A"], ["Z"])
+        assert chain.passes(0, 0)
+
+    def test_stats_collection(self):
+        chain = FilterChain(
+            [LengthFilter(1), FBFFilter(1, scheme_for("alpha", 2))],
+            collect_stats=True,
+        )
+        left = ["SMITH", "JONES"]
+        right = ["SMYTH", "JONE"]
+        chain.prepare(left, right)
+        for i in range(2):
+            for j in range(2):
+                chain.passes(i, j)
+        length_stats, fbf_stats = chain.stats
+        assert isinstance(length_stats, FilterStats)
+        assert length_stats.tested == 4
+        # Only pairs that passed length filtering reach FBF.
+        assert fbf_stats.tested == length_stats.passed
+        assert 0.0 <= length_stats.pass_rate <= 1.0
+        assert length_stats.rejected == length_stats.tested - length_stats.passed
+
+    def test_stats_off_by_default(self):
+        chain = FilterChain([LengthFilter(1)])
+        chain.prepare(["A"], ["A"])
+        chain.passes(0, 0)
+        assert chain.stats[0].tested == 0
+
+    def test_prepare_resets_stats(self):
+        chain = FilterChain([LengthFilter(1)], collect_stats=True)
+        chain.prepare(["A"], ["A"])
+        chain.passes(0, 0)
+        chain.prepare(["B"], ["B"])
+        assert chain.stats[0].tested == 0

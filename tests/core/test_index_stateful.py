@@ -1,0 +1,61 @@
+"""Stateful property testing of the FBF index.
+
+A hypothesis rule-based state machine interleaves adds and searches and
+checks the index against a brute-force model after every step — the
+strongest form of the incremental-correctness guarantee the daily-update
+scenario relies on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.index import FBFIndex
+from repro.distance.damerau import damerau_levenshtein
+
+strings = st.text(alphabet="012345", min_size=1, max_size=8)
+
+
+class IndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = FBFIndex(scheme="numeric")
+        self.model: list[str] = []
+
+    @rule(s=strings)
+    def add(self, s):
+        sid = self.index.add(s)
+        assert sid == len(self.model)
+        self.model.append(s)
+
+    @rule(s=strings, k=st.integers(0, 2))
+    def search(self, s, k):
+        got = self.index.search(s, k)
+        want = sorted(
+            i
+            for i, t in enumerate(self.model)
+            if damerau_levenshtein(s, t) <= k
+        )
+        assert got == want
+
+    @rule(k=st.integers(0, 2), data=st.data())
+    def search_existing(self, k, data):
+        if not self.model:
+            return
+        s = data.draw(st.sampled_from(self.model))
+        got = self.index.search(s, k)
+        assert got == sorted(
+            i
+            for i, t in enumerate(self.model)
+            if damerau_levenshtein(s, t) <= k
+        )
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.index) == len(self.model)
+
+
+TestIndexStateful = IndexMachine.TestCase
+TestIndexStateful.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,110 @@
+"""Unit tests for the method-stack registry and PreparedMatcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.matchers import (
+    METHOD_NAMES,
+    PreparedMatcher,
+    build_matcher,
+    method_registry,
+)
+from repro.distance.damerau import damerau_levenshtein
+
+words = st.lists(
+    st.text(alphabet="ABC12", min_size=1, max_size=8), min_size=1, max_size=5
+)
+
+
+class TestRegistry:
+    def test_all_fifteen_methods(self):
+        assert len(METHOD_NAMES) == 15
+        for name in ("DL", "PDL", "Jaro", "Wink", "Ham", "FDL", "FPDL", "FBF",
+                     "LDL", "LPDL", "LF", "LFDL", "LFPDL", "LFBF", "SDX"):
+            assert name in METHOD_NAMES
+
+    def test_specs_describe_stacks(self):
+        reg = method_registry()
+        assert reg["LFPDL"].filters == ("length", "fbf")
+        assert reg["LFPDL"].verifier == "pdl"
+        assert reg["FBF"].verifier is None
+        assert reg["DL"].filters == ()
+        assert reg["LFDL"].needs_scheme and reg["LFDL"].uses_length
+        assert not reg["DL"].needs_scheme
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_matcher("XYZ")
+
+
+class TestBuildMatcher:
+    @pytest.mark.parametrize("name", METHOD_NAMES)
+    def test_every_method_builds_and_runs(self, name):
+        m = build_matcher(name, k=1, theta=0.8, scheme="alnum")
+        m.prepare(["SMITH1"], ["SMITH2"])
+        assert isinstance(m.matches(0, 0), bool)
+
+    def test_fpdl_matches_single_edit(self):
+        m = build_matcher("FPDL", k=1, scheme="numeric")
+        m.prepare(["123456789"], ["123456780"])
+        assert m.matches(0, 0)
+
+    def test_filter_only_counts_pass_as_match(self):
+        m = build_matcher("FBF", k=1, scheme="numeric")
+        m.prepare(["123456789"], ["987654321"])
+        # Same multiset of digits: filter cannot distinguish, so FBF
+        # alone declares a (false-positive) match.
+        assert m.matches(0, 0)
+
+    def test_verified_pairs_counts_verifier_calls(self):
+        m = build_matcher("FDL", k=1, scheme="numeric")
+        m.prepare(["111111111", "123456789"], ["999999999", "123456780"])
+        for i in range(2):
+            for j in range(2):
+                m.matches(i, j)
+        # Only pairs passing the filter reach DL.
+        assert 1 <= m.verified_pairs < 4
+
+    def test_prepare_resets_verified_count(self):
+        m = build_matcher("FDL", k=1, scheme="numeric")
+        m.prepare(["123"], ["123"])
+        m.matches(0, 0)
+        m.prepare(["456"], ["456"])
+        assert m.verified_pairs == 0
+
+    def test_collect_stats(self):
+        m = build_matcher("LFPDL", k=1, scheme="alpha", collect_stats=True)
+        m.prepare(["SMITH"], ["SMYTHE"])
+        m.matches(0, 0)
+        assert m.filter_stats[0].tested == 1
+
+    def test_direct_construction_requires_something(self):
+        with pytest.raises(ValueError):
+            PreparedMatcher("empty", filters=(), verifier=None)
+
+
+class TestStackEquivalence:
+    """Every DL-wrapped stack must agree with bare DL at threshold k."""
+
+    @given(words, words, st.integers(1, 2))
+    def test_filtered_stacks_equal_dl(self, left, right, k):
+        reference = build_matcher("DL", k=k)
+        reference.prepare(left, right)
+        for name in ("PDL", "FDL", "FPDL", "LDL", "LPDL", "LFDL", "LFPDL"):
+            m = build_matcher(name, k=k, scheme="alnum")
+            m.prepare(left, right)
+            for i in range(len(left)):
+                for j in range(len(right)):
+                    want = damerau_levenshtein(left[i], right[j]) <= k
+                    assert m.matches(i, j) == want, (name, left[i], right[j])
+
+    @given(words, words, st.integers(1, 2))
+    def test_filter_only_stacks_are_supersets(self, left, right, k):
+        for name in ("FBF", "LF", "LFBF"):
+            m = build_matcher(name, k=k, scheme="alnum")
+            m.prepare(left, right)
+            for i in range(len(left)):
+                for j in range(len(right)):
+                    if damerau_levenshtein(left[i], right[j]) <= k:
+                        assert m.matches(i, j), (name, left[i], right[j])

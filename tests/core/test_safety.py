@@ -1,0 +1,135 @@
+"""Property tests for the FBF safety bound (the paper's Section 4 proof).
+
+These are the reproduction's most important tests: if any of them fails,
+FBF is not a *safe* filter and the entire "zero accuracy loss" claim
+collapses.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.filters import FBFFilter, FilterChain, LengthFilter
+from repro.core.signatures import (
+    alnum_signature,
+    alpha_signature,
+    diff_bits,
+    num_signature,
+    scheme_for,
+)
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.pruned import pdl
+
+digits = st.text(alphabet="0123456789", max_size=11)
+letters = st.text(alphabet="ABCDEF", max_size=11)
+mixed = st.text(alphabet="AB12 -", max_size=12)
+
+
+class TestDiffBitsBound:
+    """diff_bits(sig(s), sig(t)) <= 2 * OSA(s, t), every scheme."""
+
+    @given(digits, digits)
+    def test_numeric(self, s, t):
+        m, n = (num_signature(s),), (num_signature(t),)
+        assert diff_bits(m, n) <= 2 * damerau_levenshtein(s, t)
+
+    @given(letters, letters, st.integers(1, 3))
+    def test_alpha(self, s, t, levels):
+        m = alpha_signature(s, levels)
+        n = alpha_signature(t, levels)
+        assert diff_bits(m, n) <= 2 * damerau_levenshtein(s, t)
+
+    @given(mixed, mixed, st.integers(1, 3))
+    def test_alnum(self, s, t, levels):
+        m = alnum_signature(s, levels)
+        n = alnum_signature(t, levels)
+        assert diff_bits(m, n) <= 2 * damerau_levenshtein(s, t)
+
+    @given(letters, letters, st.integers(1, 3))
+    def test_alpha_extended_with_slack(self, s, t, levels):
+        # Indicator bits may add at most `slack` extra differing bits.
+        scheme = scheme_for("alpha", levels, extended=True)
+        d = diff_bits(scheme.signature(s), scheme.signature(t))
+        assert d <= 2 * damerau_levenshtein(s, t) + scheme.slack
+
+
+class TestFilterSafety:
+    """A filter must never reject a pair PDL would accept."""
+
+    @given(
+        st.lists(st.text(alphabet="0123456789", min_size=1, max_size=10), min_size=1, max_size=6),
+        st.lists(st.text(alphabet="0123456789", min_size=1, max_size=10), min_size=1, max_size=6),
+        st.integers(0, 3),
+    )
+    def test_fbf_numeric(self, left, right, k):
+        f = FBFFilter(k, "numeric")
+        f.prepare(left, right)
+        for i, s in enumerate(left):
+            for j, t in enumerate(right):
+                if pdl(s, t, k):
+                    assert f.passes(i, j), (s, t, k)
+
+    @given(
+        st.lists(st.text(alphabet="ABCDE", min_size=1, max_size=9), min_size=1, max_size=6),
+        st.lists(st.text(alphabet="ABCDE", min_size=1, max_size=9), min_size=1, max_size=6),
+        st.integers(0, 3),
+    )
+    def test_fbf_alpha(self, left, right, k):
+        f = FBFFilter(k, scheme_for("alpha", 2))
+        f.prepare(left, right)
+        for i, s in enumerate(left):
+            for j, t in enumerate(right):
+                if pdl(s, t, k):
+                    assert f.passes(i, j)
+
+    @given(
+        st.lists(st.text(alphabet="AB", min_size=1, max_size=8), min_size=1, max_size=6),
+        st.lists(st.text(alphabet="AB", min_size=1, max_size=8), min_size=1, max_size=6),
+        st.integers(0, 3),
+    )
+    def test_length_filter(self, left, right, k):
+        f = LengthFilter(k)
+        f.prepare(left, right)
+        for i, s in enumerate(left):
+            for j, t in enumerate(right):
+                if damerau_levenshtein(s, t) <= k:
+                    assert f.passes(i, j)
+
+    @given(
+        st.lists(st.text(alphabet="ABC", min_size=1, max_size=8), min_size=1, max_size=5),
+        st.integers(1, 2),
+    )
+    def test_chain_safety(self, strings, k):
+        chain = FilterChain([LengthFilter(k), FBFFilter(k, scheme_for("alpha", 2))])
+        chain.prepare(strings, strings)
+        for i, s in enumerate(strings):
+            for j, t in enumerate(strings):
+                if pdl(s, t, k):
+                    assert chain.passes(i, j)
+
+
+class TestSingleEditWorstCases:
+    """The per-edit bit budget from the Section 4 case analysis."""
+
+    @given(digits.filter(lambda s: len(s) >= 2))
+    def test_transposition_zero_bits(self, s):
+        # Swapping adjacent characters never changes the multiset.
+        t = s[1] + s[0] + s[2:]
+        assert diff_bits((num_signature(s),), (num_signature(t),)) == 0
+
+    @given(digits.filter(bool), st.integers(0, 10))
+    def test_deletion_at_most_one_bit(self, s, pos):
+        pos = pos % len(s)
+        t = s[:pos] + s[pos + 1 :]
+        assert diff_bits((num_signature(s),), (num_signature(t),)) <= 1
+
+    @given(digits, st.integers(0, 10), st.sampled_from("0123456789"))
+    def test_insertion_at_most_one_bit(self, s, pos, ch):
+        pos = min(pos, len(s))
+        t = s[:pos] + ch + s[pos:]
+        assert diff_bits((num_signature(s),), (num_signature(t),)) <= 1
+
+    @given(digits.filter(bool), st.integers(0, 10), st.sampled_from("0123456789"))
+    def test_substitution_at_most_two_bits(self, s, pos, ch):
+        pos = pos % len(s)
+        t = s[:pos] + ch + s[pos + 1 :]
+        assert diff_bits((num_signature(s),), (num_signature(t),)) <= 2

@@ -1,0 +1,229 @@
+"""Unit tests for FBF signature generation (Algorithms 4-6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signatures import (
+    ALPHA_DOUBLED_BIT,
+    ALPHA_OVERFLOW_BIT,
+    SignatureScheme,
+    alnum_signature,
+    alpha_signature,
+    detect_kind,
+    diff_bits,
+    find_diff_bits,
+    num_signature,
+    scheme_for,
+)
+
+alpha_text = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", max_size=15)
+digit_text = st.text(alphabet="0123456789", max_size=12)
+
+
+class TestAlphaSignature:
+    def test_paper_figure3(self):
+        # Figure 3: "SMITH" sets bits H, I, M, S, T.
+        sig = alpha_signature("SMITH")[0]
+        expected = sum(1 << (ord(c) - ord("A")) for c in "SMITH")
+        assert sig == expected
+
+    def test_case_insensitive(self):
+        assert alpha_signature("Smith") == alpha_signature("SMITH")
+
+    def test_non_letters_ignored(self):
+        assert alpha_signature("O'BRIEN-X2") == alpha_signature("OBRIENX")
+
+    def test_order_insensitive(self):
+        assert alpha_signature("SMITH") == alpha_signature("HTIMS")
+
+    def test_levels_record_repeats(self):
+        one = alpha_signature("OTTO", 1)
+        two = alpha_signature("OTTO", 2)
+        assert bin(one[0]).count("1") == 2  # O, T
+        assert bin(two[0]).count("1") == 2
+        assert bin(two[1]).count("1") == 2  # second O, second T
+
+    def test_saturation(self):
+        # Third occurrence is invisible at levels=2.
+        assert alpha_signature("AAA", 2) == alpha_signature("AA", 2)
+
+    def test_empty_string(self):
+        assert alpha_signature("") == (0,)
+        assert alpha_signature("", 3) == (0, 0, 0)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            alpha_signature("A", 0)
+
+    def test_extended_overflow_bit(self):
+        sig = alpha_signature("AAA", 1, extended=True)
+        assert sig[-1] >> ALPHA_OVERFLOW_BIT & 1 == 1
+        sig = alpha_signature("ABC", 1, extended=True)
+        assert sig[-1] >> ALPHA_OVERFLOW_BIT & 1 == 0
+
+    def test_extended_doubled_bit(self):
+        assert alpha_signature("OTTO", 2, extended=True)[-1] >> ALPHA_DOUBLED_BIT & 1
+        assert not (
+            alpha_signature("TOTO", 2, extended=True)[-1] >> ALPHA_DOUBLED_BIT & 1
+        )
+
+    def test_extended_bits_outside_letter_range(self):
+        # Indicators live above bit 25 and never collide with letters.
+        assert ALPHA_OVERFLOW_BIT > 25 and ALPHA_DOUBLED_BIT > 25
+
+    @given(alpha_text, st.integers(1, 3))
+    def test_width_is_levels(self, s, levels):
+        assert len(alpha_signature(s, levels)) == levels
+
+    @given(alpha_text)
+    def test_level_words_nested(self, s):
+        # A letter seen twice was also seen once: word j+1 ⊆ word j.
+        sig = alpha_signature(s, 3)
+        assert sig[1] & ~sig[0] == 0
+        assert sig[2] & ~sig[1] == 0
+
+    @given(alpha_text)
+    def test_popcount_bounded_by_length(self, s):
+        sig = alpha_signature(s, 3)
+        assert sum(bin(w).count("1") for w in sig) <= len(s)
+
+
+class TestNumSignature:
+    def test_paper_figure4(self):
+        # Figure 4: "8005551212" -> digits 0(x2) 1(x2) 2(x2) 5(x3) 8(x1).
+        sig = num_signature("8005551212")
+        expected = 0
+        for digit, count in {0: 2, 1: 2, 2: 2, 5: 3, 8: 1}.items():
+            for j in range(count):
+                expected |= 1 << (3 * digit + j)
+        assert sig == expected
+
+    def test_separators_ignored(self):
+        assert num_signature("800-555-1212") == num_signature("8005551212")
+
+    def test_saturates_at_three(self):
+        assert num_signature("3333") == num_signature("333")
+
+    def test_paper_phone_example(self):
+        # Section 3: FBF difference between 213-333-3333 and
+        # 213-333-4444 is 3 (three 4s recorded, 3s saturate identically).
+        m = (num_signature("213-333-3333"),)
+        n = (num_signature("213-333-4444"),)
+        assert find_diff_bits(m, n, ) == 3
+
+    def test_fits_in_30_bits(self):
+        assert num_signature("0123456789" * 3) < (1 << 30)
+
+    def test_empty(self):
+        assert num_signature("") == 0
+        assert num_signature("abc") == 0
+
+    @given(digit_text)
+    def test_order_insensitive(self, s):
+        assert num_signature(s) == num_signature("".join(sorted(s)))
+
+    @given(digit_text)
+    def test_popcount_bounded(self, s):
+        assert bin(num_signature(s)).count("1") <= min(len(s), 30)
+
+
+class TestAlnumSignature:
+    def test_width(self):
+        assert len(alnum_signature("A1", 2)) == 3
+
+    def test_combines_both(self):
+        sig = alnum_signature("A1", 1)
+        assert sig[0] == 1  # bit for A
+        assert sig[1] == 1 << 3  # digit 1, first occurrence at bit 3*1+0
+
+    def test_address_example(self):
+        sig = alnum_signature("123 MAIN ST", 2)
+        assert sig[2] == num_signature("123")
+        assert sig[0] == alpha_signature("MAINST", 2)[0]
+
+
+class TestDiffBits:
+    def test_zero_for_identical(self):
+        m = alnum_signature("123 OAK AVE", 2)
+        assert find_diff_bits(m, m) == 0
+        assert diff_bits(m, m) == 0
+
+    def test_agreement_of_implementations(self):
+        m = alnum_signature("123 OAK AVE", 2)
+        n = alnum_signature("124 OAK AVE", 2)
+        assert find_diff_bits(m, n) == diff_bits(m, n)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            find_diff_bits((1, 2), (1,))
+        with pytest.raises(ValueError):
+            diff_bits((1,), (1, 2))
+
+    def test_paper_proof_cases(self):
+        # Section 4, single-edit worst cases on numeric strings.
+        sig = lambda s: (num_signature(s),)
+        assert diff_bits(sig("13245"), sig("12345")) == 0  # transposition
+        assert diff_bits(sig("123456"), sig("12345")) == 1  # delete
+        assert diff_bits(sig("1234"), sig("12345")) == 1  # insert
+        assert diff_bits(sig("12346"), sig("12345")) == 2  # substitution
+        # repeated-character case: "1234566" vs "123456"
+        assert diff_bits(sig("1234566"), sig("123456")) == 1
+
+    @given(digit_text, digit_text)
+    def test_symmetry(self, s, t):
+        m, n = (num_signature(s),), (num_signature(t),)
+        assert diff_bits(m, n) == diff_bits(n, m)
+
+
+class TestSchemes:
+    def test_numeric_scheme(self):
+        scheme = scheme_for("numeric")
+        assert scheme.width == 1
+        assert scheme.signature("555") == (num_signature("555"),)
+
+    def test_alpha_scheme_width(self):
+        assert scheme_for("alpha", 2).width == 2
+
+    def test_alnum_scheme_width(self):
+        assert scheme_for("alnum", 2).width == 3
+
+    def test_safe_threshold(self):
+        assert scheme_for("numeric").safe_threshold(1) == 2
+        assert scheme_for("alpha", 2).safe_threshold(2) == 4
+        assert scheme_for("alpha", 2, extended=True).safe_threshold(1) == 4
+
+    def test_extended_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_for("numeric", extended=True)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            scheme_for("hex")
+
+    def test_width_enforced(self):
+        bad = SignatureScheme("bad", width=2, generate=lambda s: (0,))
+        with pytest.raises(ValueError):
+            bad.signature("X")
+
+    def test_batch(self):
+        scheme = scheme_for("numeric")
+        sigs = scheme.signatures(["1", "22"])
+        assert sigs == [(1 << 3,), (0b011 << 6,)]
+
+
+class TestDetectKind:
+    def test_numeric(self):
+        assert detect_kind(["123", "456-789"]) == "numeric"
+
+    def test_alpha(self):
+        assert detect_kind(["SMITH", "JONES"]) == "alpha"
+
+    def test_alnum(self):
+        assert detect_kind(["123 MAIN ST"]) == "alnum"
+
+    def test_mixed_across_strings(self):
+        assert detect_kind(["ABC", "123"]) == "alnum"
+
+    def test_empty_input(self):
+        assert detect_kind([]) == "alnum"

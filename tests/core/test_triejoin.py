@@ -1,0 +1,94 @@
+"""Unit and property tests for the trie-based similarity index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import FBFIndex
+from repro.core.triejoin import TrieIndex
+from repro.distance.damerau import damerau_levenshtein
+
+pool = st.lists(
+    st.text(alphabet="ABC12", min_size=1, max_size=9), min_size=1, max_size=20
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        idx = TrieIndex()
+        assert len(idx) == 0
+        assert idx.search("ABC", 2) == []
+
+    def test_add_returns_ids(self):
+        idx = TrieIndex()
+        assert idx.add("AB") == 0
+        assert idx.add("AC") == 1
+        assert idx[1] == "AC"
+
+    def test_prefix_sharing(self):
+        idx = TrieIndex(["ABCDE", "ABCDF", "ABCXY"])
+        # 3 strings x 5 chars, but shared prefixes: root + ABC (3) +
+        # DE/DF (3 nodes: D,E,F) + XY (2) = far fewer than 16.
+        assert idx.node_count() < 1 + 15
+
+    def test_duplicates_share_terminal(self):
+        idx = TrieIndex(["AA", "AA"])
+        assert idx.search("AA", 0) == [0, 1]
+
+
+class TestSearch:
+    def test_exact(self):
+        idx = TrieIndex(["SMITH", "SMYTH"])
+        assert idx.search("SMITH", 0) == [0]
+
+    def test_single_edit(self):
+        idx = TrieIndex(["SMITH", "SMYTH", "JONES"])
+        assert idx.search("SMITH", 1) == [0, 1]
+
+    def test_transposition_is_one_edit(self):
+        idx = TrieIndex(["SMITH"])
+        assert idx.search("SMIHT", 1) == [0]
+
+    def test_osa_restriction_respected(self):
+        idx = TrieIndex(["ABC"])
+        # OSA("CA", "ABC") = 3, not 2.
+        assert idx.search("CA", 2) == []
+        assert idx.search("CA", 3) == [0]
+
+    def test_empty_semantics(self):
+        idx = TrieIndex(["", "A"])
+        assert idx.search("A", 1) == [1]
+        assert idx.search("", 2) == []
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            TrieIndex(["A"]).search("A", -1)
+
+    def test_search_strings(self):
+        idx = TrieIndex(["AB", "AC"])
+        assert idx.search_strings("AB", 1) == ["AB", "AC"]
+
+    @settings(max_examples=40)
+    @given(pool, st.integers(0, 3), st.integers(0, 10**9))
+    def test_exact_vs_brute_force(self, strings, k, seed):
+        rng = random.Random(seed)
+        query = rng.choice(strings)
+        idx = TrieIndex(strings)
+        got = idx.search(query, k)
+        want = sorted(
+            i
+            for i, s in enumerate(strings)
+            if damerau_levenshtein(query, s) <= k
+        )
+        assert got == want
+
+    @settings(max_examples=25)
+    @given(pool, st.integers(0, 2), st.integers(0, 10**9))
+    def test_agrees_with_fbf_index(self, strings, k, seed):
+        rng = random.Random(seed)
+        query = rng.choice(strings)
+        trie = TrieIndex(strings)
+        fbf = FBFIndex(strings, scheme="alnum")
+        assert trie.search(query, k) == fbf.search(query, k)

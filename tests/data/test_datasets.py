@@ -1,0 +1,89 @@
+"""Unit tests for clean/error dataset pairing."""
+
+import random
+
+import pytest
+
+from repro.data.datasets import FAMILIES, DatasetPair, dataset_for_family, make_pair
+from repro.distance.damerau import damerau_levenshtein
+
+
+class TestDatasetPair:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetPair("X", ["a"], [], seed=0)
+
+    def test_counters(self):
+        dp = DatasetPair("X", ["a", "b"], ["a1", "b1"], seed=0)
+        assert dp.n == 2
+        assert dp.true_matches == 2
+        assert dp.pair_count == 4
+
+
+class TestMakePair:
+    def test_ground_truth_alignment(self):
+        pool = [f"{i:09d}" for i in range(1, 200)]
+        dp = make_pair("SSN", pool, 50, random.Random(0))
+        assert dp.n == 50
+        for c, e in zip(dp.clean, dp.error):
+            assert damerau_levenshtein(c, e) == 1
+
+    def test_sample_without_replacement(self):
+        pool = [f"{i:09d}" for i in range(1, 100)]
+        dp = make_pair("SSN", pool, 99, random.Random(1))
+        assert len(set(dp.clean)) == 99
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            make_pair("X", ["a", "b"], 3, random.Random(0))
+
+    def test_reproducible_via_seed(self):
+        pool = [f"{i:09d}" for i in range(1, 500)]
+        a = make_pair("SSN", pool, 20, random.Random(7))
+        b = make_pair("SSN", pool, 20, random.Random(7))
+        assert a.clean == b.clean and a.error == b.error
+
+
+class TestDatasetForFamily:
+    def test_all_six_families(self):
+        assert set(FAMILIES) == {"FN", "LN", "Ad", "Ph", "Bi", "SSN"}
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_builds_with_unit_distance(self, family):
+        dp = dataset_for_family(family, 40, seed=2)
+        assert dp.family == family and dp.n == 40
+        for c, e in zip(dp.clean, dp.error):
+            assert damerau_levenshtein(c, e) == 1
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            dataset_for_family("ZZ", 10)
+
+    def test_pool_size_override(self):
+        dp = dataset_for_family("SSN", 10, seed=0, pool_size=10)
+        assert dp.n == 10
+
+    def test_pool_smaller_than_sample_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_for_family("SSN", 10, seed=0, pool_size=5)
+
+    def test_fixed_length_families(self):
+        for family, length in (("SSN", 9), ("Ph", 10), ("Bi", 8)):
+            dp = dataset_for_family(family, 20, seed=1)
+            assert all(len(s) == length for s in dp.clean), family
+            assert FAMILIES[family].fixed_length
+
+    def test_signature_kinds(self):
+        assert FAMILIES["LN"].kind == "alpha"
+        assert FAMILIES["Ad"].kind == "alnum"
+        assert FAMILIES["SSN"].kind == "numeric"
+
+    def test_seed_determinism(self):
+        a = dataset_for_family("LN", 30, seed=11)
+        b = dataset_for_family("LN", 30, seed=11)
+        assert a.clean == b.clean and a.error == b.error
+
+    def test_different_seeds_differ(self):
+        a = dataset_for_family("LN", 30, seed=1)
+        b = dataset_for_family("LN", 30, seed=2)
+        assert a.clean != b.clean

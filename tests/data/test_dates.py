@@ -1,0 +1,78 @@
+"""Unit tests for the birthdate generator."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.data.dates import (
+    PAPER_DATE_RANGE,
+    build_birthdate_pool,
+    random_birthdate,
+)
+
+
+def _parse(s: str) -> dt.date:
+    return dt.date(int(s[4:]), int(s[:2]), int(s[2:4]))
+
+
+class TestRandomBirthdate:
+    def test_format(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            s = random_birthdate(rng)
+            assert len(s) == 8 and s.isdigit()
+            _parse(s)  # must be a real calendar date
+
+    def test_paper_window(self):
+        # Paper: between 2/25/1912 and 2/24/2012 inclusive.
+        rng = random.Random(1)
+        lo, hi = PAPER_DATE_RANGE
+        for _ in range(500):
+            d = _parse(random_birthdate(rng))
+            assert lo <= d <= hi
+
+    def test_paper_window_size(self):
+        lo, hi = PAPER_DATE_RANGE
+        assert (hi - lo).days + 1 == 36_525  # the paper's "36,525 unique dates"
+
+    def test_custom_range(self):
+        rng = random.Random(2)
+        window = (dt.date(2000, 1, 1), dt.date(2000, 1, 1))
+        assert random_birthdate(rng, window) == "01012000"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            random_birthdate(
+                random.Random(0), (dt.date(2001, 1, 1), dt.date(2000, 1, 1))
+            )
+
+    def test_deterministic(self):
+        assert random_birthdate(random.Random(3)) == random_birthdate(
+            random.Random(3)
+        )
+
+
+class TestPool:
+    def test_size(self):
+        pool = build_birthdate_pool(300, random.Random(4))
+        assert len(pool) == 300
+
+    def test_duplicates_allowed_by_default(self):
+        # Sampling 5,000 of 36,525 dates collides; the paper's pool
+        # itself has duplicates (35,525 of 36,525).
+        pool = build_birthdate_pool(5000, random.Random(5))
+        assert len(set(pool)) < len(pool)
+
+    def test_unique_mode(self):
+        pool = build_birthdate_pool(300, random.Random(6), unique=True)
+        assert len(set(pool)) == 300
+
+    def test_unique_mode_overdraw_rejected(self):
+        window = (dt.date(2000, 1, 1), dt.date(2000, 1, 5))
+        with pytest.raises(ValueError):
+            build_birthdate_pool(10, random.Random(7), window, unique=True)
+
+    def test_fixed_length_field(self):
+        pool = build_birthdate_pool(100, random.Random(8))
+        assert {len(d) for d in pool} == {8}

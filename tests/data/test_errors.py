@@ -1,0 +1,117 @@
+"""Unit and property tests for single-edit error injection."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.errors import EditOp, ErrorInjector, infer_alphabet, inject_error
+from repro.distance.damerau import damerau_levenshtein
+
+nonempty = st.text(alphabet="ABC0123456789", min_size=1, max_size=12)
+seeds = st.integers(0, 2**31)
+
+
+class TestInferAlphabet:
+    def test_numeric(self):
+        assert infer_alphabet("12345") == "0123456789"
+
+    def test_alpha(self):
+        assert infer_alphabet("SMITH") == "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+    def test_mixed(self):
+        assert set("A9") <= set(infer_alphabet("12 MAIN ST"))
+
+
+class TestErrorInjector:
+    @given(nonempty, seeds)
+    def test_distance_exactly_one(self, s, seed):
+        # The ground-truth invariant every experiment rests on.
+        t = ErrorInjector().inject(s, random.Random(seed))
+        assert damerau_levenshtein(s, t) == 1
+
+    @given(nonempty, seeds)
+    def test_never_identity(self, s, seed):
+        assert ErrorInjector().inject(s, random.Random(seed)) != s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorInjector().inject("", random.Random(0))
+
+    def test_no_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorInjector(ops=())
+
+    def test_substitute_only(self):
+        inj = ErrorInjector(ops=[EditOp.SUBSTITUTE])
+        rng = random.Random(1)
+        for _ in range(50):
+            t = inj.inject("555", rng)
+            assert len(t) == 3 and t != "555"
+
+    def test_delete_only(self):
+        inj = ErrorInjector(ops=[EditOp.DELETE])
+        t = inj.inject("ABCD", random.Random(2))
+        assert len(t) == 3
+
+    def test_insert_only(self):
+        inj = ErrorInjector(ops=[EditOp.INSERT])
+        t = inj.inject("ABCD", random.Random(3))
+        assert len(t) == 5
+
+    def test_transpose_only(self):
+        inj = ErrorInjector(ops=[EditOp.TRANSPOSE])
+        t = inj.inject("AB", random.Random(4))
+        assert t == "BA"
+
+    def test_transpose_infeasible_falls_back(self):
+        # "AA" has no distinct adjacent pair; the injector must fall
+        # back to a feasible op rather than return the original.
+        inj = ErrorInjector(ops=[EditOp.TRANSPOSE, EditOp.SUBSTITUTE])
+        rng = random.Random(5)
+        for _ in range(20):
+            t = inj.inject("AA", rng)
+            assert t != "AA"
+
+    def test_min_length_respected(self):
+        inj = ErrorInjector(ops=[EditOp.DELETE, EditOp.SUBSTITUTE], min_length=2)
+        rng = random.Random(6)
+        for _ in range(50):
+            assert len(inj.inject("AB", rng)) >= 2
+
+    def test_single_char_never_empties_by_default(self):
+        inj = ErrorInjector()
+        rng = random.Random(7)
+        for _ in range(100):
+            assert inj.inject("7", rng) != ""
+
+    def test_custom_alphabet(self):
+        inj = ErrorInjector(ops=[EditOp.SUBSTITUTE], alphabet="XY")
+        rng = random.Random(8)
+        for _ in range(20):
+            t = inj.inject("XXX", rng)
+            assert set(t) <= {"X", "Y"}
+
+    def test_inject_many_alignment(self):
+        inj = ErrorInjector()
+        rng = random.Random(9)
+        clean = ["ALPHA", "BRAVO", "123456"]
+        dirty = inj.inject_many(clean, rng)
+        assert len(dirty) == 3
+        for c, d in zip(clean, dirty):
+            assert damerau_levenshtein(c, d) == 1
+
+    @given(nonempty, seeds)
+    def test_numeric_strings_stay_numeric_under_substitution(self, s, seed):
+        if not s.isdigit():
+            return
+        inj = ErrorInjector(ops=[EditOp.SUBSTITUTE])
+        t = inj.inject(s, random.Random(seed))
+        assert t.isdigit()
+
+
+class TestOneShot:
+    def test_inject_error(self):
+        t = inject_error("SMITH", random.Random(0))
+        assert damerau_levenshtein("SMITH", t) == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the census-calibrated name pools."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    PAPER_FN_LENGTH_HISTOGRAM,
+    PAPER_LN_LENGTH_HISTOGRAM,
+    NameGenerator,
+    build_first_name_pool,
+    build_last_name_pool,
+)
+
+
+class TestEmbeddedLists:
+    def test_table13_total(self):
+        # Table 13's counts sum to the paper's stated 151,670 names.
+        assert sum(PAPER_LN_LENGTH_HISTOGRAM.values()) == 151_670
+
+    def test_table13_length_range(self):
+        # Paper: last names span lengths 2 to 15.
+        assert min(PAPER_LN_LENGTH_HISTOGRAM) == 2
+        assert max(PAPER_LN_LENGTH_HISTOGRAM) == 15
+
+    def test_fn_length_range(self):
+        # Paper: first names span lengths 2 to 11.
+        assert min(PAPER_FN_LENGTH_HISTOGRAM) == 2
+        assert max(PAPER_FN_LENGTH_HISTOGRAM) == 11
+
+    def test_seed_lists_uppercase_unique(self):
+        assert len(set(LAST_NAMES)) == len(LAST_NAMES)
+        assert all(n.isupper() and n.isalpha() for n in LAST_NAMES)
+        assert all(n.isupper() and n.isalpha() for n in FIRST_NAMES)
+
+    def test_common_names_present(self):
+        assert "SMITH" in LAST_NAMES
+        assert "JAMES" in FIRST_NAMES
+
+
+class TestNameGenerator:
+    def test_exact_length(self):
+        gen = NameGenerator(LAST_NAMES)
+        rng = random.Random(1)
+        for length in (2, 5, 9, 15):
+            assert len(gen.generate(length, rng)) == length
+
+    def test_alphabetic_output(self):
+        gen = NameGenerator(LAST_NAMES)
+        rng = random.Random(2)
+        for _ in range(50):
+            name = gen.generate(rng.randint(2, 12), rng)
+            assert name.isalpha() and name.isupper()
+
+    def test_invalid_length(self):
+        gen = NameGenerator(["ABC"])
+        with pytest.raises(ValueError):
+            gen.generate(0, random.Random(0))
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            NameGenerator([])
+
+    def test_deterministic_under_seed(self):
+        gen = NameGenerator(LAST_NAMES)
+        a = gen.generate(7, random.Random(42))
+        b = gen.generate(7, random.Random(42))
+        assert a == b
+
+    def test_pool_unique(self):
+        gen = NameGenerator(LAST_NAMES)
+        pool = gen.pool(500, PAPER_LN_LENGTH_HISTOGRAM, random.Random(0))
+        assert len(pool) == len(set(pool)) == 500
+
+    def test_pool_includes_seed_names(self):
+        gen = NameGenerator(LAST_NAMES)
+        pool = gen.pool(2000, PAPER_LN_LENGTH_HISTOGRAM, random.Random(0))
+        assert "SMITH" in pool
+
+    def test_pool_histogram_mass(self):
+        # Rounding drift aside, pool lengths track the target histogram.
+        gen = NameGenerator(LAST_NAMES)
+        pool = gen.pool(3000, PAPER_LN_LENGTH_HISTOGRAM, random.Random(3))
+        counts = Counter(len(n) for n in pool)
+        total = sum(PAPER_LN_LENGTH_HISTOGRAM.values())
+        for L, target in PAPER_LN_LENGTH_HISTOGRAM.items():
+            expected = target * 3000 / total
+            if expected >= 30:
+                assert abs(counts[L] - expected) <= max(5, 0.25 * expected), L
+
+    def test_pool_invalid_size(self):
+        gen = NameGenerator(LAST_NAMES)
+        with pytest.raises(ValueError):
+            gen.pool(0, PAPER_LN_LENGTH_HISTOGRAM, random.Random(0))
+
+
+class TestPoolBuilders:
+    def test_last_name_pool(self):
+        pool = build_last_name_pool(800, random.Random(5))
+        assert len(pool) == 800
+        assert all(2 <= len(n) <= 15 for n in pool)
+
+    def test_first_name_pool_stats(self):
+        # The paper's FN statistics: lengths 2-11, mean about 5.96.
+        pool = build_first_name_pool(2000, random.Random(6))
+        lengths = [len(n) for n in pool]
+        assert min(lengths) >= 2 and max(lengths) <= 11
+        mean = sum(lengths) / len(lengths)
+        assert 5.4 <= mean <= 6.5
+
+    def test_custom_histogram(self):
+        pool = build_last_name_pool(100, random.Random(7), histogram={4: 1})
+        assert all(len(n) == 4 for n in pool)
+
+    def test_reproducible(self):
+        a = build_last_name_pool(50, random.Random(9))
+        b = build_last_name_pool(50, random.Random(9))
+        assert a == b

@@ -1,0 +1,76 @@
+"""Unit tests for the NANP phone-number generator."""
+
+import random
+
+from repro.data.phone import build_phone_pool, is_valid_nanp, random_nanp_number
+
+
+class TestRandomNANP:
+    def test_shape(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            n = random_nanp_number(rng)
+            assert len(n) == 10 and n.isdigit()
+
+    def test_area_code_constraints(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            n = random_nanp_number(rng)
+            assert n[0] not in "01"  # NPA first digit 2-9
+            assert n[1] != "9"  # NPA second digit 0-8
+            assert n[1:3] != "11"  # no N11 area codes
+
+    def test_exchange_constraints(self):
+        rng = random.Random(2)
+        for _ in range(300):
+            n = random_nanp_number(rng)
+            assert n[3] not in "01"  # NXX first digit 2-9
+            assert n[4:6] != "11"  # no N11 exchanges
+            assert n[3:6] != "555"
+
+    def test_validator_accepts_generated(self):
+        rng = random.Random(3)
+        assert all(is_valid_nanp(random_nanp_number(rng)) for _ in range(300))
+
+    def test_deterministic(self):
+        assert random_nanp_number(random.Random(7)) == random_nanp_number(
+            random.Random(7)
+        )
+
+
+class TestValidator:
+    def test_rejects_bad_shapes(self):
+        assert not is_valid_nanp("123")
+        assert not is_valid_nanp("abcdefghij")
+        assert not is_valid_nanp("12345678901")
+
+    def test_rejects_leading_zero_or_one(self):
+        assert not is_valid_nanp("0234567890")
+        assert not is_valid_nanp("1234567890")
+
+    def test_rejects_n11(self):
+        assert not is_valid_nanp("2119234567")  # 211 area
+        assert not is_valid_nanp("2349114567")  # 911 exchange
+
+    def test_rejects_555_exchange(self):
+        assert not is_valid_nanp("2345551234")
+
+    def test_accepts_plain_number(self):
+        assert is_valid_nanp("2155552123") is False  # 555 exchange
+        assert is_valid_nanp("2154652123") is True
+
+
+class TestPool:
+    def test_unique(self):
+        pool = build_phone_pool(500, random.Random(4))
+        assert len(set(pool)) == 500
+
+    def test_all_valid(self):
+        pool = build_phone_pool(200, random.Random(5))
+        assert all(is_valid_nanp(p) for p in pool)
+
+    def test_fixed_length_field(self):
+        # The property the paper exploits: the length filter is useless
+        # on this family.
+        pool = build_phone_pool(100, random.Random(6))
+        assert len({len(p) for p in pool}) == 1

@@ -1,0 +1,66 @@
+"""Unit tests for the SSA-scheme SSN generator."""
+
+import random
+
+from repro.data.ssn import build_ssn_pool, is_valid_ssn, random_ssn
+
+
+class TestRandomSSN:
+    def test_shape(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            s = random_ssn(rng)
+            assert len(s) == 9 and s.isdigit()
+
+    def test_area_constraints(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            s = random_ssn(rng)
+            area = int(s[:3])
+            assert 1 <= area <= 899
+            assert area != 666
+
+    def test_group_serial_nonzero(self):
+        rng = random.Random(2)
+        for _ in range(500):
+            s = random_ssn(rng)
+            assert int(s[3:5]) >= 1
+            assert int(s[5:]) >= 1
+
+    def test_deterministic(self):
+        assert random_ssn(random.Random(3)) == random_ssn(random.Random(3))
+
+
+class TestValidator:
+    def test_rejects_area_000(self):
+        assert not is_valid_ssn("000123456")
+
+    def test_rejects_area_666(self):
+        assert not is_valid_ssn("666123456")
+
+    def test_rejects_900_range(self):
+        assert not is_valid_ssn("900123456")
+
+    def test_rejects_zero_group(self):
+        assert not is_valid_ssn("123004567")
+
+    def test_rejects_zero_serial(self):
+        assert not is_valid_ssn("123450000")
+
+    def test_rejects_bad_shape(self):
+        assert not is_valid_ssn("12345678")
+        assert not is_valid_ssn("12345678X")
+
+    def test_accepts_valid(self):
+        assert is_valid_ssn("123456789")
+
+
+class TestPool:
+    def test_unique_and_valid(self):
+        pool = build_ssn_pool(400, random.Random(4))
+        assert len(set(pool)) == 400
+        assert all(is_valid_ssn(s) for s in pool)
+
+    def test_fixed_length(self):
+        pool = build_ssn_pool(100, random.Random(5))
+        assert {len(s) for s in pool} == {9}

@@ -1,0 +1,121 @@
+"""Property tests for the bit-parallel OSA implementation.
+
+The transposition term was *derived*, not copied, so these tests are the
+proof: exact agreement with the Algorithm 1 DP on adversarial input
+classes (small alphabets maximize transposition interactions).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.bitparallel import (
+    MAX_PATTERN,
+    osa_bitparallel,
+    osa_bitparallel_batch,
+    osa_bitparallel_bounded,
+)
+from repro.distance.codec import encode_raw
+from repro.distance.damerau import damerau_levenshtein
+
+binary = st.text(alphabet="AB", max_size=14)
+ternary = st.text(alphabet="ABC", max_size=10)
+wide = st.text(alphabet="ABCDEFGH", max_size=12)
+
+
+class TestScalar:
+    def test_paper_examples(self):
+        assert osa_bitparallel("Saturday", "Sunday") == 3
+        assert osa_bitparallel("SMITH", "SMIHT") == 1
+        assert osa_bitparallel("CA", "ABC") == 3  # the OSA restriction
+
+    def test_empties(self):
+        assert osa_bitparallel("", "ABC") == 3
+        assert osa_bitparallel("ABC", "") == 3
+        assert osa_bitparallel("", "") == 0
+
+    def test_long_pattern_fallback(self):
+        s = "A" * 70
+        t = "A" * 69 + "BA"
+        assert osa_bitparallel(s, t) == damerau_levenshtein(s, t)
+
+    def test_word_boundary(self):
+        s = "AB" * (MAX_PATTERN // 2)
+        swapped = s[:-2] + s[-1] + s[-2]
+        assert osa_bitparallel(s, swapped) == 1
+
+    @given(binary, binary)
+    def test_matches_dp_binary(self, s, t):
+        assert osa_bitparallel(s, t) == damerau_levenshtein(s, t)
+
+    @given(ternary, ternary)
+    def test_matches_dp_ternary(self, s, t):
+        assert osa_bitparallel(s, t) == damerau_levenshtein(s, t)
+
+    @given(wide, wide)
+    def test_matches_dp_wide(self, s, t):
+        assert osa_bitparallel(s, t) == damerau_levenshtein(s, t)
+
+    @given(binary.filter(lambda s: len(s) >= 2))
+    def test_adjacent_swap_is_one(self, s):
+        if s[0] != s[1]:
+            t = s[1] + s[0] + s[2:]
+            assert osa_bitparallel(s, t) == 1
+
+
+class TestBounded:
+    def test_within(self):
+        assert osa_bitparallel_bounded("SMITH", "SMIHT", 1) == 1
+
+    def test_beyond(self):
+        assert osa_bitparallel_bounded("SMITH", "JONES", 2) is None
+
+    def test_length_prune(self):
+        assert osa_bitparallel_bounded("A", "ABCDEF", 2) is None
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            osa_bitparallel_bounded("A", "A", -1)
+
+    @given(ternary, ternary, st.integers(0, 4))
+    def test_agrees_with_metric(self, s, t, k):
+        d = damerau_levenshtein(s, t)
+        assert osa_bitparallel_bounded(s, t, k) == (d if d <= k else None)
+
+
+class TestBatch:
+    @settings(max_examples=40)
+    @given(st.lists(ternary, min_size=1, max_size=10), ternary.filter(bool))
+    def test_matches_scalar(self, targets, query):
+        codes, lengths = encode_raw(targets)
+        got = osa_bitparallel_batch(query, codes, lengths)
+        assert got.tolist() == [damerau_levenshtein(query, t) for t in targets]
+
+    def test_empty_batch(self):
+        codes, lengths = encode_raw([])
+        assert osa_bitparallel_batch("AB", codes, lengths).shape == (0,)
+
+    def test_empty_pattern(self):
+        codes, lengths = encode_raw(["AB", "A"])
+        assert osa_bitparallel_batch("", codes, lengths).tolist() == [2, 1]
+
+    def test_empty_targets(self):
+        codes, lengths = encode_raw(["", "AB"])
+        got = osa_bitparallel_batch("XY", codes, lengths)
+        assert got.tolist() == [2, 2]
+
+    def test_pattern_too_long(self):
+        codes, lengths = encode_raw(["AB"])
+        with pytest.raises(ValueError):
+            osa_bitparallel_batch("A" * 65, codes, lengths)
+
+    def test_mixed_length_freeze(self):
+        targets = ["AB", "ABDC", "ABCD"]
+        codes, lengths = encode_raw(targets)
+        got = osa_bitparallel_batch("ABCD", codes, lengths)
+        assert got.tolist() == [2, 1, 0]
+
+    def test_dtype(self):
+        codes, lengths = encode_raw(["AB"])
+        assert osa_bitparallel_batch("AB", codes, lengths).dtype == np.int64

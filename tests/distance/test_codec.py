@@ -1,0 +1,103 @@
+"""Unit tests for the string codecs backing the vectorized engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.codec import (
+    ALPHA_CODEC,
+    ASCII_CODEC,
+    DIGIT_CODEC,
+    Codec,
+    encode_raw,
+)
+
+latin_text = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=255), max_size=12
+)
+
+
+class TestCodec:
+    def test_pad_is_zero(self):
+        codes, lengths = ALPHA_CODEC.encode_padded(["AB", "ABCD"])
+        assert codes.shape == (2, 4)
+        assert codes[0, 2] == 0 and codes[0, 3] == 0
+        assert lengths.tolist() == [2, 4]
+
+    def test_casefold(self):
+        a = ALPHA_CODEC.encode("smith")
+        b = ALPHA_CODEC.encode("SMITH")
+        assert (a == b).all()
+
+    def test_digit_codec_no_casefold(self):
+        codes = DIGIT_CODEC.encode("0129")
+        assert codes.tolist() == [1, 2, 3, 10]
+
+    def test_other_code_distinct_from_pad(self):
+        codes = DIGIT_CODEC.encode("1-2")
+        assert codes[1] == DIGIT_CODEC.size - 1
+        assert codes[1] != 0
+
+    def test_empty_batch(self):
+        codes, lengths = ASCII_CODEC.encode_padded([])
+        assert codes.shape[0] == 0 and lengths.shape[0] == 0
+
+    def test_empty_string_in_batch(self):
+        codes, lengths = ASCII_CODEC.encode_padded(["", "AB"])
+        assert lengths.tolist() == [0, 2]
+        assert (codes[0] == 0).all()
+
+    def test_explicit_width_truncates(self):
+        codes, lengths = ASCII_CODEC.encode_padded(["ABCDEF"], width=3)
+        assert codes.shape == (1, 3)
+        # lengths keep the true length even when codes are truncated
+        assert lengths[0] == 6
+
+    def test_size(self):
+        assert DIGIT_CODEC.size == 12  # 10 digits + PAD + other
+
+    def test_custom_codec(self):
+        c = Codec("tiny", "XY", casefold=False)
+        assert c.encode("XYZ").tolist() == [1, 2, 3]  # Z -> other
+
+
+class TestEncodeRaw:
+    def test_roundtrip_codes(self):
+        codes, lengths = encode_raw(["AB", "c"])
+        assert codes[0, :2].tolist() == [ord("A"), ord("B")]
+        assert codes[1, 0] == ord("c")
+        assert lengths.tolist() == [2, 1]
+
+    def test_distinct_chars_stay_distinct(self):
+        codes, _ = encode_raw(["aA"])
+        assert codes[0, 0] != codes[0, 1]
+
+    def test_nul_rejected(self):
+        with pytest.raises(ValueError):
+            encode_raw(["A\x00B"])
+
+    def test_non_latin1_rejected(self):
+        with pytest.raises(ValueError):
+            encode_raw(["ABC☃"])
+
+    def test_empty_batch(self):
+        codes, lengths = encode_raw([])
+        assert codes.shape[0] == 0
+
+    @given(st.lists(latin_text.filter(lambda s: "\x00" not in s), max_size=6))
+    def test_lengths_always_true_lengths(self, strings):
+        _, lengths = encode_raw(strings)
+        assert lengths.tolist() == [len(s) for s in strings]
+
+    @given(latin_text.filter(lambda s: "\x00" not in s))
+    def test_padding_never_collides(self, s):
+        codes, lengths = encode_raw([s])
+        n = int(lengths[0])
+        assert (codes[0, :n] != 0).all()
+        assert (codes[0, n:] == 0).all()
+
+    def test_dtype(self):
+        codes, lengths = encode_raw(["AB"])
+        assert codes.dtype == np.uint8
+        assert lengths.dtype == np.int64

@@ -1,0 +1,120 @@
+"""Unit tests for restricted (OSA) and unrestricted Damerau-Levenshtein."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.damerau import damerau_levenshtein, true_damerau_levenshtein
+from repro.distance.levenshtein import levenshtein
+
+short_text = st.text(alphabet="ABCD", max_size=9)
+
+
+class TestDamerauLevenshtein:
+    def test_paper_figure1(self):
+        # Figure 1's matrix bottoms out at 3 for Saturday/Sunday.
+        assert damerau_levenshtein("Saturday", "Sunday") == 3
+
+    def test_paper_figure1_substring(self):
+        # "the distance between 'Sat' and 'Sun' is 2".
+        assert damerau_levenshtein("Sat", "Sun") == 2
+
+    def test_transposition_is_one_edit(self):
+        assert damerau_levenshtein("SMITH", "SMIHT") == 1
+
+    def test_transposition_beats_levenshtein(self):
+        assert levenshtein("SMITH", "SMIHT") == 2
+        assert damerau_levenshtein("SMITH", "SMIHT") == 1
+
+    def test_empty_left(self):
+        assert damerau_levenshtein("", "ABCD") == 4
+
+    def test_empty_right(self):
+        assert damerau_levenshtein("ABCD", "") == 4
+
+    def test_both_empty(self):
+        assert damerau_levenshtein("", "") == 0
+
+    def test_identity(self):
+        assert damerau_levenshtein("JOHNSON", "JOHNSON") == 0
+
+    def test_osa_restriction(self):
+        # The classic case where OSA (the paper's DL) differs from the
+        # true metric: edited substrings cannot be edited again.
+        assert damerau_levenshtein("CA", "ABC") == 3
+
+    def test_two_transpositions(self):
+        assert damerau_levenshtein("ABCD", "BADC") == 2
+
+    def test_non_adjacent_swap_not_one(self):
+        # Only adjacent transposition counts as one edit.
+        assert damerau_levenshtein("ABC", "CBA") == 2
+
+    def test_paper_proof_examples(self):
+        # Section 4's worked strings.
+        assert damerau_levenshtein("13245", "12345") == 1  # transposition
+        assert damerau_levenshtein("123456", "12345") == 1  # delete
+        assert damerau_levenshtein("1234", "12345") == 1  # insert
+        assert damerau_levenshtein("12346", "12345") == 1  # substitution
+
+    @given(short_text, short_text)
+    def test_symmetry(self, s, t):
+        assert damerau_levenshtein(s, t) == damerau_levenshtein(t, s)
+
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, s, t):
+        assert damerau_levenshtein(s, t) <= levenshtein(s, t)
+
+    @given(short_text, short_text)
+    def test_at_most_one_below_levenshtein_per_transposition(self, s, t):
+        # Each transposition saves exactly one edit vs Levenshtein, so
+        # OSA is at least half of Levenshtein.
+        assert damerau_levenshtein(s, t) >= levenshtein(s, t) / 2
+
+    @given(short_text, short_text)
+    def test_bounds(self, s, t):
+        d = damerau_levenshtein(s, t)
+        assert abs(len(s) - len(t)) <= d <= max(len(s), len(t))
+
+    @given(short_text)
+    def test_adjacent_swap_costs_one(self, s):
+        if len(s) >= 2 and s[0] != s[1]:
+            t = s[1] + s[0] + s[2:]
+            assert damerau_levenshtein(s, t) == 1
+
+
+class TestTrueDamerauLevenshtein:
+    def test_ca_abc(self):
+        assert true_damerau_levenshtein("CA", "ABC") == 2
+
+    def test_identity(self):
+        assert true_damerau_levenshtein("XYZ", "XYZ") == 0
+
+    def test_empties(self):
+        assert true_damerau_levenshtein("", "AB") == 2
+        assert true_damerau_levenshtein("AB", "") == 2
+        assert true_damerau_levenshtein("", "") == 0
+
+    def test_simple_transposition(self):
+        assert true_damerau_levenshtein("AB", "BA") == 1
+
+    @given(short_text, short_text)
+    def test_never_exceeds_osa(self, s, t):
+        # The unrestricted metric can only find cheaper edit scripts.
+        assert true_damerau_levenshtein(s, t) <= damerau_levenshtein(s, t)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, s, t):
+        assert true_damerau_levenshtein(s, t) == true_damerau_levenshtein(t, s)
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        # Unlike OSA, the unrestricted metric satisfies the triangle
+        # inequality.
+        d = true_damerau_levenshtein
+        assert d(a, c) <= d(a, b) + d(b, c)
+
+    def test_osa_triangle_violation_example(self):
+        # Documented OSA counterexample: d(CA,AC)=1, d(AC,ABC)=1 but
+        # d(CA,ABC)=3 > 1 + 1.
+        d = damerau_levenshtein
+        assert d("CA", "AC") + d("AC", "ABC") < d("CA", "ABC")

@@ -1,0 +1,71 @@
+"""Unit tests for Hamming distance and its threshold matcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.hamming import hamming, hamming_matcher
+
+text5 = st.text(alphabet="ABC", max_size=8)
+
+
+class TestHamming:
+    def test_classic(self):
+        assert hamming("karolin", "kathrin") == 3
+
+    def test_equal(self):
+        assert hamming("555", "555") == 0
+
+    def test_all_different(self):
+        assert hamming("AAA", "BBB") == 3
+
+    def test_overhang_counts(self):
+        assert hamming("12345", "1234") == 1
+        assert hamming("1234", "123499") == 2
+
+    def test_empty_vs_nonempty(self):
+        assert hamming("", "XYZ") == 3
+
+    def test_both_empty(self):
+        assert hamming("", "") == 0
+
+    def test_shift_blindness(self):
+        # The paper's reason Hamming has Type 2 errors: a single
+        # insertion shifts every later character.
+        assert damerau_levenshtein("JOHNSON", "JOHNSSON") == 1
+        assert hamming("JOHNSON", "JOHNSSON") > 1
+
+    @given(text5, text5)
+    def test_symmetry(self, s, t):
+        assert hamming(s, t) == hamming(t, s)
+
+    @given(text5, text5)
+    def test_upper_bounds_edit_distance(self, s, t):
+        # Hamming is an upper bound on Levenshtein (hence OSA):
+        # substituting every mismatched position is a valid edit script.
+        assert damerau_levenshtein(s, t) <= hamming(s, t)
+
+    @given(text5, text5)
+    def test_range(self, s, t):
+        d = hamming(s, t)
+        assert abs(len(s) - len(t)) <= d <= max(len(s), len(t))
+
+
+class TestHammingMatcher:
+    def test_threshold(self):
+        m = hamming_matcher(1)
+        assert m("12345", "12346") is True
+        assert m("12345", "12366") is False
+
+    def test_length_shortcut(self):
+        m = hamming_matcher(1)
+        assert m("123", "123456") is False
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            hamming_matcher(-1)
+
+    @given(text5, text5, st.integers(0, 5))
+    def test_matcher_equals_metric(self, s, t, k):
+        assert hamming_matcher(k)(s, t) == (hamming(s, t) <= k)

@@ -1,0 +1,116 @@
+"""Unit tests for Jaro and Jaro-Winkler similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.jaro import jaro, jaro_matcher, jaro_winkler, jaro_winkler_matcher
+
+names = st.text(alphabet="ABCDEFG", max_size=10)
+
+
+class TestJaro:
+    def test_paper_example(self):
+        # Section 2.3: jaro(SMITH, SMIHT) = 0.967 under the paper's
+        # halved transposition penalty.
+        assert jaro("SMITH", "SMIHT") == pytest.approx(0.967, abs=5e-4)
+
+    def test_standard_variant(self):
+        assert jaro("SMITH", "SMIHT", variant="standard") == pytest.approx(
+            0.9333, abs=5e-4
+        )
+        assert jaro("MARTHA", "MARHTA", variant="standard") == pytest.approx(
+            0.9444, abs=5e-4
+        )
+
+    def test_paper_no_match_example(self):
+        # "The Jaro score for SMITH and JONES would be 0.0".
+        assert jaro("SMITH", "JONES") == 0.0
+
+    def test_identical(self):
+        assert jaro("GARCIA", "GARCIA") == 1.0
+
+    def test_both_empty(self):
+        assert jaro("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaro("", "ABC") == 0.0
+        assert jaro("ABC", "") == 0.0
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            jaro("A", "B", variant="bogus")
+
+    def test_window_excludes_distant_matches(self):
+        # Shared characters more than the window apart do not match.
+        assert jaro("A" + "X" * 8, "Y" * 8 + "A") == 0.0
+
+    @given(names, names)
+    def test_range(self, s, t):
+        assert 0.0 <= jaro(s, t) <= 1.0
+
+    @given(names, names)
+    def test_symmetry(self, s, t):
+        assert jaro(s, t) == pytest.approx(jaro(t, s))
+
+    @given(names)
+    def test_self_similarity(self, s):
+        assert jaro(s, s) == 1.0
+
+    @given(names, names)
+    def test_paper_variant_never_below_standard(self, s, t):
+        assert jaro(s, t) >= jaro(s, t, variant="standard") - 1e-12
+
+
+class TestJaroWinkler:
+    def test_paper_example(self):
+        # Section 2.4: wink(SMITH, SMIHT) = 0.977.
+        assert jaro_winkler("SMITH", "SMIHT") == pytest.approx(0.977, abs=5e-4)
+
+    def test_prefix_boost(self):
+        # Same Jaro score; the shared prefix lifts Winkler.
+        base = jaro("MARTHA", "MARHTA")
+        assert jaro_winkler("MARTHA", "MARHTA") > base
+
+    def test_no_shared_prefix_equals_jaro(self):
+        assert jaro_winkler("ABCD", "XBCD") == pytest.approx(jaro("ABCD", "XBCD"))
+
+    def test_prefix_capped_at_four(self):
+        # Identical 5-char prefix must not score above an identical
+        # 4-char prefix contribution: p*l with l clamped to 4.
+        s, t = "ABCDEF", "ABCDEX"
+        base = jaro(s, t)
+        assert jaro_winkler(s, t) == pytest.approx(base + 4 * 0.1 * (1 - base))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("A", "A", prefix_scale=0.5)
+
+    @given(names, names)
+    def test_range(self, s, t):
+        assert 0.0 <= jaro_winkler(s, t) <= 1.0
+
+    @given(names, names)
+    def test_winkler_never_below_jaro(self, s, t):
+        assert jaro_winkler(s, t) >= jaro(s, t) - 1e-12
+
+
+class TestMatchers:
+    def test_jaro_matcher(self):
+        m = jaro_matcher(0.9)
+        assert m("SMITH", "SMIHT") is True
+        assert m("SMITH", "JONES") is False
+
+    def test_wink_matcher(self):
+        m = jaro_winkler_matcher(0.97)
+        assert m("SMITH", "SMIHT") is True
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            jaro_matcher(1.5)
+        with pytest.raises(ValueError):
+            jaro_winkler_matcher(-0.1)
+
+    @given(names, names, st.floats(0.0, 1.0))
+    def test_matcher_consistency(self, s, t, theta):
+        assert jaro_matcher(theta)(s, t) == (jaro(s, t) >= theta)

@@ -1,0 +1,108 @@
+"""Unit tests for plain Levenshtein distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import bounded_levenshtein, levenshtein
+
+short_text = st.text(alphabet="ABCDE", max_size=10)
+
+
+class TestLevenshtein:
+    def test_paper_example(self):
+        assert levenshtein("Saturday", "Sunday") == 3
+
+    def test_identity(self):
+        assert levenshtein("KITTEN", "KITTEN") == 0
+
+    def test_empty_left(self):
+        assert levenshtein("", "ABC") == 3
+
+    def test_empty_right(self):
+        assert levenshtein("ABC", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("CAT", "CUT") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein("CAT", "CART") == 1
+
+    def test_single_deletion(self):
+        assert levenshtein("CART", "CAT") == 1
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein sees an adjacent swap as two edits.
+        assert levenshtein("AB", "BA") == 2
+
+    def test_completely_different(self):
+        assert levenshtein("AAA", "BBB") == 3
+
+    def test_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_case_sensitive(self):
+        assert levenshtein("abc", "ABC") == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, s, t):
+        assert levenshtein(s, t) == levenshtein(t, s)
+
+    @given(short_text, short_text)
+    def test_bounds(self, s, t):
+        d = levenshtein(s, t)
+        assert abs(len(s) - len(t)) <= d <= max(len(s), len(t))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text)
+    def test_identity_of_indiscernibles(self, s):
+        assert levenshtein(s, s) == 0
+
+    @given(short_text, st.integers(0, 4), st.text(alphabet="ABCDE", min_size=1, max_size=1))
+    def test_single_insert_distance_one(self, s, pos, ch):
+        pos = min(pos, len(s))
+        t = s[:pos] + ch + s[pos:]
+        assert levenshtein(s, t) <= 1
+
+
+class TestBoundedLevenshtein:
+    def test_within_bound_returns_distance(self):
+        assert bounded_levenshtein("CAT", "CUT", 2) == 1
+
+    def test_beyond_bound_returns_none(self):
+        assert bounded_levenshtein("Saturday", "Sunday", 2) is None
+
+    def test_exactly_at_bound(self):
+        assert bounded_levenshtein("Saturday", "Sunday", 3) == 3
+
+    def test_length_prune(self):
+        assert bounded_levenshtein("A", "ABCDEFG", 2) is None
+
+    def test_k_zero_equal(self):
+        assert bounded_levenshtein("SAME", "SAME", 0) == 0
+
+    def test_k_zero_unequal(self):
+        assert bounded_levenshtein("SAME", "SOME", 0) is None
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_levenshtein("A", "B", -1)
+
+    def test_non_integer_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_levenshtein("A", "B", 1.5)
+
+    @given(short_text, short_text, st.integers(0, 6))
+    def test_agrees_with_full_dp(self, s, t, k):
+        full = levenshtein(s, t)
+        banded = bounded_levenshtein(s, t, k)
+        if full <= k:
+            assert banded == full
+        else:
+            assert banded is None

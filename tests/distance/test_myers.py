@@ -1,0 +1,106 @@
+"""Unit and property tests for Myers bit-parallel Levenshtein."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.codec import encode_raw
+from repro.distance.levenshtein import levenshtein
+from repro.distance.myers import MAX_PATTERN, myers_batch, myers_bounded, myers_distance
+
+text = st.text(alphabet="ABCD1", max_size=12)
+
+
+class TestMyersDistance:
+    def test_classic(self):
+        assert myers_distance("Saturday", "Sunday") == 3
+        assert myers_distance("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert myers_distance("GARCIA", "GARCIA") == 0
+
+    def test_empties(self):
+        assert myers_distance("", "ABC") == 3
+        assert myers_distance("ABC", "") == 3
+        assert myers_distance("", "") == 0
+
+    def test_transposition_costs_two(self):
+        # Levenshtein semantics, not OSA.
+        assert myers_distance("AB", "BA") == 2
+
+    def test_long_pattern_fallback(self):
+        s = "A" * 80
+        t = "A" * 79 + "B"
+        assert myers_distance(s, t) == levenshtein(s, t) == 1
+
+    def test_word_boundary_pattern(self):
+        s = "A" * MAX_PATTERN
+        assert myers_distance(s, s) == 0
+        assert myers_distance(s, s[:-1]) == 1
+
+    @given(text, text)
+    def test_matches_levenshtein(self, s, t):
+        assert myers_distance(s, t) == levenshtein(s, t)
+
+    @given(text, text)
+    def test_symmetry(self, s, t):
+        assert myers_distance(s, t) == myers_distance(t, s)
+
+
+class TestMyersBounded:
+    def test_within(self):
+        assert myers_bounded("CAT", "CUT", 1) == 1
+
+    def test_beyond(self):
+        assert myers_bounded("CAT", "DOG", 1) is None
+
+    def test_length_prune(self):
+        assert myers_bounded("A", "ABCDEF", 2) is None
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            myers_bounded("A", "A", -1)
+
+    @given(text, text, st.integers(0, 4))
+    def test_agrees_with_metric(self, s, t, k):
+        d = levenshtein(s, t)
+        got = myers_bounded(s, t, k)
+        assert got == (d if d <= k else None)
+
+
+class TestMyersBatch:
+    @given(st.lists(text, min_size=1, max_size=12), text.filter(bool))
+    def test_matches_scalar(self, targets, query):
+        codes, lengths = encode_raw(targets)
+        got = myers_batch(query, codes, lengths)
+        assert got.tolist() == [levenshtein(query, t) for t in targets]
+
+    def test_empty_targets_array(self):
+        codes, lengths = encode_raw([])
+        assert myers_batch("ABC", codes, lengths).shape == (0,)
+
+    def test_empty_target_strings(self):
+        codes, lengths = encode_raw(["", "X"])
+        got = myers_batch("AB", codes, lengths)
+        assert got.tolist() == [2, 2]
+
+    def test_empty_pattern(self):
+        codes, lengths = encode_raw(["AB", "ABC"])
+        got = myers_batch("", codes, lengths)
+        assert got.tolist() == [2, 3]
+
+    def test_pattern_too_long(self):
+        codes, lengths = encode_raw(["AB"])
+        with pytest.raises(ValueError):
+            myers_batch("A" * 65, codes, lengths)
+
+    def test_mixed_lengths_freeze_correctly(self):
+        targets = ["A", "AB", "ABC", "ABCD"]
+        codes, lengths = encode_raw(targets)
+        got = myers_batch("ABC", codes, lengths)
+        assert got.tolist() == [2, 1, 0, 1]
+
+    def test_dtype(self):
+        codes, lengths = encode_raw(["AB"])
+        assert myers_batch("AB", codes, lengths).dtype == np.int64

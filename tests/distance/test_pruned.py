@@ -1,0 +1,109 @@
+"""Unit and property tests for PDL (Algorithm 2) and bounded OSA."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.pruned import bounded_osa, pdl, pdl_matcher
+
+short_text = st.text(alphabet="ABC1", max_size=9)
+nonempty = st.text(alphabet="ABC1", min_size=1, max_size=9)
+
+
+class TestPDL:
+    def test_paper_figure2_threshold(self):
+        # Figure 2 runs Saturday/Sunday with k=2: the true distance is 3.
+        assert pdl("Saturday", "Sunday", 2) is False
+        assert pdl("Saturday", "Sunday", 3) is True
+
+    def test_length_prune_shortcut(self):
+        # "For k=1, PDL would terminate immediately because
+        #  abs(|s|-|t|) > k" (Saturday=8, Sunday=6).
+        assert pdl("Saturday", "Sunday", 1) is False
+
+    def test_empty_strings_rejected(self):
+        # Paper Algorithm 2 Step 1: empty operands return FALSE, even
+        # when both are empty.
+        assert pdl("", "", 1) is False
+        assert pdl("", "A", 1) is False
+        assert pdl("A", "", 1) is False
+
+    def test_empty_matches_flag(self):
+        assert pdl("", "", 1, empty_matches=True) is True
+        assert pdl("", "A", 1, empty_matches=True) is True
+        assert pdl("", "AB", 1, empty_matches=True) is False
+
+    def test_transposition_within_one(self):
+        assert pdl("SMITH", "SMIHT", 1) is True
+
+    def test_identical(self):
+        assert pdl("JONES", "JONES", 0) is True
+
+    def test_k_zero_differs(self):
+        assert pdl("JONES", "JONAS", 0) is False
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            pdl("A", "B", -1)
+
+    def test_bool_k_rejected(self):
+        with pytest.raises(ValueError):
+            pdl("A", "B", True)
+
+    @given(nonempty, nonempty, st.integers(0, 5))
+    def test_equals_osa_threshold(self, s, t, k):
+        # The load-bearing equivalence: PDL(s,t,k) <=> OSA(s,t) <= k.
+        assert pdl(s, t, k) == (damerau_levenshtein(s, t) <= k)
+
+    @given(short_text, short_text, st.integers(0, 5))
+    def test_empty_matches_mode_equals_osa(self, s, t, k):
+        assert pdl(s, t, k, empty_matches=True) == (
+            damerau_levenshtein(s, t) <= k
+        )
+
+    @given(nonempty, st.integers(1, 4))
+    def test_monotone_in_k(self, s, k):
+        t = s[::-1]
+        if pdl(s, t, k):
+            assert pdl(s, t, k + 1)
+
+
+class TestBoundedOSA:
+    def test_returns_exact_distance(self):
+        assert bounded_osa("Saturday", "Sunday", 3) == 3
+
+    def test_none_beyond_bound(self):
+        assert bounded_osa("Saturday", "Sunday", 2) is None
+
+    def test_zero_for_equal(self):
+        assert bounded_osa("ABC", "ABC", 0) == 0
+
+    def test_empty_handling_is_mathematical(self):
+        # Unlike pdl(), bounded_osa keeps DL's empty-string semantics.
+        assert bounded_osa("", "AB", 2) == 2
+        assert bounded_osa("", "AB", 1) is None
+        assert bounded_osa("", "", 0) == 0
+
+    @given(short_text, short_text, st.integers(0, 5))
+    def test_agrees_with_full_dp(self, s, t, k):
+        full = damerau_levenshtein(s, t)
+        banded = bounded_osa(s, t, k)
+        if full <= k:
+            assert banded == full
+        else:
+            assert banded is None
+
+
+class TestPDLMatcher:
+    def test_binds_threshold(self):
+        m = pdl_matcher(1)
+        assert m("SMITH", "SMIHT") is True
+        assert m("SMITH", "JONES") is False
+
+    def test_name_carries_threshold(self):
+        assert pdl_matcher(2).__name__ == "pdl_k2"
+
+    def test_invalid_threshold_fails_at_build(self):
+        with pytest.raises(ValueError):
+            pdl_matcher(-3)

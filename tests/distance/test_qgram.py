@@ -1,0 +1,66 @@
+"""Unit tests for the q-gram profile distance extension."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import levenshtein
+from repro.distance.qgram import qgram_distance, qgram_filter, qgram_profile
+
+text = st.text(alphabet="ABC", max_size=8)
+
+
+class TestQgramProfile:
+    def test_unpadded_bigrams(self):
+        assert sorted(qgram_profile("ABCA", 2, padded=False)) == ["AB", "BC", "CA"]
+
+    def test_padded_adds_edges(self):
+        prof = qgram_profile("AB", 2)
+        assert sum(prof.values()) == 3  # _A, AB, B_
+
+    def test_multiset_counts(self):
+        prof = qgram_profile("AAA", 2, padded=False)
+        assert prof["AA"] == 2
+
+    def test_empty_string(self):
+        assert sum(qgram_profile("", 2, padded=False).values()) == 0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgram_profile("AB", 0)
+
+    def test_unigrams(self):
+        prof = qgram_profile("ABA", 1, padded=False)
+        assert prof["A"] == 2 and prof["B"] == 1
+
+
+class TestQgramDistance:
+    def test_identical(self):
+        assert qgram_distance("12345", "12345") == 0
+
+    def test_disjoint(self):
+        assert qgram_distance("AAAA", "BBBB") > 0
+
+    def test_symmetry_example(self):
+        assert qgram_distance("ABCD", "ABXD") == qgram_distance("ABXD", "ABCD")
+
+    @given(text, text)
+    def test_symmetry(self, s, t):
+        assert qgram_distance(s, t) == qgram_distance(t, s)
+
+    @given(text, text, st.integers(1, 3))
+    def test_lower_bounds_edit_distance(self, s, t, q):
+        # One edit touches at most q q-grams on each side.
+        assert qgram_distance(s, t, q) <= 2 * q * levenshtein(s, t)
+
+
+class TestQgramFilter:
+    @given(text, text, st.integers(0, 3))
+    def test_filter_is_safe(self, s, t, k):
+        # Never rejects a true match: the same zero-false-negative
+        # contract as FBF.
+        if levenshtein(s, t) <= k:
+            assert qgram_filter(k)(s, t)
+
+    def test_filter_rejects_distant(self):
+        assert qgram_filter(1)("AAAAAAAA", "BBBBBBBB") is False

@@ -1,0 +1,90 @@
+"""Unit tests for the American Soundex code."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.soundex import soundex, soundex_matcher
+
+names = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=12)
+
+
+class TestSoundex:
+    def test_knuth_classics(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Ashcroft") == "A261"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+
+    def test_washington(self):
+        assert soundex("Washington") == "W252"
+
+    def test_short_name_zero_padded(self):
+        assert soundex("Lee") == "L000"
+
+    def test_gutierrez(self):
+        assert soundex("Gutierrez") == "G362"
+
+    def test_jackson(self):
+        assert soundex("Jackson") == "J250"
+
+    def test_vowel_breaks_run(self):
+        # The two C-codes in "CACA"-like patterns are kept because a
+        # vowel separates them.
+        assert soundex("Tymczak") == "T522"  # z and c merge, a separates k
+
+    def test_hw_transparent(self):
+        # H between two same-coded consonants does not split them.
+        assert soundex("Ashcraft") == soundex("Ashcroft")
+
+    def test_case_insensitive(self):
+        assert soundex("SMITH") == soundex("smith")
+
+    def test_nonalpha_ignored(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_empty_and_nonalpha(self):
+        assert soundex("") == ""
+        assert soundex("12345") == ""
+
+    def test_leading_double_letter(self):
+        # The first letter's code suppresses an immediately following
+        # same-coded letter (classic "Pfister" -> P236 not P123 rule).
+        assert soundex("Lloyd") == "L300"
+
+    @given(names)
+    def test_shape(self, name):
+        code = soundex(name)
+        assert len(code) == 4
+        assert code[0].isalpha() and code[0].isupper()
+        assert all(c in "0123456" for c in code[1:])
+
+    @given(names)
+    def test_deterministic(self, name):
+        assert soundex(name) == soundex(name)
+
+    @given(names)
+    def test_self_match(self, name):
+        assert soundex_matcher()(name, name)
+
+
+class TestSoundexMatcher:
+    def test_homophones_match(self):
+        m = soundex_matcher()
+        assert m("Robert", "Rupert") is True
+
+    def test_different_names(self):
+        m = soundex_matcher()
+        assert m("Smith", "Jones") is False
+
+    def test_empty_never_matches(self):
+        m = soundex_matcher()
+        assert m("", "") is False
+        assert m("", "Smith") is False
+
+    def test_single_edit_breaks_code(self):
+        # The paper's Table 7 story: a leading-letter typo defeats
+        # Soundex entirely.
+        m = soundex_matcher()
+        assert m("SMITH", "AMITH") is False

@@ -1,0 +1,108 @@
+"""Unit tests for token/set similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.tokens import (
+    cosine_qgrams,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    qgram_set,
+    token_matcher,
+    word_tokens,
+)
+
+text = st.text(alphabet="ABC 1", max_size=10)
+
+
+class TestTokenizers:
+    def test_word_tokens(self):
+        assert word_tokens("123 Main St") == {"123", "main", "st"}
+
+    def test_word_tokens_empty(self):
+        assert word_tokens("   ") == frozenset()
+
+    def test_qgram_set_padded(self):
+        grams = qgram_set("AB", 2)
+        assert len(grams) == 3  # _a, ab, b_
+
+    def test_qgram_set_dedupes(self):
+        assert len(qgram_set("AAAA", 2)) == 3  # _a, aa, a_
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgram_set("A", 0)
+
+
+class TestCoefficients:
+    def test_identical(self):
+        for fn in (jaccard, dice, overlap_coefficient):
+            assert fn("SMITH", "SMITH") == 1.0
+        assert cosine_qgrams("SMITH", "SMITH") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        for fn in (jaccard, dice, overlap_coefficient):
+            assert fn("AAA", "BBB") == 0.0
+        assert cosine_qgrams("AAA", "BBB") == 0.0
+
+    def test_both_empty(self):
+        assert jaccard("", "") == 1.0
+        assert cosine_qgrams("", "", 1) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard("", "AB") == 0.0
+
+    def test_word_mode(self):
+        assert jaccard("MAIN ST", "MAIN AVE", q=None) == pytest.approx(1 / 3)
+
+    def test_ordering_dice_above_jaccard(self):
+        # Dice >= Jaccard always (2i/(a+b) >= i/(a+b-i) for i <= min).
+        s, t = "SMITH", "SMYTHE"
+        assert dice(s, t) >= jaccard(s, t)
+
+    def test_overlap_at_least_jaccard(self):
+        s, t = "SMITH", "SMYTHE"
+        assert overlap_coefficient(s, t) >= jaccard(s, t)
+
+    @given(text, text)
+    def test_ranges(self, s, t):
+        for fn in (jaccard, dice, overlap_coefficient):
+            assert 0.0 <= fn(s, t) <= 1.0
+        assert 0.0 <= cosine_qgrams(s, t) <= 1.0 + 1e-12
+
+    @given(text, text)
+    def test_symmetry(self, s, t):
+        assert jaccard(s, t) == jaccard(t, s)
+        assert dice(s, t) == dice(t, s)
+        assert cosine_qgrams(s, t) == pytest.approx(cosine_qgrams(t, s))
+
+    @given(text)
+    def test_self_similarity(self, s):
+        assert jaccard(s, s) == 1.0
+
+
+class TestTokenMatcher:
+    def test_threshold(self):
+        m = token_matcher(0.5)
+        assert m("SMITH", "SMITH")
+        assert not m("SMITH", "JONES")
+
+    def test_custom_similarity(self):
+        m = token_matcher(0.9, dice)
+        assert "dice" in m.__name__
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            token_matcher(1.5)
+
+    def test_tokens_coarse_on_short_strings(self):
+        # The paper's reason for exclusion, in miniature: a one-char
+        # substitution in a 5-char name wipes out 2-3 of ~6 q-grams, so
+        # any threshold loose enough to accept true twins also accepts
+        # strings sharing a few grams by chance.
+        true_twin = jaccard("SMITH", "SMYTH")  # one substitution
+        rotated = jaccard("SMITH", "MITHS")  # edit distance 2, same grams
+        assert true_twin <= 0.5  # the twin scores poorly...
+        assert rotated >= 0.3  # ...while distant strings score non-trivially

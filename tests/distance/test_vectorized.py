@@ -1,0 +1,163 @@
+"""Equivalence tests: vectorized pair-batch metrics vs scalar reference.
+
+These are the fidelity contract of the NumPy engines: every function in
+:mod:`repro.distance.vectorized` must agree with its scalar twin *exactly*
+(boolean/integer results) or to float tolerance (Jaro family), on both
+hypothesis-generated batches and targeted edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.codec import encode_raw
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.hamming import hamming
+from repro.distance.jaro import jaro, jaro_winkler
+from repro.distance.levenshtein import levenshtein
+from repro.distance.pruned import pdl
+from repro.distance.vectorized import (
+    hamming_pairs,
+    jaro_pairs,
+    jaro_winkler_pairs,
+    levenshtein_pairs,
+    osa_pairs,
+    osa_within_k_pairs,
+)
+
+batch = st.lists(st.text(alphabet="ABC1", max_size=7), min_size=1, max_size=8)
+
+
+def _full_product(a, b):
+    ca, la = encode_raw(a)
+    cb, lb = encode_raw(b)
+    ii, jj = np.meshgrid(np.arange(len(a)), np.arange(len(b)), indexing="ij")
+    return ca, la, cb, lb, ii.ravel(), jj.ravel()
+
+
+class TestOSAPairs:
+    @given(batch, batch)
+    def test_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = osa_pairs(ca, la, cb, lb, ii, jj)
+        expected = [damerau_levenshtein(a[i], b[j]) for i, j in zip(ii, jj)]
+        assert got.tolist() == expected
+
+    def test_empty_strings(self):
+        ca, la, cb, lb, ii, jj = _full_product(["", "AB"], ["", "A"])
+        got = osa_pairs(ca, la, cb, lb, ii, jj)
+        assert got.tolist() == [0, 1, 2, 1]
+
+    def test_transpositions(self):
+        ca, la, cb, lb, ii, jj = _full_product(["SMITH"], ["SMIHT"])
+        assert osa_pairs(ca, la, cb, lb, ii, jj).tolist() == [1]
+
+    def test_subset_of_pairs(self):
+        a, b = ["AB", "CD", "EF"], ["AB", "XY"]
+        ca, la = encode_raw(a)
+        cb, lb = encode_raw(b)
+        ii = np.array([0, 2])
+        jj = np.array([0, 1])
+        got = osa_pairs(ca, la, cb, lb, ii, jj)
+        assert got.tolist() == [0, 2]
+
+
+class TestLevenshteinPairs:
+    @given(batch, batch)
+    def test_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = levenshtein_pairs(ca, la, cb, lb, ii, jj)
+        expected = [levenshtein(a[i], b[j]) for i, j in zip(ii, jj)]
+        assert got.tolist() == expected
+
+    def test_no_transposition_credit(self):
+        ca, la, cb, lb, ii, jj = _full_product(["AB"], ["BA"])
+        assert levenshtein_pairs(ca, la, cb, lb, ii, jj).tolist() == [2]
+
+
+class TestOSAWithinK:
+    @given(batch, batch, st.integers(0, 3))
+    def test_matches_pdl(self, a, b, k):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = osa_within_k_pairs(ca, la, cb, lb, ii, jj, k)
+        expected = [pdl(a[i], b[j], k) for i, j in zip(ii, jj)]
+        assert got.tolist() == expected
+
+    def test_rejects_empty_like_paper(self):
+        ca, la, cb, lb, ii, jj = _full_product([""], [""])
+        assert osa_within_k_pairs(ca, la, cb, lb, ii, jj, 2).tolist() == [False]
+
+    def test_k_zero_is_equality(self):
+        a = ["ABC", "ABD", ""]
+        ca, la, cb, lb, ii, jj = _full_product(a, ["ABC"])
+        got = osa_within_k_pairs(ca, la, cb, lb, ii, jj, 0)
+        assert got.tolist() == [True, False, False]
+
+    def test_negative_k(self):
+        ca, la, cb, lb, ii, jj = _full_product(["A"], ["A"])
+        with pytest.raises(ValueError):
+            osa_within_k_pairs(ca, la, cb, lb, ii, jj, -1)
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 3))
+    def test_band_wider_than_strings(self, k):
+        # k larger than both strings: band covers everything.
+        ca, la, cb, lb, ii, jj = _full_product(["A"], ["B"])
+        assert osa_within_k_pairs(ca, la, cb, lb, ii, jj, k).tolist() == [True]
+
+
+class TestHammingPairs:
+    @given(batch, batch)
+    def test_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = hamming_pairs(ca, la, cb, lb, ii, jj)
+        expected = [hamming(a[i], b[j]) for i, j in zip(ii, jj)]
+        assert got.tolist() == expected
+
+    def test_overhang_beyond_shared_width(self):
+        # Right dataset is much narrower than the left strings.
+        a, b = ["ABCDEFGH"], ["AB"]
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        assert hamming_pairs(ca, la, cb, lb, ii, jj).tolist() == [6]
+
+
+class TestJaroPairs:
+    @given(batch, batch)
+    def test_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = jaro_pairs(ca, la, cb, lb, ii, jj)
+        expected = [jaro(a[i], b[j]) for i, j in zip(ii, jj)]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    @given(batch, batch)
+    def test_standard_variant_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = jaro_pairs(ca, la, cb, lb, ii, jj, variant="standard")
+        expected = [jaro(a[i], b[j], variant="standard") for i, j in zip(ii, jj)]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_paper_example(self):
+        ca, la, cb, lb, ii, jj = _full_product(["SMITH"], ["SMIHT"])
+        got = jaro_pairs(ca, la, cb, lb, ii, jj)
+        assert got[0] == pytest.approx(jaro("SMITH", "SMIHT"))
+
+    def test_empty_pairs(self):
+        ca, la, cb, lb, ii, jj = _full_product(["", "A"], ["", "A"])
+        got = jaro_pairs(ca, la, cb, lb, ii, jj)
+        expected = [jaro("", ""), jaro("", "A"), jaro("A", ""), jaro("A", "A")]
+        np.testing.assert_allclose(got, expected)
+
+
+class TestJaroWinklerPairs:
+    @given(batch, batch)
+    def test_matches_scalar(self, a, b):
+        ca, la, cb, lb, ii, jj = _full_product(a, b)
+        got = jaro_winkler_pairs(ca, la, cb, lb, ii, jj)
+        expected = [jaro_winkler(a[i], b[j]) for i, j in zip(ii, jj)]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_prefix_cap(self):
+        ca, la, cb, lb, ii, jj = _full_product(["ABCDEF"], ["ABCDEX"])
+        got = jaro_winkler_pairs(ca, la, cb, lb, ii, jj)
+        assert got[0] == pytest.approx(jaro_winkler("ABCDEF", "ABCDEX"))

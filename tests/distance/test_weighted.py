@@ -1,0 +1,103 @@
+"""Unit and property tests for weighted OSA edit distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.weighted import (
+    keyboard_cost,
+    keypad_cost,
+    ocr_cost,
+    weighted_osa,
+)
+
+text = st.text(alphabet="ABCDE12", max_size=9)
+
+
+class TestDefaultsReduceToOSA:
+    @given(text, text)
+    def test_unit_costs_equal_osa(self, s, t):
+        assert weighted_osa(s, t) == damerau_levenshtein(s, t)
+
+    def test_empties(self):
+        assert weighted_osa("", "ABC") == 3.0
+        assert weighted_osa("ABC", "") == 3.0
+        assert weighted_osa("", "") == 0.0
+
+
+class TestCostModels:
+    def test_adjacent_key_cheaper(self):
+        cost = keyboard_cost(0.5)
+        # S and A are QWERTY neighbours; S and P are not.
+        near = weighted_osa("SMITH", "AMITH", substitution_cost=cost)
+        far = weighted_osa("SMITH", "PMITH", substitution_cost=cost)
+        assert near == 0.5
+        assert far == 1.0
+
+    def test_keypad_digits(self):
+        cost = keypad_cost(0.25)
+        assert weighted_osa("555", "556", substitution_cost=cost) == 0.25
+        assert weighted_osa("555", "551", substitution_cost=cost) == 1.0
+
+    def test_ocr_lookalikes(self):
+        cost = ocr_cost(0.3)
+        assert weighted_osa("B0B", "BOB", substitution_cost=cost) == pytest.approx(0.3)
+
+    def test_invalid_confusable_cost(self):
+        with pytest.raises(ValueError):
+            keyboard_cost(0.0)
+        with pytest.raises(ValueError):
+            keyboard_cost(1.5)
+
+    def test_custom_indel_and_transposition(self):
+        assert weighted_osa("AB", "BA", transposition_cost=0.4) == pytest.approx(0.4)
+        assert weighted_osa("AB", "ABC", indel_cost=2.0) == 2.0
+
+    def test_invalid_operation_costs(self):
+        with pytest.raises(ValueError):
+            weighted_osa("A", "B", indel_cost=0.0)
+        with pytest.raises(ValueError):
+            weighted_osa("A", "B", transposition_cost=-1.0)
+
+    def test_negative_substitution_cost_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_osa("A", "B", substitution_cost=lambda a, b: -1.0)
+
+
+class TestFilterSafetyPreserved:
+    @given(text, text, st.floats(0.1, 1.0))
+    def test_weighted_never_exceeds_unit_osa(self, s, t, c):
+        # Costs in (0, 1] can only lower the distance, so any filter
+        # that is safe for unit OSA at threshold k remains safe for the
+        # weighted metric at the same threshold.
+        w = weighted_osa(s, t, substitution_cost=keyboard_cost(c))
+        assert w <= damerau_levenshtein(s, t) + 1e-9
+
+    @given(text, text)
+    def test_symmetry_with_symmetric_costs(self, s, t):
+        # The stock tables are symmetric, so the metric is too.
+        cost = keyboard_cost(0.5)
+        assert weighted_osa(s, t, substitution_cost=cost) == pytest.approx(
+            weighted_osa(t, s, substitution_cost=cost)
+        )
+
+    @given(text)
+    def test_identity(self, s):
+        assert weighted_osa(s, s, substitution_cost=ocr_cost()) == 0.0
+
+    @given(text, text, st.floats(0.25, 1.0), st.floats(0.5, 2.0))
+    def test_fbf_prefilter_sizing_is_safe(self, s, t, min_c, threshold):
+        # The WeightedComparator contract: a pair within weighted
+        # threshold T spans at most ceil(T / min_cost) unit edits, so
+        # the FBF filter at that k never rejects it.
+        import math
+
+        from repro.core.signatures import alpha_signature, diff_bits
+
+        cost = keyboard_cost(min_c)
+        w = weighted_osa(s, t, substitution_cost=cost)
+        if w <= threshold:
+            k = math.ceil(threshold / min_c)
+            bits = diff_bits(alpha_signature(s, 2), alpha_signature(t, 2))
+            assert bits <= 2 * k, (s, t, w, k, bits)

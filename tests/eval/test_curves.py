@@ -1,0 +1,82 @@
+"""Tests for the runtime-curve runner and its derived views."""
+
+import pytest
+
+from repro.eval.curves import (
+    FIG7_METHODS,
+    FIG9_METHODS,
+    per_pair_times,
+    run_runtime_curve,
+    speedup_by_n,
+)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return run_runtime_curve(
+        "LN", ns=(60, 120, 180), methods=("DL", "PDL", "FDL", "FPDL"), seed=0
+    )
+
+
+class TestRunRuntimeCurve:
+    def test_shape(self, curve):
+        assert curve.ns == [60, 120, 180]
+        for m in ("DL", "PDL", "FDL", "FPDL"):
+            assert len(curve.times_ms[m]) == 3
+            assert all(t > 0 for t in curve.times_ms[m])
+
+    def test_series_accessor(self, curve):
+        series = curve.series("DL")
+        assert [n for n, _ in series] == [60, 120, 180]
+
+    def test_dl_grows_fastest(self, curve):
+        # Figure 7's headline: DL has the greatest growth, FBF methods
+        # the smallest.
+        dl_growth = curve.times_ms["DL"][-1] / curve.times_ms["DL"][0]
+        assert curve.times_ms["DL"][-1] == max(
+            curve.times_ms[m][-1] for m in curve.times_ms
+        )
+        assert dl_growth > 1.0
+
+    def test_fbf_methods_fastest_at_largest_n(self, curve):
+        at_max = {m: t[-1] for m, t in curve.times_ms.items()}
+        assert at_max["FPDL"] < at_max["PDL"] < at_max["DL"]
+        assert at_max["FDL"] < at_max["DL"]
+
+    def test_method_sets(self):
+        assert "FBF" in FIG7_METHODS and "DL" in FIG7_METHODS
+        assert set(FIG9_METHODS) == {"LDL", "LPDL", "LF", "LFDL", "LFPDL", "LFBF"}
+
+    def test_invalid_datasets_per_n(self):
+        with pytest.raises(ValueError):
+            run_runtime_curve("LN", ns=(10,), datasets_per_n=0)
+
+
+class TestSpeedupByN:
+    def test_fpdl_over_dl(self, curve):
+        table = speedup_by_n(curve, "FPDL", "DL")
+        assert [n for n, _ in table] == [60, 120, 180]
+        assert all(s > 1.0 for _, s in table)
+
+    def test_missing_method(self, curve):
+        with pytest.raises(KeyError):
+            speedup_by_n(curve, "LFPDL", "DL")
+
+
+class TestPerPairTimes:
+    def test_units_and_shape(self, curve):
+        pp = per_pair_times(curve, ["DL", "FDL"])
+        assert set(pp) == {"DL", "FDL"}
+        pairs, ns_per_pair = pp["DL"][0]
+        assert pairs == 60 * 60
+        # ms * 1e6 / pairs: per-pair time in nanoseconds.
+        assert ns_per_pair == pytest.approx(
+            curve.times_ms["DL"][0] * 1e6 / 3600
+        )
+
+    def test_fbf_per_pair_below_dl(self, curve):
+        pp = per_pair_times(curve)
+        assert pp["FDL"][-1][1] < pp["DL"][-1][1]
+
+    def test_defaults_to_all_methods(self, curve):
+        assert set(per_pair_times(curve)) == set(curve.times_ms)

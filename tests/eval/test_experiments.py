@@ -1,0 +1,166 @@
+"""Integration tests for the experiment runners (reduced scale).
+
+These assert the *qualitative* findings each paper table reports — the
+accuracy identities and orderings that must hold at any scale — rather
+than wall-clock numbers.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    DEFAULT_TABLE_METHODS,
+    LENGTH_TABLE_METHODS,
+    run_rl_experiment,
+    run_soundex_experiment,
+    run_string_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def ssn_result():
+    return run_string_experiment("SSN", 150, k=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ln_result():
+    return run_string_experiment(
+        "LN", 150, k=1, methods=LENGTH_TABLE_METHODS, seed=0
+    )
+
+
+class TestStringExperiment:
+    def test_all_rows_present(self, ssn_result):
+        assert [r.method for r in ssn_result.rows] == list(DEFAULT_TABLE_METHODS)
+
+    def test_dl_stacks_identical_accuracy(self, ssn_result):
+        # Table 1's key accuracy claim: DL, PDL, FDL, FPDL agree exactly.
+        dl = ssn_result.row("DL")
+        for m in ("PDL", "FDL", "FPDL"):
+            row = ssn_result.row(m)
+            assert (row.type1, row.type2) == (dl.type1, dl.type2), m
+
+    def test_no_type2_for_safe_methods(self, ssn_result):
+        # Zero false negatives everywhere except Hamming.
+        for r in ssn_result.rows:
+            if r.method != "Ham":
+                assert r.type2 == 0, r.method
+
+    def test_ham_has_type2(self, ssn_result):
+        assert ssn_result.row("Ham").type2 > 0
+
+    def test_jaro_wink_inflate_type1(self, ssn_result):
+        dl = ssn_result.row("DL")
+        assert ssn_result.row("Jaro").type1 > dl.type1
+        assert ssn_result.row("Wink").type1 >= ssn_result.row("Jaro").type1
+
+    def test_fbf_filter_only_superset(self, ssn_result):
+        assert ssn_result.row("FBF").type1 >= ssn_result.row("FDL").type1
+        assert ssn_result.row("FBF").type2 == 0
+
+    def test_speedups_relative_to_dl(self, ssn_result):
+        assert ssn_result.row("DL").speedup == pytest.approx(1.0)
+        assert ssn_result.row("FPDL").speedup > 1.0
+
+    def test_gen_time_recorded(self, ssn_result):
+        assert ssn_result.gen_time_ms > 0
+        assert ssn_result.gen_speedup > 1.0
+
+    def test_theta_defaults(self):
+        r = run_string_experiment("FN", 30, seed=1, methods=("DL",))
+        assert r.theta == 0.75
+        r = run_string_experiment("LN", 30, seed=1, methods=("DL",))
+        assert r.theta == 0.8
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            run_string_experiment("SSN", 10, engine="gpu")
+
+    def test_scalar_engine_agrees_on_accuracy(self):
+        vec = run_string_experiment("SSN", 60, seed=3, methods=("DL", "FPDL"))
+        sca = run_string_experiment(
+            "SSN", 60, seed=3, methods=("DL", "FPDL"), engine="scalar"
+        )
+        for m in ("DL", "FPDL"):
+            assert vec.row(m).type1 == sca.row(m).type1
+            assert vec.row(m).type2 == sca.row(m).type2
+
+    def test_row_lookup_missing(self, ssn_result):
+        with pytest.raises(KeyError):
+            ssn_result.row("NOPE")
+
+
+class TestLengthFilterExperiment:
+    def test_length_stacks_identical_accuracy(self, ln_result):
+        dl = ln_result.row("DL")
+        for m in ("FPDL", "LDL", "LPDL", "LFDL", "LFPDL"):
+            row = ln_result.row(m)
+            assert (row.type1, row.type2) == (dl.type1, dl.type2), m
+
+    def test_lf_coarse_but_passes_many_pairs(self, ln_result):
+        # The length filter is coarse: with Table 13's length histogram
+        # about 45% of random name pairs are within one length unit
+        # (the paper's Table 12 reports an even higher pass rate), so
+        # LF alone is far looser than FBF.
+        lf = ln_result.row("LF")
+        assert lf.match_count > 0.3 * 150 * 150
+        fbf_passes = ln_result.row("LFBF").match_count
+        assert lf.match_count > 10 * fbf_passes
+
+    def test_lfbf_tighter_than_fbf_alone(self):
+        res = run_string_experiment(
+            "LN", 150, k=1, seed=0, methods=("FBF", "LFBF")
+        )
+        assert res.row("LFBF").match_count <= res.row("FBF").match_count
+
+
+class TestSoundexExperiment:
+    def test_error_mode_findings(self):
+        rows = run_soundex_experiment("FN", 150, mode="error", seed=2)
+        dl, sdx = rows
+        assert dl.label == "FN-DL" and sdx.label == "FN-SDX"
+        # The paper's Table 7 story.
+        assert dl.fn == 0
+        assert sdx.fn > 0
+        assert sdx.tp < dl.tp
+        assert sdx.fp > dl.fp
+
+    def test_clean_mode_findings(self):
+        rows = run_soundex_experiment("LN", 150, mode="clean", seed=2)
+        dl, sdx = rows
+        # Table 8: both find all true positives on clean data; Soundex
+        # still produces far more false positives.
+        assert dl.tp == 150 and sdx.tp == 150
+        assert sdx.fp > dl.fp
+
+    def test_quadrants_sum(self):
+        for row in run_soundex_experiment("FN", 80, seed=3):
+            assert row.tp + row.fn + row.fp + row.tn == 80 * 80
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_soundex_experiment("FN", 10, mode="dirty")
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            run_soundex_experiment("SSN", 10)
+
+
+class TestRLExperiment:
+    def test_table6_shape(self):
+        res = run_rl_experiment(60, seed=4)
+        methods = [r.method for r in res.rows]
+        assert methods == ["DL", "PDL", "FDL", "FPDL", "FBF"]
+        dl = res.row("DL")
+        assert dl.speedup == pytest.approx(1.0)
+        # Identical decisions for all DL-wrapped stacks.
+        for m in ("PDL", "FDL", "FPDL"):
+            assert res.row(m).type1 == dl.type1
+            assert res.row(m).type2 == dl.type2
+        # FBF-filtered stacks beat bare DL.
+        assert res.row("FPDL").speedup > res.row("PDL").speedup > 1.0
+        assert res.gen_time_ms > 0
+
+    def test_perfect_recall(self):
+        res = run_rl_experiment(40, seed=5)
+        assert res.row("DL").type2 == 0
+        assert res.row("FPDL").type2 == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.eval.curves import CurveResult
+from repro.eval.figures import ascii_chart, render_curve_figure
+
+
+@pytest.fixture
+def simple_series():
+    return {
+        "DL": [(100, 10.0), (200, 40.0), (300, 90.0)],
+        "FPDL": [(100, 1.0), (200, 2.0), (300, 4.0)],
+    }
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self, simple_series):
+        out = ascii_chart(simple_series)
+        assert "*" in out and "o" in out
+        assert "legend: *=DL  o=FPDL" in out
+
+    def test_title_rendered(self, simple_series):
+        out = ascii_chart(simple_series, title="Figure 7")
+        assert out.splitlines()[0] == "Figure 7"
+
+    def test_dimensions(self, simple_series):
+        out = ascii_chart(simple_series, width=40, height=8)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+    def test_log_scale_mentioned(self, simple_series):
+        out = ascii_chart(simple_series, log_y=True)
+        assert "log scale" in out
+
+    def test_axis_labels(self, simple_series):
+        out = ascii_chart(simple_series)
+        assert "100" in out and "300" in out  # x range
+        assert "90" in out  # y max
+
+    def test_monotone_series_descends_on_grid(self):
+        out = ascii_chart({"up": [(0, 0.0), (10, 100.0)]}, width=20, height=10)
+        rows = [l.split("|")[1] for l in out.splitlines() if "|" in l]
+        first_row_with_mark = next(i for i, r in enumerate(rows) if "*" in r)
+        last_row_with_mark = max(i for i, r in enumerate(rows) if "*" in r)
+        # Higher y -> earlier (upper) row.
+        assert rows[first_row_with_mark].index("*") > rows[
+            last_row_with_mark
+        ].index("*")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 0)]}, width=2)
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"flat": [(0, 5.0), (10, 5.0)]})
+        assert "*" in out
+
+    def test_zero_values_with_log(self):
+        out = ascii_chart({"a": [(0, 0.0), (1, 10.0)]}, log_y=True)
+        assert "*" in out
+
+
+class TestRenderCurveFigure:
+    def test_from_curve_result(self):
+        curve = CurveResult(
+            family="LN",
+            k=1,
+            ns=[100, 200, 300],
+            times_ms={"DL": [10.0, 40.0, 90.0], "FPDL": [1.0, 2.0, 3.0]},
+        )
+        out = render_curve_figure(curve, title="Figure 7 reproduction")
+        assert "Figure 7 reproduction" in out
+        assert "*=DL" in out and "o=FPDL" in out
+
+    def test_method_subset(self):
+        curve = CurveResult(
+            family="LN",
+            k=1,
+            ns=[1, 2, 3],
+            times_ms={"DL": [1.0, 2.0, 3.0], "FPDL": [1.0, 1.0, 1.0]},
+        )
+        out = render_curve_figure(curve, methods=["DL"])
+        assert "FPDL" not in out

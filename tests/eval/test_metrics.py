@@ -1,0 +1,64 @@
+"""Unit tests for confusion accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import Confusion
+
+
+class TestConfusion:
+    def test_paper_table1_dl_row_shape(self):
+        # DL on SSN: 42 Type 1, 0 Type 2, 5000 diagonal matches out of
+        # 25,000,000 pairs.
+        c = Confusion(5000, 5000, match_count=5042, diagonal_matches=5000)
+        assert c.type1 == 42
+        assert c.type2 == 0
+        assert c.true_negatives == 25_000_000 - 5000 - 42
+
+    def test_type2(self):
+        c = Confusion(10, 10, match_count=7, diagonal_matches=7)
+        assert c.type2 == 3
+        assert c.recall == 0.7
+
+    def test_precision(self):
+        c = Confusion(10, 10, match_count=10, diagonal_matches=5)
+        assert c.precision == 0.5
+
+    def test_f1_harmonic(self):
+        c = Confusion(10, 10, match_count=10, diagonal_matches=5)
+        p, r = c.precision, c.recall
+        assert c.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_empty(self):
+        c = Confusion(0, 0, 0, 0)
+        assert c.precision == 0.0 and c.recall == 0.0 and c.f1 == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Confusion(5, 5, match_count=2, diagonal_matches=3)
+        with pytest.raises(ValueError):
+            Confusion(2, 2, match_count=9, diagonal_matches=3)
+        with pytest.raises(ValueError):
+            Confusion(-1, 2, match_count=0, diagonal_matches=0)
+
+    @given(
+        st.integers(1, 50),
+        st.integers(0, 2000),
+        st.integers(0, 50),
+    )
+    def test_quadrants_partition_pair_space(self, n, extra, diag):
+        diag = min(diag, n)
+        match_count = diag + min(extra, n * n - n)
+        c = Confusion(n, n, match_count, diag)
+        total = (
+            c.true_positives + c.false_positives + c.false_negatives + c.true_negatives
+        )
+        assert total == n * n
+
+    @given(st.integers(1, 40), st.integers(0, 40))
+    def test_aliases(self, n, diag):
+        diag = min(diag, n)
+        c = Confusion(n, n, diag, diag)
+        assert c.type1 == c.false_positives
+        assert c.type2 == c.false_negatives

@@ -1,0 +1,60 @@
+"""Unit tests for the quadratic runtime-curve fits."""
+
+import pytest
+
+from repro.eval.curves import CurveResult
+from repro.eval.polyfit import QuadraticFit, fit_curves, fit_quadratic
+
+
+class TestFitQuadratic:
+    def test_recovers_exact_quadratic(self):
+        ns = [1, 2, 3, 4, 5]
+        times = [2 * n * n + 3 * n + 7 for n in ns]
+        fit = fit_quadratic(ns, times)
+        assert fit.a == pytest.approx(2.0)
+        assert fit.b == pytest.approx(3.0)
+        assert fit.c == pytest.approx(7.0)
+
+    def test_predict(self):
+        fit = QuadraticFit(1.0, 0.0, 0.0)
+        assert fit.predict(10) == 100.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_quadratic([1, 2], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_quadratic([1, 2, 3], [1.0, 2.0])
+
+    def test_asymptotic_speedup(self):
+        # The paper's Section 6 projection: speedup for very large n is
+        # the ratio of the quadratic coefficients (DL a=1.32e-3, FPDL
+        # a=4.67e-5 -> about 28.3).
+        dl = QuadraticFit(1.32e-3, -0.374, 512.7)
+        fpdl = QuadraticFit(4.67e-5, -0.013, 28.0)
+        assert fpdl.asymptotic_speedup_over(dl) == pytest.approx(28.3, rel=0.01)
+
+    def test_asymptotic_speedup_zero_a(self):
+        flat = QuadraticFit(0.0, 1.0, 0.0)
+        assert flat.asymptotic_speedup_over(QuadraticFit(1.0, 0, 0)) == float("inf")
+
+
+class TestFitCurves:
+    def test_fits_every_method(self):
+        curve = CurveResult(
+            family="LN",
+            k=1,
+            ns=[100, 200, 300, 400],
+            times_ms={
+                "DL": [1.0 * n * n / 1000 for n in [100, 200, 300, 400]],
+                "FPDL": [0.05 * n * n / 1000 + 2 for n in [100, 200, 300, 400]],
+            },
+        )
+        fits = fit_curves(curve)
+        assert set(fits) == {"DL", "FPDL"}
+        # Growth coefficient ordering mirrors Table 9.
+        assert fits["FPDL"].a < fits["DL"].a
+        assert fits["FPDL"].asymptotic_speedup_over(fits["DL"]) == pytest.approx(
+            20.0, rel=0.05
+        )

@@ -1,0 +1,48 @@
+"""Unit tests for the reproduction-report builder."""
+
+from pathlib import Path
+
+from repro.eval.report import RESULT_ORDER, build_report, main
+
+
+class TestBuildReport:
+    def test_includes_present_results(self, tmp_path):
+        (tmp_path / "table01_ssn_k1.txt").write_text("SSN table body")
+        report = build_report(tmp_path)
+        assert "Table 1" in report
+        assert "SSN table body" in report
+
+    def test_lists_missing_as_pending(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "Pending" in report
+        assert "Table 1" in report  # listed as pending
+
+    def test_ablations_appended(self, tmp_path):
+        (tmp_path / "ablation_popcount.txt").write_text("kernels...")
+        report = build_report(tmp_path)
+        assert "Ablations" in report and "kernels..." in report
+
+    def test_order_matches_paper(self):
+        assert RESULT_ORDER[0] == "table01_ssn_k1"
+        assert RESULT_ORDER.index("table05_fpdl_speedup") < RESULT_ORDER.index(
+            "table06_record_linkage"
+        )
+        assert RESULT_ORDER[-1] == "tableA3_birthdates"
+
+    def test_real_results_dir_if_available(self):
+        results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+        if not results.exists():
+            return
+        report = build_report(results)
+        assert "Reproduction report" in report
+        assert "```" in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        (tmp_path / "table01_ssn_k1.txt").write_text("body")
+        out = tmp_path / "report.md"
+        assert main([str(tmp_path), str(out)]) == 0
+        assert "body" in out.read_text()
+
+    def test_main_prints_without_output_path(self, tmp_path, capsys):
+        main([str(tmp_path)])
+        assert "Reproduction report" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Unit tests for experiment sizing."""
+
+import pytest
+
+from repro.eval import scale
+
+
+@pytest.fixture
+def no_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+
+
+@pytest.fixture
+def flag_on(monkeypatch):
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+
+
+class TestPaperScale:
+    def test_off_by_default(self, no_flag):
+        assert not scale.paper_scale()
+
+    def test_on_values(self, monkeypatch):
+        for value in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+            assert scale.paper_scale()
+
+    def test_off_values(self, monkeypatch):
+        for value in ("", "0", "no", "off"):
+            monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+            assert not scale.paper_scale()
+
+
+class TestScaled:
+    def test_default(self, no_flag):
+        assert scale.scaled(100, 5000) == 100
+
+    def test_paper(self, flag_on):
+        assert scale.scaled(100, 5000) == 5000
+
+
+class TestCurveSizes:
+    def test_default_sweep(self, no_flag):
+        ns = scale.curve_sizes()
+        assert len(ns) >= 3  # enough points for a quadratic fit
+        assert ns == sorted(ns)
+        assert ns[0] >= 100
+
+    def test_paper_sweep(self, flag_on):
+        ns = scale.curve_sizes()
+        assert ns[0] == 1000 and ns[-1] == 18000
+        assert len(ns) == 18

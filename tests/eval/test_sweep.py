@@ -1,0 +1,84 @@
+"""Unit tests for the threshold-sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_for_family
+from repro.distance.jaro import jaro
+from repro.eval.sweep import (
+    SweepPoint,
+    sweep_edit_threshold,
+    sweep_similarity_threshold,
+)
+
+
+@pytest.fixture(scope="module")
+def ln_pair():
+    return dataset_for_family("LN", 80, seed=61)
+
+
+class TestEditSweep:
+    def test_monotone_in_k(self, ln_pair):
+        points = sweep_edit_threshold(ln_pair, "FPDL", ks=(0, 1, 2))
+        counts = [p.match_count for p in points]
+        assert counts == sorted(counts)
+        # k=0 misses every injected error; k>=1 recovers all.
+        assert points[0].type2 == ln_pair.n
+        assert points[1].type2 == 0
+        assert points[2].type2 == 0
+
+    def test_type1_grows_with_k(self, ln_pair):
+        points = sweep_edit_threshold(ln_pair, "DL", ks=(1, 3))
+        assert points[1].type1 >= points[0].type1
+
+    def test_thresholds_recorded(self, ln_pair):
+        points = sweep_edit_threshold(ln_pair, "FPDL", ks=(2,))
+        assert points[0].threshold == 2.0
+
+
+class TestSimilaritySweep:
+    def test_matches_scalar_at_each_theta(self, ln_pair):
+        thetas = (0.7, 0.85, 0.95)
+        points = sweep_similarity_threshold(ln_pair, "Jaro", thetas)
+        for theta, point in zip(thetas, points):
+            expected = sum(
+                1
+                for a in ln_pair.clean
+                for b in ln_pair.error
+                if jaro(a, b) >= theta
+            )
+            assert point.match_count == expected, theta
+
+    def test_monotone_in_theta(self, ln_pair):
+        points = sweep_similarity_threshold(
+            ln_pair, "Wink", tuple(t / 10 for t in range(5, 10))
+        )
+        counts = [p.match_count for p in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_tight_theta_loses_recall(self, ln_pair):
+        points = sweep_similarity_threshold(ln_pair, "Jaro", (0.999,))
+        assert points[0].type2 > 0
+
+    def test_invalid_method(self, ln_pair):
+        with pytest.raises(ValueError):
+            sweep_similarity_threshold(ln_pair, "Ham")
+
+    def test_no_theta_dominates_dl(self, ln_pair):
+        # The sweep-level statement of the paper's Tables 1-4 finding:
+        # no Jaro threshold matches DL at k=1 on *both* error axes — at
+        # every theta it either misses true matches (Type 2 > DL's) or
+        # over-matches (Type 1 > DL's), usually by a lot.
+        dl = sweep_edit_threshold(ln_pair, "DL", ks=(1,))[0]
+        points = sweep_similarity_threshold(
+            ln_pair, "Jaro", tuple(t / 20 for t in range(10, 20))
+        )
+        for p in points:
+            assert p.type1 > dl.type1 or p.type2 > dl.type2, p
+
+
+class TestSweepPoint:
+    def test_recall_property(self):
+        p = SweepPoint(threshold=1.0, type1=5, type2=2, match_count=13)
+        # 8 true positives of 10 ground-truth matches.
+        assert p.recall == pytest.approx(0.8)

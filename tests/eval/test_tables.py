@@ -1,0 +1,69 @@
+"""Unit tests for paper-style table rendering."""
+
+from repro.eval.experiments import (
+    MethodRow,
+    RLExperimentResult,
+    SoundexRow,
+    StringExperimentResult,
+)
+from repro.eval.tables import (
+    format_rl_experiment,
+    format_soundex_rows,
+    format_string_experiment,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[1234567], [3.14159], [None]])
+        assert "1,234,567" in out
+        assert "3.14" in out
+        assert "-" in out
+
+
+def _string_result() -> StringExperimentResult:
+    res = StringExperimentResult(
+        family="SSN", n=100, k=1, theta=0.8, engine="vectorized", seed=0
+    )
+    res.rows = [
+        MethodRow("DL", 42, 0, 100.0, speedup=1.0),
+        MethodRow("FPDL", 42, 0, 2.0, speedup=50.0),
+    ]
+    res.gen_time_ms = 0.5
+    return res
+
+
+class TestFormatters:
+    def test_string_experiment(self):
+        out = format_string_experiment(_string_result())
+        assert "SSN" in out and "FPDL" in out and "Gen" in out
+        assert "Speedup" in out
+        assert "50.00" in out
+
+    def test_soundex_rows(self):
+        rows = [SoundexRow("FN-DL", 100, 0, 5, 9895, 12.0)]
+        out = format_soundex_rows(rows, "Table 7")
+        assert "Table 7" in out and "FN-DL" in out and "9,895" in out
+
+    def test_rl_experiment(self):
+        res = RLExperimentResult(n=100)
+        res.rows = [MethodRow("DL", 0, 0, 500.0, speedup=1.0)]
+        res.gen_time_ms = 1.5
+        out = format_rl_experiment(res)
+        assert "RL experiment" in out and "Gen" in out
+
+    def test_baseline_lookup(self):
+        res = _string_result()
+        assert res.baseline_time_ms == 100.0
+        assert res.gen_speedup == 200.0

@@ -1,0 +1,52 @@
+"""Unit tests for the timing protocols."""
+
+import pytest
+
+from repro.eval.timing import TimingProtocol, time_callable
+
+
+class TestTimingProtocol:
+    def test_paper_protocols(self):
+        assert TimingProtocol.PAPER_TABLES.runs == 5
+        assert not TimingProtocol.PAPER_TABLES.drop_extremes
+        assert TimingProtocol.PAPER_CURVES.runs == 5
+        assert TimingProtocol.PAPER_CURVES.drop_extremes
+        assert TimingProtocol.QUICK.runs == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingProtocol(runs=0)
+        with pytest.raises(ValueError):
+            TimingProtocol(runs=2, drop_extremes=True)
+
+
+class TestTimeCallable:
+    def test_runs_counted(self):
+        calls = []
+        timing, value = time_callable(
+            lambda: calls.append(1) or len(calls), TimingProtocol(runs=4)
+        )
+        assert len(calls) == 4
+        assert len(timing.times_ms) == 4
+        assert value == 4  # last run's return value
+
+    def test_mean_over_all_runs_without_trim(self):
+        timing, _ = time_callable(lambda: None, TimingProtocol(runs=3))
+        assert timing.mean_ms == pytest.approx(
+            sum(timing.times_ms) / 3, rel=1e-9
+        )
+
+    def test_trimmed_mean_drops_extremes(self):
+        timing, _ = time_callable(
+            lambda: None, TimingProtocol(runs=5, drop_extremes=True)
+        )
+        trimmed = sorted(timing.times_ms)[1:-1]
+        assert timing.mean_ms == pytest.approx(sum(trimmed) / 3, rel=1e-9)
+
+    def test_best_ms(self):
+        timing, _ = time_callable(lambda: None, TimingProtocol(runs=3))
+        assert timing.best_ms == min(timing.times_ms)
+
+    def test_times_positive(self):
+        timing, _ = time_callable(lambda: sum(range(1000)))
+        assert all(t >= 0 for t in timing.times_ms)

@@ -1,0 +1,112 @@
+"""Tests for the repro-fbf command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def string_files(tmp_path):
+    left = tmp_path / "left.txt"
+    right = tmp_path / "right.txt"
+    left.write_text("123456789\n555443333\n999887777\n")
+    right.write_text("123456780\n555443333\n111222333\n")
+    return left, right
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_defaults(self, string_files):
+        left, right = string_files
+        args = build_parser().parse_args(["match", str(left), str(right)])
+        assert args.method == "FPDL" and args.k == 1
+
+    def test_rejects_unknown_method(self, string_files):
+        left, right = string_files
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["match", str(left), str(right), "--method", "BOGUS"]
+            )
+
+
+class TestMatchCommand:
+    def test_output_pairs(self, string_files, capsys):
+        left, right = string_files
+        assert main(["match", str(left), str(right), "--k", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "123456789\t123456780" in captured.out
+        assert "555443333\t555443333" in captured.out
+        assert "2 matches" in captured.err
+
+    def test_quiet_suppresses_pairs(self, string_files, capsys):
+        left, right = string_files
+        main(["match", str(left), str(right), "--quiet"])
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "matches" in captured.err
+
+    def test_method_selection(self, string_files, capsys):
+        left, right = string_files
+        main(["match", str(left), str(right), "--method", "DL"])
+        assert "DL" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["match", str(tmp_path / "nope.txt"), str(tmp_path / "nope.txt")])
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n\n")
+        with pytest.raises(SystemExit, match="no strings"):
+            main(["match", str(empty), str(empty)])
+
+
+class TestDedupeCommand:
+    def test_clusters(self, tmp_path, capsys):
+        roster = tmp_path / "roster.txt"
+        roster.write_text("SMITH\nSMYTH\nJONES\nGARCIA\n")
+        assert main(["dedupe", str(roster), "--k", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "SMITH | SMYTH" in captured.out
+        assert "1 duplicate clusters" in captured.err
+
+    def test_no_duplicates(self, tmp_path, capsys):
+        roster = tmp_path / "roster.txt"
+        roster.write_text("AAAA\nZZZZZZ\n")
+        main(["dedupe", str(roster)])
+        captured = capsys.readouterr()
+        assert "0 duplicate clusters" in captured.err
+
+
+class TestReportCommand:
+    def test_writes_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table01_ssn_k1.txt").write_text("table body")
+        out = tmp_path / "REPORT.md"
+        assert main(
+            ["report", "--results", str(results), "--output", str(out)]
+        ) == 0
+        assert "table body" in out.read_text()
+
+    def test_prints_without_output(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        main(["report", "--results", str(results)])
+        assert "Reproduction report" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_prints_table(self, capsys):
+        assert main(["experiment", "--family", "SSN", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "SSN experiment" in out
+        assert "FPDL" in out and "Gen" in out
+
+    def test_length_filter_set(self, capsys):
+        main(["experiment", "--family", "LN", "--n", "60", "--length-filter"])
+        out = capsys.readouterr().out
+        assert "LFPDL" in out

@@ -1,0 +1,85 @@
+"""Edge-coverage sweep: branches the mainline tests don't reach."""
+
+import random
+
+import pytest
+
+from repro.core.index import FBFIndex
+from repro.core.signatures import SignatureScheme, scheme_for
+from repro.data.names import NameGenerator
+from repro.io import read_records_csv, write_matches_csv, write_records_csv
+from repro.linkage.records import Record
+
+
+class TestCSVQuoting:
+    def test_fields_with_commas_and_quotes_roundtrip(self, tmp_path):
+        record = Record(
+            first_name='MARY "MAE"',
+            last_name="O'BRIEN, JR",
+            address="12 OAK ST, APT 4",
+            phone="2155551234",
+            gender="F",
+            ssn="123456789",
+            birthdate="01021990",
+        )
+        path = tmp_path / "r.csv"
+        write_records_csv(path, [record])
+        assert read_records_csv(path) == [record]
+
+    def test_matches_csv_quoting(self, tmp_path):
+        record = Record(
+            first_name="A,B",
+            last_name="C",
+            address="D",
+            phone="1",
+            gender="M",
+            ssn="2",
+            birthdate="3",
+        )
+        out = tmp_path / "m.csv"
+        write_matches_csv(out, [(0, 0)], [record], [record])
+        loaded = out.read_text().splitlines()
+        assert '"A,B"' in loaded[1]
+
+
+class TestNameGeneratorFallbacks:
+    def test_tiny_alphabet_short_length_exhaustion(self):
+        # A two-name seed gives a tiny bigram model; demanding many
+        # unique 1-char names must exhaust and reroute quota to the
+        # bulk length instead of hanging.
+        gen = NameGenerator(["AB", "BA"])
+        pool = gen.pool(30, {1: 10, 6: 20}, random.Random(0), include_seed=False)
+        assert len(pool) == 30
+        assert len(set(pool)) == 30
+
+    def test_exclude_seed(self):
+        gen = NameGenerator(["SMITH"])
+        pool = gen.pool(5, {5: 5}, random.Random(1), include_seed=False)
+        assert len(pool) == 5
+
+
+class TestIndexCustomScheme:
+    def test_custom_signature_scheme_object(self):
+        # A width-1 custom scheme: bit per length mod 32.  Not safe as
+        # an edit filter, but the index accepts any SignatureScheme; a
+        # huge slack makes it pass-everything, so the verifier decides.
+        scheme = SignatureScheme(
+            "lenbit", width=1, generate=lambda s: (1 << (len(s) % 32),),
+            slack=64,
+        )
+        idx = FBFIndex(["123", "124", "999"], scheme=scheme)
+        assert idx.search("123", 1) == [0, 1]
+
+    def test_explicit_stock_scheme_object(self):
+        idx = FBFIndex(["OTTO", "OTTA"], scheme=scheme_for("alpha", 3))
+        assert idx.search("OTTO", 1) == [0, 1]
+
+
+class TestSchemeForLevels:
+    def test_numeric_ignores_levels(self):
+        # The numeric scheme is fixed-layout; levels apply to alpha only.
+        assert scheme_for("numeric", 3).width == 1
+
+    def test_alpha_levels_shape(self):
+        for levels in (1, 2, 4):
+            assert scheme_for("alpha", levels).width == levels

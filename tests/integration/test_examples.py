@@ -1,0 +1,48 @@
+"""Keep the example scripts healthy: run each one at tiny scale.
+
+Examples are documentation; a broken example is a broken promise.  Each
+script runs in-process (``runpy``) with small arguments so the whole
+set finishes in seconds.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> argv tail that keeps it fast
+EXAMPLE_ARGS = {
+    "quickstart.py": [],
+    "deduplicate_names.py": ["120"],
+    "health_department_linkage.py": ["40"],
+    "scaling_study.py": ["300"],
+    "blocking_vs_filtering.py": ["80"],
+    "incremental_updates.py": ["60", "2"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_ARGS), (
+        "examples/ and EXAMPLE_ARGS out of sync — add the new script here"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_ARGS))
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv", [str(path)] + EXAMPLE_ARGS[script])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_teaches_the_guarantee(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "diff_bits" in out
+    assert "verified" in out

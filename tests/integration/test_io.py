@@ -1,0 +1,123 @@
+"""Tests for CSV/string I/O and the `link` CLI subcommand."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.io import (
+    read_records_csv,
+    read_strings,
+    write_matches_csv,
+    write_records_csv,
+    write_strings,
+)
+from repro.linkage.records import FIELDS, RecordCorruptor, generate_records
+
+
+@pytest.fixture
+def record_files(tmp_path):
+    rng = random.Random(3)
+    records = generate_records(25, rng)
+    corrupted = RecordCorruptor().corrupt_many(records, rng)
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    write_records_csv(left, records)
+    write_records_csv(right, corrupted)
+    return left, right, records, corrupted
+
+
+class TestRecordsCSV:
+    def test_roundtrip(self, record_files):
+        left, _, records, _ = record_files
+        loaded = read_records_csv(left)
+        assert loaded == records
+
+    def test_partial_columns(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text("last_name,ssn\nSMITH,123456789\n")
+        records = read_records_csv(path)
+        assert records[0].last_name == "SMITH"
+        assert records[0].first_name == ""  # missing column -> empty
+
+    def test_header_case_insensitive(self, tmp_path):
+        path = tmp_path / "caps.csv"
+        path.write_text("LAST_NAME\nJONES\n")
+        assert read_records_csv(path)[0].last_name == "JONES"
+
+    def test_unknown_columns_ignored(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("last_name,favourite_colour\nSMITH,teal\n")
+        assert read_records_csv(path)[0].last_name == "SMITH"
+
+    def test_no_schema_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="no schema columns"):
+            read_records_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_records_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("last_name\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_records_csv(path)
+
+
+class TestStringsIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "s.txt"
+        write_strings(path, ["A", "B"])
+        assert read_strings(path) == ["A", "B"]
+
+    def test_blank_lines_dropped(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("A\n\n  \nB\n")
+        assert read_strings(path) == ["A", "B"]
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            read_strings(path)
+
+
+class TestMatchesCSV:
+    def test_writes_pairs(self, tmp_path, record_files):
+        _, _, records, corrupted = record_files
+        out = tmp_path / "matches.csv"
+        count = write_matches_csv(out, [(0, 0), (1, 1)], records, corrupted)
+        assert count == 2
+        lines = out.read_text().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("left_id,right_id,left_first_name")
+        assert len(lines[0].split(",")) == 2 + 2 * len(FIELDS)
+
+
+class TestLinkCommand:
+    def test_end_to_end(self, record_files, tmp_path, capsys):
+        left, right, records, _ = record_files
+        out = tmp_path / "matches.csv"
+        assert main(
+            ["link", str(left), str(right), "--output", str(out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"{len(records)} matches" in err
+        assert "recall: 1.000" in err
+        assert out.exists()
+        assert len(out.read_text().splitlines()) == len(records) + 1
+
+    def test_threshold_flag(self, record_files, capsys):
+        left, right, _, _ = record_files
+        # A cutoff above the total attainable points: nothing matches.
+        main(["link", str(left), str(right), "--threshold", "100"])
+        assert "recall: 0.000" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["link", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")])

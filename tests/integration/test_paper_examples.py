@@ -1,0 +1,126 @@
+"""Every worked example in the paper's text, as executable assertions.
+
+If the reproduction drifts from the paper's own arithmetic, these fail
+first.
+"""
+
+import pytest
+
+from repro.core.signatures import (
+    alpha_signature,
+    diff_bits,
+    find_diff_bits,
+    num_signature,
+)
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.jaro import jaro, jaro_winkler
+from repro.distance.pruned import pdl
+
+
+class TestSection2Examples:
+    def test_levenshtein_saturday_sunday(self):
+        # "the Levenshtein distance between the words 'Saturday' and
+        #  'Sunday' is 3"
+        from repro.distance.levenshtein import levenshtein
+
+        assert levenshtein("Saturday", "Sunday") == 3
+
+    def test_figure1_sat_sun_cell(self):
+        # "the distance between 'Sat' and 'Sun' is 2 because the
+        #  intersection at 't' and 'n' is 2"
+        assert damerau_levenshtein("Sat", "Sun") == 2
+
+    def test_figure2_pdl_k1_immediate_termination(self):
+        # "For k=1, PDL would terminate immediately because
+        #  abs(|s|-|t|) > k"
+        assert abs(len("Saturday") - len("Sunday")) > 1
+        assert pdl("Saturday", "Sunday", 1) is False
+
+    def test_jaro_smith_smiht(self):
+        # n=1, m=5, r=1 -> 0.967
+        assert jaro("SMITH", "SMIHT") == pytest.approx(0.967, abs=5e-4)
+
+    def test_jaro_smith_jones_zero(self):
+        assert jaro("SMITH", "JONES") == 0.0
+
+    def test_winkler_smith_smiht(self):
+        # wink = 0.967 + 3 * 0.1 * (1 - 0.967) = 0.977
+        assert jaro_winkler("SMITH", "SMIHT") == pytest.approx(0.977, abs=5e-4)
+
+    def test_length_filter_examples(self):
+        # "'Joe' and 'Jose'; and 'Jose' and 'Josef' are approximate
+        #  matches for k=1 but 'Joe' and 'Josef' are not."
+        assert damerau_levenshtein("Joe", "Jose") == 1
+        assert damerau_levenshtein("Jose", "Josef") == 1
+        assert damerau_levenshtein("Joe", "Josef") == 2
+        assert abs(len("Joe") - len("Josef")) > 1
+
+
+class TestSection3Examples:
+    def test_figure3_smith_signature(self):
+        # "32-bit alphabetic FBF bit signature for 'SMITH'":
+        # bits H, I, M, S, T set.
+        sig = alpha_signature("SMITH")[0]
+        for letter in "HIMST":
+            assert sig >> (ord(letter) - ord("A")) & 1 == 1
+        assert bin(sig).count("1") == 5
+
+    def test_figure4_phone_signature(self):
+        # "32-bit numeric FBF bit signature for '8005551212'":
+        # 0:2, 1:2, 2:2, 5:3, 8:1 occurrences.
+        sig = num_signature("8005551212")
+        occur = {0: 2, 1: 2, 2: 2, 5: 3, 8: 1}
+        for digit in range(10):
+            for level in range(3):
+                expected = 1 if occur.get(digit, 0) > level else 0
+                assert sig >> (3 * digit + level) & 1 == expected, (digit, level)
+
+    def test_phone_difference_example(self):
+        # "The FBF difference between '213-333-3333' and '213-333-4444'
+        #  would be 3 because three of the 4s would be recorded."
+        m = (num_signature("213-333-3333"),)
+        n = (num_signature("213-333-4444"),)
+        assert find_diff_bits(m, n) == 3
+
+    def test_repeated_threes_saturate(self):
+        # "say a phone number '213-333-3333', the signature will only
+        #  record three of the 3s"
+        assert num_signature("213-333-3333") == num_signature("213333")
+
+
+class TestSection4ProofExamples:
+    def test_transposition_case(self):
+        # s = "13245", t = "12345": |m XOR n| = 0.
+        m = (num_signature("13245"),)
+        n = (num_signature("12345"),)
+        assert diff_bits(m, n) == 0
+        assert damerau_levenshtein("13245", "12345") == 1
+
+    def test_delete_case(self):
+        m = (num_signature("123456"),)
+        n = (num_signature("12345"),)
+        assert diff_bits(m, n) == 1
+
+    def test_insert_case(self):
+        m = (num_signature("1234"),)
+        n = (num_signature("12345"),)
+        assert diff_bits(m, n) == 1
+
+    def test_substitution_case(self):
+        m = (num_signature("12346"),)
+        n = (num_signature("12345"),)
+        assert diff_bits(m, n) == 2
+
+    def test_repeated_character_case(self):
+        # "Consider s = '123456' and t = '1234566'. The second 6 is
+        #  considered different than the first."
+        m = (num_signature("123456"),)
+        n = (num_signature("1234566"),)
+        assert diff_bits(m, n) == 1
+
+    def test_worst_case_2k(self):
+        # k substitutions, each hitting the 2-bit worst case.
+        s, t = "123", "456"
+        m, n = (num_signature(s),), (num_signature(t),)
+        k = damerau_levenshtein(s, t)
+        assert diff_bits(m, n) == 2 * k

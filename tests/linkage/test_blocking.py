@@ -1,0 +1,141 @@
+"""Unit tests for the four traditional blocking methods."""
+
+import random
+
+import pytest
+
+from repro.data.errors import ErrorInjector
+from repro.data.names import build_last_name_pool
+from repro.distance.soundex import soundex
+from repro.linkage.blocking import (
+    BigramIndexing,
+    CanopyClustering,
+    FullProduct,
+    SortedNeighbourhood,
+    StandardBlocking,
+)
+
+
+@pytest.fixture(scope="module")
+def name_pair():
+    rng = random.Random(0)
+    clean = build_last_name_pool(80, rng)
+    dirty = ErrorInjector().inject_many(clean, rng)
+    return clean, dirty
+
+
+class TestFullProduct:
+    def test_all_pairs(self):
+        b = FullProduct()
+        pairs = set(b.pairs(["a", "b"], ["x", "y", "z"]))
+        assert len(pairs) == 6
+
+    def test_reduction_ratio_zero(self):
+        assert FullProduct().reduction_ratio(["a"], ["b"]) == 0.0
+
+
+class TestStandardBlocking:
+    def test_exact_key_blocks(self):
+        b = StandardBlocking()
+        pairs = set(b.pairs(["SMITH", "JONES"], ["SMITH", "BROWN"]))
+        assert pairs == {(0, 0)}
+
+    def test_empty_keys_not_blocked(self):
+        b = StandardBlocking()
+        assert set(b.pairs(["", "A"], ["", "A"])) == {(1, 1)}
+
+    def test_soundex_key_tolerates_some_errors(self):
+        b = StandardBlocking(key=soundex)
+        pairs = set(b.pairs(["ROBERT"], ["RUPERT"]))
+        assert pairs == {(0, 0)}
+
+    def test_loses_matches_under_errors(self, name_pair):
+        # The paper's core criticism of key blocking: errors in the key
+        # silently drop true matches.
+        clean, dirty = name_pair
+        pairs = set(StandardBlocking().pairs(clean, dirty))
+        retained = sum(1 for i, j in pairs if i == j)
+        assert retained < len(clean)
+
+    def test_reduction_ratio_high(self, name_pair):
+        clean, dirty = name_pair
+        assert StandardBlocking().reduction_ratio(clean, dirty) > 0.9
+
+
+class TestSortedNeighbourhood:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighbourhood(window=1)
+
+    def test_adjacent_keys_paired(self):
+        b = SortedNeighbourhood(window=3)
+        pairs = set(b.pairs(["AAA", "ZZZ"], ["AAB", "ZZY"]))
+        assert (0, 0) in pairs
+        assert (1, 1) in pairs
+
+    def test_cross_side_only(self):
+        b = SortedNeighbourhood(window=10)
+        pairs = list(b.pairs(["A", "B"], ["C", "D"]))
+        assert len(pairs) == len(set(pairs))
+        for i, j in pairs:
+            assert 0 <= i < 2 and 0 <= j < 2
+
+    def test_bigger_window_retains_more(self, name_pair):
+        clean, dirty = name_pair
+        small = {p for p in SortedNeighbourhood(3).pairs(clean, dirty)}
+        large = {p for p in SortedNeighbourhood(9).pairs(clean, dirty)}
+        assert small <= large
+
+
+class TestBigramIndexing:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BigramIndexing(threshold=0.0)
+        with pytest.raises(ValueError):
+            BigramIndexing(threshold=1.2)
+
+    def test_exact_threshold_needs_same_bigrams(self):
+        b = BigramIndexing(threshold=1.0)
+        pairs = set(b.pairs(["ABAB"], ["BABA"]))
+        # Same bigram set {AB, BA}: paired.
+        assert pairs == {(0, 0)}
+
+    def test_sub_lists_tolerate_errors(self):
+        strict = set(BigramIndexing(1.0).pairs(["SMITH"], ["SMYTH"]))
+        fuzzy = set(BigramIndexing(0.5).pairs(["SMITH"], ["SMYTH"]))
+        assert strict == set()
+        assert fuzzy == {(0, 0)}
+
+    def test_no_duplicate_pairs(self, name_pair):
+        clean, dirty = name_pair
+        pairs = list(BigramIndexing(0.8).pairs(clean[:30], dirty[:30]))
+        assert len(pairs) == len(set(pairs))
+
+
+class TestCanopyClustering:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CanopyClustering(loose=0.8, tight=0.2)
+
+    def test_identical_keys_share_canopy(self):
+        b = CanopyClustering(loose=0.3, tight=0.9)
+        pairs = set(b.pairs(["SMITH"], ["SMITH"]))
+        assert (0, 0) in pairs
+
+    def test_dissimilar_keys_split(self):
+        b = CanopyClustering(loose=0.5, tight=0.9)
+        pairs = set(b.pairs(["AAAA"], ["ZZZZ"]))
+        assert (0, 0) not in pairs
+
+    def test_loose_canopies_retain_more(self, name_pair):
+        clean, dirty = name_pair
+        tight = set(CanopyClustering(0.6, 0.9).pairs(clean[:40], dirty[:40]))
+        loose = set(CanopyClustering(0.1, 0.9).pairs(clean[:40], dirty[:40]))
+        tight_diag = sum(1 for i, j in tight if i == j)
+        loose_diag = sum(1 for i, j in loose if i == j)
+        assert loose_diag >= tight_diag
+
+    def test_no_duplicate_pairs(self, name_pair):
+        clean, dirty = name_pair
+        pairs = list(CanopyClustering(0.2, 0.8).pairs(clean[:30], dirty[:30]))
+        assert len(pairs) == len(set(pairs))

@@ -1,0 +1,153 @@
+"""Unit tests for the per-field record comparators."""
+
+import pytest
+
+from repro.linkage.comparators import (
+    ExactComparator,
+    SoundexComparator,
+    StringMatchComparator,
+)
+
+
+class TestExactComparator:
+    def test_agreement(self):
+        c = ExactComparator("gender")
+        c.prepare(["M", "F"], ["M", "M"])
+        assert c.agrees(0, 0)
+        assert c.agrees(0, 1)
+        assert not c.agrees(1, 0)
+
+    def test_empty_never_agrees(self):
+        c = ExactComparator("ssn")
+        c.prepare([""], [""])
+        assert not c.agrees(0, 0)
+
+    def test_case_sensitivity_default(self):
+        c = ExactComparator("last_name")
+        c.prepare(["Smith"], ["SMITH"])
+        assert not c.agrees(0, 0)
+
+    def test_casefold_option(self):
+        c = ExactComparator("last_name", casefold=True)
+        c.prepare(["Smith"], ["SMITH"])
+        assert c.agrees(0, 0)
+
+
+class TestStringMatchComparator:
+    def test_single_edit_tolerated(self):
+        c = StringMatchComparator("ssn", "FPDL", k=1, scheme="numeric")
+        c.prepare(["123456789"], ["123456780"])
+        assert c.agrees(0, 0)
+
+    def test_two_edits_rejected_at_k1(self):
+        c = StringMatchComparator("ssn", "FPDL", k=1, scheme="numeric")
+        c.prepare(["123456789"], ["123456700"])
+        assert not c.agrees(0, 0)
+
+    def test_empty_fields_never_agree(self):
+        c = StringMatchComparator("ssn", "DL", k=1)
+        c.prepare([""], [""])
+        assert not c.agrees(0, 0)
+        c.prepare(["123"], [""])
+        assert not c.agrees(0, 0)
+
+    def test_method_stacks_agree(self):
+        values_l = ["SMITH", "GARCIA", "NGUYEN"]
+        values_r = ["SMYTH", "GARCIA", "WILSON"]
+        decisions = {}
+        for method in ("DL", "PDL", "FDL", "FPDL", "LFPDL"):
+            c = StringMatchComparator("last_name", method, k=1, scheme="alpha")
+            c.prepare(values_l, values_r)
+            decisions[method] = [
+                c.agrees(i, j) for i in range(3) for j in range(3)
+            ]
+        assert all(d == decisions["DL"] for d in decisions.values())
+
+    def test_verified_pairs_diagnostic(self):
+        c = StringMatchComparator("ssn", "FDL", k=1, scheme="numeric")
+        c.prepare(["123456789"], ["123456780"])
+        c.agrees(0, 0)
+        assert c.verified_pairs == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            StringMatchComparator("ssn", "NOPE")
+
+
+class TestWeightedComparator:
+    def test_cheap_keyboard_slips_tolerated(self):
+        from repro.distance.weighted import keyboard_cost
+        from repro.linkage.comparators import WeightedComparator
+
+        c = WeightedComparator(
+            "last_name",
+            threshold=1.0,
+            substitution_cost=keyboard_cost(0.5),
+            scheme="alpha",
+        )
+        # SMITH -> ANITH: two substitutions, both QWERTY-adjacent
+        # (S->A, M->N): total weighted cost 1.0, within threshold —
+        # while two arbitrary substitutions would cost 2.0.
+        c.prepare(["SMITH", "SMITH"], ["ANITH", "XYITH"])
+        assert c.agrees(0, 0)
+        assert not c.agrees(1, 1)
+
+    def test_defaults_match_unit_osa(self):
+        from repro.linkage.comparators import WeightedComparator
+
+        c = WeightedComparator("ssn", threshold=1.0, scheme="numeric")
+        c.prepare(["123456789"], ["123456780"])
+        assert c.agrees(0, 0)
+        c.prepare(["123456789"], ["123456700"])
+        assert not c.agrees(0, 0)
+
+    def test_empty_fields_never_agree(self):
+        from repro.linkage.comparators import WeightedComparator
+
+        c = WeightedComparator("ssn", scheme="numeric")
+        c.prepare([""], [""])
+        assert not c.agrees(0, 0)
+
+    def test_invalid_threshold(self):
+        from repro.linkage.comparators import WeightedComparator
+
+        with pytest.raises(ValueError):
+            WeightedComparator("ssn", threshold=-1.0)
+
+    def test_filter_safety_with_fractional_threshold(self):
+        # threshold 1.5 -> filter at k=2: transposition+cheap sub cases
+        # must survive the filter.
+        from repro.distance.weighted import keypad_cost
+        from repro.linkage.comparators import WeightedComparator
+
+        c = WeightedComparator(
+            "phone",
+            threshold=1.5,
+            substitution_cost=keypad_cost(0.5),
+            scheme="numeric",
+        )
+        # swap + one adjacent-key substitution: 1.0 + 0.5 = 1.5
+        c.prepare(["2155551234"], ["1255551235"])
+        assert c.agrees(0, 0)
+
+
+class TestSoundexComparator:
+    def test_phonetic_match(self):
+        c = SoundexComparator("last_name")
+        c.prepare(["ROBERT"], ["RUPERT"])
+        assert c.agrees(0, 0)
+
+    def test_mismatch(self):
+        c = SoundexComparator("last_name")
+        c.prepare(["SMITH"], ["JONES"])
+        assert not c.agrees(0, 0)
+
+    def test_empty_never_agrees(self):
+        c = SoundexComparator("last_name")
+        c.prepare([""], [""])
+        assert not c.agrees(0, 0)
+
+    def test_codes_precomputed(self):
+        c = SoundexComparator("last_name")
+        c.prepare(["WASHINGTON"], ["WASHINGTON"])
+        assert c._left_codes == ["W252"]

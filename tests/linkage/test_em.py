@@ -1,0 +1,129 @@
+"""Unit and integration tests for EM estimation of Fellegi-Sunter
+parameters."""
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.linkage.comparators import StringMatchComparator
+from repro.linkage.em import collect_patterns, estimate_fs_parameters
+from repro.linkage.records import RecordCorruptor, generate_records
+from repro.linkage.scoring import Decision
+
+
+def synthetic_patterns(
+    n_pairs: int,
+    prevalence: float,
+    m: list[float],
+    u: list[float],
+    seed: int = 0,
+) -> Counter:
+    """Draw agreement patterns from a known two-class model."""
+    rng = random.Random(seed)
+    patterns: Counter = Counter()
+    for _ in range(n_pairs):
+        is_match = rng.random() < prevalence
+        probs = m if is_match else u
+        pattern = tuple(rng.random() < pr for pr in probs)
+        patterns[pattern] += 1
+    return patterns
+
+
+class TestEstimateValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_fs_parameters({})
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_fs_parameters({(): 5})
+
+    def test_ragged_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_fs_parameters({(True,): 1, (True, False): 1})
+
+    def test_field_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_fs_parameters({(True, False): 1}, fields=["only_one"])
+
+
+class TestRecovery:
+    def test_recovers_planted_parameters(self):
+        true_m = [0.95, 0.9, 0.85]
+        true_u = [0.02, 0.05, 0.1]
+        patterns = synthetic_patterns(40_000, 0.05, true_m, true_u, seed=1)
+        est = estimate_fs_parameters(patterns, fields=["a", "b", "c"])
+        assert est.match_prevalence == pytest.approx(0.05, abs=0.02)
+        for field, tm, tu in zip(("a", "b", "c"), true_m, true_u):
+            assert est.m_probs[field] == pytest.approx(tm, abs=0.08)
+            assert est.u_probs[field] == pytest.approx(tu, abs=0.05)
+
+    def test_loglikelihood_monotone_convergence(self):
+        patterns = synthetic_patterns(5000, 0.1, [0.9, 0.9], [0.1, 0.2], seed=2)
+        loose = estimate_fs_parameters(patterns, max_iterations=2)
+        tight = estimate_fs_parameters(patterns, max_iterations=100)
+        assert tight.log_likelihood >= loose.log_likelihood - 1e-9
+        assert tight.iterations <= 100
+
+    def test_probabilities_in_open_interval(self):
+        # Degenerate data (all-agree) must not push params to 0/1.
+        patterns = Counter({(True, True): 100})
+        est = estimate_fs_parameters(patterns)
+        for f in est.fields:
+            assert 0.0 < est.m_probs[f] < 1.0
+            assert 0.0 < est.u_probs[f] < 1.0
+
+    def test_default_field_names(self):
+        est = estimate_fs_parameters({(True,): 3, (False,): 7})
+        assert est.fields == ("f0",)
+
+
+class TestToScorer:
+    def test_scorer_roundtrip(self):
+        patterns = synthetic_patterns(20_000, 0.05, [0.95, 0.9], [0.02, 0.05], seed=3)
+        est = estimate_fs_parameters(patterns, fields=["x", "y"])
+        scorer = est.to_scorer(upper=3.0, lower=0.0)
+        assert scorer.classify({"x": True, "y": True}) == Decision.MATCH
+        assert scorer.classify({"x": False, "y": False}) == Decision.NON_MATCH
+
+    def test_degenerate_fields_dropped(self):
+        patterns = synthetic_patterns(10_000, 0.1, [0.9, 0.5], [0.05, 0.5], seed=4)
+        est = estimate_fs_parameters(patterns, fields=["good", "noise"])
+        scorer = est.to_scorer()
+        assert "good" in scorer.fields
+
+
+class TestEndToEnd:
+    def test_estimate_from_record_pairs(self):
+        # Build a pair sample with known 1% prevalence from the record
+        # generator and recover parameters good enough to classify.
+        rng = random.Random(5)
+        records = generate_records(120, rng)
+        corrupted = RecordCorruptor().corrupt_many(records, rng)
+        comparators = [
+            StringMatchComparator("last_name", "FPDL", scheme="alpha"),
+            StringMatchComparator("ssn", "FPDL", scheme="numeric"),
+            StringMatchComparator("birthdate", "FPDL", scheme="numeric"),
+        ]
+        # Sample: every true pair plus a slab of random non-pairs.
+        pairs = [(i, i) for i in range(120)]
+        pairs += [
+            (i, j)
+            for i, j in itertools.product(range(120), repeat=2)
+            if i != j and (i * 31 + j) % 13 == 0
+        ]
+        patterns = collect_patterns(comparators, records, corrupted, pairs)
+        est = estimate_fs_parameters(
+            patterns, fields=["last_name", "ssn", "birthdate"]
+        )
+        # True matches agree on nearly every field; non-matches rarely.
+        for f in ("last_name", "ssn", "birthdate"):
+            assert est.m_probs[f] > 0.5
+            assert est.u_probs[f] < 0.2
+        scorer = est.to_scorer(upper=5.0, lower=0.0)
+        all_agree = {f: True for f in scorer.fields}
+        none_agree = {f: False for f in scorer.fields}
+        assert scorer.classify(all_agree) == Decision.MATCH
+        assert scorer.classify(none_agree) == Decision.NON_MATCH

@@ -1,0 +1,95 @@
+"""Option-surface tests for the linkage engine (blocking fields,
+comparator mixes, record flags)."""
+
+import random
+
+import pytest
+
+from repro.linkage.blocking import StandardBlocking
+from repro.linkage.comparators import (
+    ExactComparator,
+    SoundexComparator,
+    StringMatchComparator,
+)
+from repro.linkage.engine import LinkageEngine, default_engine
+from repro.linkage.records import RecordCorruptor, generate_records
+
+
+@pytest.fixture(scope="module")
+def record_pair():
+    rng = random.Random(71)
+    records = generate_records(50, rng)
+    corrupted = RecordCorruptor().corrupt_many(records, rng)
+    return records, corrupted
+
+
+class TestBlockingField:
+    def test_block_on_birthdate(self, record_pair):
+        records, corrupted = record_pair
+        engine = default_engine("FPDL", blocking=StandardBlocking())
+        engine.blocking_field = "birthdate"
+        result = engine.link(records, corrupted)
+        # Exact birthdate blocking loses records whose birthdate was
+        # the edited field, keeps the rest.
+        assert 0 < result.candidates < 50 * 50
+        assert result.recall < 1.0 or result.candidates >= 50
+
+    def test_block_on_ssn_vs_lastname_differ(self, record_pair):
+        records, corrupted = record_pair
+        results = {}
+        for field in ("ssn", "last_name"):
+            engine = default_engine("FPDL", blocking=StandardBlocking())
+            engine.blocking_field = field
+            results[field] = engine.link(records, corrupted).candidates
+        assert results["ssn"] != results["last_name"]
+
+
+class TestComparatorMixes:
+    def test_soundex_name_comparators(self, record_pair):
+        records, corrupted = record_pair
+        engine = LinkageEngine(
+            [
+                SoundexComparator("first_name"),
+                SoundexComparator("last_name"),
+                StringMatchComparator("ssn", "FPDL", scheme="numeric"),
+                StringMatchComparator("birthdate", "FPDL", scheme="numeric"),
+                StringMatchComparator("phone", "FPDL", scheme="numeric"),
+                ExactComparator("gender"),
+                StringMatchComparator("address", "FPDL", scheme="alnum"),
+            ]
+        )
+        result = engine.link(records, corrupted)
+        # Soundex names lose some points but the other fields carry
+        # most records over the threshold.
+        assert result.recall > 0.8
+
+    def test_subset_of_fields(self, record_pair):
+        records, corrupted = record_pair
+        from repro.linkage.scoring import PointThresholdScorer
+
+        engine = LinkageEngine(
+            [
+                StringMatchComparator("ssn", "FPDL", scheme="numeric"),
+                StringMatchComparator("last_name", "FPDL", scheme="alpha"),
+            ],
+            scorer=PointThresholdScorer(
+                points={"ssn": 5.0, "last_name": 3.0}, threshold=8.0
+            ),
+        )
+        result = engine.link(records, corrupted)
+        assert result.candidates == 50 * 50
+        assert result.recall > 0.9
+
+
+class TestRecordFlag:
+    def test_matches_recorded_when_enabled(self, record_pair):
+        records, corrupted = record_pair
+        engine = default_engine("FPDL")
+        engine.record_matches = True
+        result = engine.link(records[:10], corrupted[:10])
+        assert sorted(result.matches) == [(i, i) for i in range(10)]
+
+    def test_matches_empty_when_disabled(self, record_pair):
+        records, corrupted = record_pair
+        result = default_engine("FPDL").link(records[:10], corrupted[:10])
+        assert result.matches == []

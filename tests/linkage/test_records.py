@@ -1,0 +1,143 @@
+"""Unit tests for the record schema, generator and corruptor."""
+
+import random
+
+import pytest
+
+from repro.data.errors import ErrorInjector
+from repro.distance.damerau import damerau_levenshtein
+from repro.linkage.records import FIELDS, Record, RecordCorruptor, generate_records
+
+
+def _record(**overrides) -> Record:
+    base = dict(
+        first_name="MARY",
+        last_name="JOHNSON",
+        address="12 OAK ST",
+        phone="2155551234",
+        gender="F",
+        ssn="123456789",
+        birthdate="01021990",
+    )
+    base.update(overrides)
+    return Record(**base)
+
+
+class TestRecord:
+    def test_field_access(self):
+        r = _record()
+        assert r["last_name"] == "JOHNSON"
+        assert r["gender"] == "F"
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            _record()["zip_code"]
+
+    def test_replace_returns_new(self):
+        r = _record()
+        r2 = r.replace(last_name="JOHNSTON")
+        assert r.last_name == "JOHNSON"
+        assert r2.last_name == "JOHNSTON"
+        assert r2.first_name == r.first_name
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(KeyError):
+            _record().replace(species="CAT")
+
+    def test_items_ordered(self):
+        assert [f for f, _ in _record().items()] == list(FIELDS)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            _record().gender = "M"
+
+
+class TestGenerateRecords:
+    def test_count_and_fields(self):
+        recs = generate_records(50, random.Random(0))
+        assert len(recs) == 50
+        for r in recs:
+            assert r.gender in "MF"
+            assert len(r.ssn) == 9 and r.ssn.isdigit()
+            assert len(r.phone) == 10
+            assert len(r.birthdate) == 8
+            assert r.first_name and r.last_name and r.address
+
+    def test_name_collisions_possible(self):
+        # Names are drawn from pools, so duplicates occur in a large set
+        # (real populations share last names).
+        recs = generate_records(400, random.Random(1))
+        assert len({r.last_name for r in recs}) < 400
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_records(0, random.Random(0))
+
+    def test_deterministic(self):
+        a = generate_records(20, random.Random(3))
+        b = generate_records(20, random.Random(3))
+        assert a == b
+
+
+class TestRecordCorruptor:
+    def test_single_field_edit(self):
+        corr = RecordCorruptor()
+        rng = random.Random(0)
+        rec = _record()
+        for _ in range(50):
+            bad = corr.corrupt(rec, rng)
+            changed = [f for f in FIELDS if bad[f] != rec[f]]
+            assert len(changed) == 1
+            field = changed[0]
+            assert damerau_levenshtein(rec[field], bad[field]) == 1
+
+    def test_multiple_field_edits(self):
+        corr = RecordCorruptor(fields_per_record=3)
+        bad = corr.corrupt(_record(), random.Random(1))
+        changed = [f for f in FIELDS if bad[f] != _record()[f]]
+        assert len(changed) == 3
+
+    def test_zero_edits(self):
+        corr = RecordCorruptor(fields_per_record=0)
+        assert corr.corrupt(_record(), random.Random(2)) == _record()
+
+    def test_missing_rates(self):
+        corr = RecordCorruptor(fields_per_record=0, missing_rates={"ssn": 1.0})
+        bad = corr.corrupt(_record(), random.Random(3))
+        assert bad.ssn == ""
+
+    def test_missing_field_not_edited(self):
+        corr = RecordCorruptor(missing_rates={"ssn": 1.0})
+        rng = random.Random(4)
+        for _ in range(30):
+            bad = corr.corrupt(_record(), rng)
+            assert bad.ssn == ""  # blanked, never edited back to content
+
+    def test_unknown_error_field_rejected(self):
+        with pytest.raises(ValueError):
+            RecordCorruptor(error_fields=("shoe_size",))
+
+    def test_unknown_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            RecordCorruptor(missing_rates={"shoe_size": 0.5})
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            RecordCorruptor(fields_per_record=-1)
+
+    def test_corrupt_many_alignment(self):
+        recs = generate_records(30, random.Random(5))
+        bad = RecordCorruptor().corrupt_many(recs, random.Random(6))
+        assert len(bad) == 30
+        for orig, corrupted in zip(recs, bad):
+            assert orig != corrupted
+
+    def test_custom_injector(self):
+        from repro.data.errors import EditOp
+
+        corr = RecordCorruptor(
+            error_fields=("ssn",),
+            injector=ErrorInjector(ops=[EditOp.SUBSTITUTE]),
+        )
+        bad = corr.corrupt(_record(), random.Random(7))
+        assert len(bad.ssn) == 9 and bad.ssn != _record().ssn

@@ -1,0 +1,112 @@
+"""Unit tests for the point-and-threshold and Fellegi-Sunter scorers."""
+
+import math
+
+import pytest
+
+from repro.linkage.scoring import (
+    Decision,
+    FellegiSunterScorer,
+    PointThresholdScorer,
+)
+
+ALL_AGREE = {
+    "first_name": True,
+    "last_name": True,
+    "address": True,
+    "phone": True,
+    "gender": True,
+    "ssn": True,
+    "birthdate": True,
+}
+NONE_AGREE = {f: False for f in ALL_AGREE}
+
+
+class TestPointThreshold:
+    def test_all_agree_matches(self):
+        s = PointThresholdScorer()
+        assert s.classify(ALL_AGREE) == Decision.MATCH
+
+    def test_none_agree_rejects(self):
+        s = PointThresholdScorer()
+        assert s.classify(NONE_AGREE) == Decision.NON_MATCH
+
+    def test_score_is_sum_of_points(self):
+        s = PointThresholdScorer(points={"a": 2.0, "b": 3.0}, threshold=4.0)
+        assert s.score({"a": True, "b": True}) == 5.0
+        assert s.score({"a": True, "b": False}) == 2.0
+
+    def test_threshold_boundary_inclusive(self):
+        s = PointThresholdScorer(points={"a": 4.0}, threshold=4.0)
+        assert s.classify({"a": True}) == Decision.MATCH
+
+    def test_missing_fields_treated_as_disagreement(self):
+        s = PointThresholdScorer(points={"a": 5.0}, threshold=4.0)
+        assert s.classify({}) == Decision.NON_MATCH
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            PointThresholdScorer(points={})
+
+    def test_default_weights_sensible(self):
+        # SSN + last name + birthdate should clear the default threshold;
+        # gender alone must not.
+        s = PointThresholdScorer()
+        strong = dict(NONE_AGREE, ssn=True, last_name=True, birthdate=True)
+        assert s.classify(strong) == Decision.MATCH
+        weak = dict(NONE_AGREE, gender=True)
+        assert s.classify(weak) == Decision.NON_MATCH
+
+
+class TestFellegiSunter:
+    def test_all_agree_matches(self):
+        s = FellegiSunterScorer()
+        assert s.classify(ALL_AGREE) == Decision.MATCH
+
+    def test_none_agree_rejects(self):
+        s = FellegiSunterScorer()
+        assert s.classify(NONE_AGREE) == Decision.NON_MATCH
+
+    def test_weights_are_log_likelihood_ratios(self):
+        s = FellegiSunterScorer(
+            m_probs={"x": 0.9}, u_probs={"x": 0.1}, upper=1.0, lower=0.0
+        )
+        assert s.score({"x": True}) == pytest.approx(math.log2(9))
+        assert s.score({"x": False}) == pytest.approx(math.log2(0.1 / 0.9))
+
+    def test_possible_band(self):
+        s = FellegiSunterScorer(
+            m_probs={"x": 0.9, "y": 0.9},
+            u_probs={"x": 0.1, "y": 0.1},
+            upper=6.0,
+            lower=-1.0,
+        )
+        # One agreement and one disagreement cancel to ~0: inside the
+        # clerical-review band.
+        one_agrees = {"x": True, "y": False}
+        assert s.classify(one_agrees) == Decision.POSSIBLE
+
+    def test_field_set_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FellegiSunterScorer(m_probs={"x": 0.9}, u_probs={"y": 0.1})
+
+    def test_m_not_exceeding_u_rejected(self):
+        with pytest.raises(ValueError):
+            FellegiSunterScorer(m_probs={"x": 0.1}, u_probs={"x": 0.9})
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FellegiSunterScorer(m_probs={"x": 1.0}, u_probs={"x": 0.5})
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            FellegiSunterScorer(upper=0.0, lower=5.0)
+
+    def test_agreement_monotonicity(self):
+        # Adding an agreement never lowers the score.
+        s = FellegiSunterScorer()
+        base = s.score(NONE_AGREE)
+        for f in ALL_AGREE:
+            bumped = dict(NONE_AGREE)
+            bumped[f] = True
+            assert s.score(bumped) > base

@@ -1,0 +1,117 @@
+"""Option-surface tests for ChunkedJoin (variants, schemes, levels)."""
+
+import pytest
+
+from repro.core.join import match_strings
+from repro.core.matchers import build_matcher
+from repro.data.datasets import dataset_for_family
+from repro.parallel.chunked import ChunkedJoin, _group_by_value
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def ad_pair():
+    return dataset_for_family("Ad", 50, seed=31)
+
+
+class TestSchemeOptions:
+    def test_alnum_scheme_on_addresses(self, ad_pair):
+        join = ChunkedJoin(ad_pair.clean, ad_pair.error, k=1, scheme_kind="alnum")
+        assert join.scheme.name == "alnum2"
+        res = join.run("FPDL")
+        matcher = build_matcher("FPDL", k=1, scheme="alnum")
+        ref = match_strings(ad_pair.clean, ad_pair.error, matcher)
+        assert (res.match_count, res.diagonal_matches) == (
+            ref.match_count,
+            ref.diagonal_matches,
+        )
+
+    def test_levels_parameter(self, ad_pair):
+        j1 = ChunkedJoin(ad_pair.clean, ad_pair.error, k=1, scheme_kind="alnum", levels=1)
+        j3 = ChunkedJoin(ad_pair.clean, ad_pair.error, k=1, scheme_kind="alnum", levels=3)
+        assert j1.sigs_l.shape[1] == 2  # 1 alpha word + 1 numeric
+        assert j3.sigs_l.shape[1] == 4
+        # Deeper signatures pass fewer or equal candidates.
+        assert j3.run("FBF").match_count <= j1.run("FBF").match_count
+        # Verified results identical regardless.
+        assert j1.run("FPDL").match_count == j3.run("FPDL").match_count
+
+    def test_jaro_variant_standard(self):
+        left = ["SMITH"]
+        right = ["SMIHT"]
+        paper = ChunkedJoin(left, right, theta=0.95, variant="paper")
+        standard = ChunkedJoin(left, right, theta=0.95, variant="standard")
+        # 0.967 (paper) passes theta=0.95; 0.933 (standard) does not.
+        assert paper.run("Jaro").match_count == 1
+        assert standard.run("Jaro").match_count == 0
+
+    def test_sdx_codes_cached(self, ad_pair):
+        join = ChunkedJoin(ad_pair.clean, ad_pair.error, k=1)
+        join.run("SDX")
+        first = join._sdx_l
+        join.run("SDX")
+        assert join._sdx_l is first  # computed once
+
+
+class TestChunkSizing:
+    def test_filter_chunk_never_below_dp_chunk(self):
+        join = ChunkedJoin(["AB"], ["AB"], chunk=1 << 18, filter_chunk=1 << 4)
+        assert join.filter_chunk == 1 << 18
+
+    def test_filter_chunk_does_not_change_results(self, ad_pair):
+        small = ChunkedJoin(
+            ad_pair.clean, ad_pair.error, k=1, filter_chunk=1 << 6
+        )
+        big = ChunkedJoin(
+            ad_pair.clean, ad_pair.error, k=1, filter_chunk=1 << 20
+        )
+        for method in ("FBF", "LFPDL", "Ham", "SDX"):
+            a, b = small.run(method), big.run(method)
+            assert (a.match_count, a.diagonal_matches) == (
+                b.match_count,
+                b.diagonal_matches,
+            ), method
+
+
+class TestLengthBucketing:
+    def test_group_by_value(self):
+        groups = _group_by_value(np.array([3, 5, 3, 7, 5, 3]))
+        assert set(groups) == {3, 5, 7}
+        assert sorted(groups[3].tolist()) == [0, 2, 5]
+        assert sorted(groups[5].tolist()) == [1, 4]
+
+    def test_group_by_value_empty(self):
+        assert _group_by_value(np.array([], dtype=np.int64)) == {}
+
+    def test_length_pairs_cover_exactly_passing_pairs(self, ad_pair):
+        join = ChunkedJoin(ad_pair.clean, ad_pair.error, k=1)
+        ii, jj = join._length_pairs()
+        got = set(zip(ii.tolist(), jj.tolist()))
+        want = {
+            (i, j)
+            for i in range(50)
+            for j in range(50)
+            if abs(len(ad_pair.clean[i]) - len(ad_pair.error[j])) <= 1
+        }
+        assert got == want
+
+    def test_record_matches_on_filtered_method(self, ad_pair):
+        join = ChunkedJoin(
+            ad_pair.clean, ad_pair.error, k=1, record_matches=True
+        )
+        res = join.run("LFPDL")
+        assert len(res.matches) == res.match_count
+        assert all(
+            abs(len(ad_pair.clean[i]) - len(ad_pair.error[j])) <= 1
+            for i, j in res.matches
+        )
+
+    def test_k0_bucketing(self, ad_pair):
+        join = ChunkedJoin(ad_pair.clean, ad_pair.error, k=0)
+        res = join.run("LFPDL")
+        # At k=0 only identical strings match; error injection means
+        # nothing on the diagonal survives.
+        matcher = build_matcher("LFPDL", k=0, scheme="alnum")
+        ref = match_strings(ad_pair.clean, ad_pair.error, matcher)
+        assert res.match_count == ref.match_count

@@ -1,0 +1,70 @@
+"""Equivalence tests for the multiprocessing join driver."""
+
+import pytest
+
+from repro.core.join import match_strings
+from repro.core.matchers import build_matcher
+from repro.data.datasets import dataset_for_family
+from repro.parallel.pool import parallel_match_strings
+
+
+@pytest.fixture(scope="module")
+def ssn_pair():
+    return dataset_for_family("SSN", 40, seed=9)
+
+
+class TestParallelMatchStrings:
+    def test_sequential_shortcircuit(self, ssn_pair):
+        res = parallel_match_strings(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            scheme_kind="numeric", workers=1,
+        )
+        ref = match_strings(
+            ssn_pair.clean,
+            ssn_pair.error,
+            build_matcher("FPDL", k=1, scheme="numeric"),
+        )
+        assert (res.match_count, res.diagonal_matches) == (
+            ref.match_count,
+            ref.diagonal_matches,
+        )
+
+    def test_two_workers_equal_sequential(self, ssn_pair):
+        par = parallel_match_strings(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            scheme_kind="numeric", workers=2,
+        )
+        seq = parallel_match_strings(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            scheme_kind="numeric", workers=1,
+        )
+        assert (par.match_count, par.diagonal_matches, par.verified_pairs) == (
+            seq.match_count,
+            seq.diagonal_matches,
+            seq.verified_pairs,
+        )
+
+    def test_record_matches_globally_indexed(self, ssn_pair):
+        par = parallel_match_strings(
+            ssn_pair.clean, ssn_pair.error, "DL", k=1,
+            workers=2, record_matches=True,
+        )
+        seq = match_strings(
+            ssn_pair.clean,
+            ssn_pair.error,
+            build_matcher("DL", k=1),
+            record_matches=True,
+        )
+        assert sorted(par.matches) == sorted(seq.matches)
+
+    def test_small_input_avoids_pool(self):
+        # len(left) < 2 * workers short-circuits to in-process.
+        res = parallel_match_strings(["123"], ["123"], "DL", k=0, workers=8)
+        assert res.match_count == 1
+
+    def test_diagonal_counts_survive_partitioning(self, ssn_pair):
+        # The per-slice diagonal must be re-based to global indices.
+        par = parallel_match_strings(
+            ssn_pair.clean, ssn_pair.error, "DL", k=1, workers=3,
+        )
+        assert par.diagonal_matches == len(ssn_pair.clean)
