@@ -19,7 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.eval.scale import RL_N, TABLE_N, paper_scale, scaled
-from repro.eval.timing import TimingProtocol
+from repro.eval.timing import TimingProtocol, time_callable
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -56,3 +56,18 @@ def paper_reference(title: str, headers: list[str], rows: list[list[object]]) ->
     from repro.eval.tables import format_table
 
     return format_table(headers, rows, title=f"[paper] {title}")
+
+
+def relative_overhead(
+    baseline_fn, variant_fn, protocol: TimingProtocol
+) -> tuple[float, float, float]:
+    """``(baseline_ms, variant_ms, overhead)`` via best-of-N timing.
+
+    ``overhead`` is ``variant/baseline - 1`` on each callable's *best*
+    run — the right statistic for an is-it-free question, since one-off
+    scheduling noise only ever inflates a run, never deflates it.
+    """
+    t_base, _ = time_callable(baseline_fn, protocol)
+    t_var, _ = time_callable(variant_fn, protocol)
+    base, var = t_base.best_ms, t_var.best_ms
+    return base, var, (var / base - 1.0) if base > 0 else 0.0

@@ -1,0 +1,75 @@
+"""Watch the filter funnel: where the paper's speedups actually come from.
+
+Runs the Table 1 method set (SSN data, k=1) with a stats collector
+attached and prints each method's funnel side by side — pairs
+considered, rejected per filter stage, verified, matched — plus the
+full per-stage report for the combined length+FBF stack.  The
+filtration column is the paper's whole argument in one number: FBF
+discards ~98% of pairs before any dynamic program runs, and loses no
+matches doing it (compare the matched column against DL's).
+
+Run:  python examples/funnel_inspection.py [n]
+"""
+
+import sys
+
+from repro.eval.experiments import DEFAULT_TABLE_METHODS
+from repro.obs import StatsCollector, render_funnel
+from repro.parallel.chunked import ChunkedJoin
+from repro.data.datasets import dataset_for_family
+
+METHODS = DEFAULT_TABLE_METHODS + ("LFPDL",)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    dp = dataset_for_family("SSN", n, seed=7)
+    print(f"SSN experiment, n={dp.n}, k=1: one funnel per method\n")
+    join = ChunkedJoin(dp.clean, dp.error, k=1, scheme_kind="numeric")
+    root = StatsCollector("funnel-inspection")
+
+    rows = []
+    for method in METHODS:
+        c = root.child(method)
+        join.run(method, collector=c)
+        filtered = c.total_rejected
+        rows.append(
+            (
+                method,
+                c.pairs_considered,
+                filtered,
+                c.verified,
+                c.matched,
+                100.0 * filtered / c.pairs_considered,
+                "yes" if c.conserved else "NO",
+            )
+        )
+
+    header = (
+        f"{'method':7s} {'considered':>11s} {'filtered':>10s} "
+        f"{'verified':>10s} {'matched':>8s} {'filtration':>11s} {'ok':>3s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for method, considered, filtered, verified, matched, pct, ok in rows:
+        print(
+            f"{method:7s} {considered:11,d} {filtered:10,d} "
+            f"{verified:10,d} {matched:8,d} {pct:10.2f}% {ok:>3s}"
+        )
+
+    baseline = root.child("DL").matched
+    for method in ("FDL", "FPDL"):
+        assert root.child(method).matched == baseline, (
+            f"{method} lost matches — the FBF safety guarantee is broken"
+        )
+    print(
+        f"\nFBF-filtered stacks matched exactly the DL baseline "
+        f"({baseline} pairs): the filter is safe, not approximate."
+    )
+
+    print("\nfull report for the combined stack:\n")
+    print(render_funnel(root.child("LFPDL")))
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,8 @@ Package map (details in DESIGN.md):
   multiprocessing pool).
 * :mod:`repro.eval` — the paper's experiments, timing protocols and
   table rendering.
+* :mod:`repro.obs` — observability: filter-funnel counters, wall-time
+  spans, exporters and the ``repro.*`` logger hierarchy.
 """
 
 from repro.core.filters import FBFFilter, FilterChain, LengthFilter
@@ -53,6 +55,7 @@ from repro.distance import (
     pdl,
     soundex,
 )
+from repro.obs import StatsCollector, render_funnel
 from repro.parallel.chunked import ChunkedJoin
 
 __version__ = "1.0.0"
@@ -65,6 +68,7 @@ __all__ = [
     "LengthFilter",
     "METHOD_NAMES",
     "SignatureScheme",
+    "StatsCollector",
     "__version__",
     "alnum_signature",
     "alpha_signature",
@@ -79,6 +83,7 @@ __all__ = [
     "match_strings",
     "num_signature",
     "pdl",
+    "render_funnel",
     "scheme_for",
     "soundex",
 ]

@@ -11,8 +11,13 @@ Three subcommands cover the workflows the paper motivates:
 Examples::
 
     repro-fbf match clean.txt dirty.txt --k 1 --method FPDL
-    repro-fbf dedupe roster.txt --k 1
-    repro-fbf experiment --family LN --n 400 --k 1
+    repro-fbf dedupe roster.txt --k 1 --stats
+    repro-fbf experiment --family LN --n 400 --k 1 --stats-json funnel.json
+
+Observability: every data subcommand accepts ``--stats`` (print the
+filter-funnel report to stderr) and ``--stats-json PATH`` (write the
+full collector tree as JSON); ``-v``/``-vv`` raise the ``repro.*``
+logger verbosity and ``-q`` silences warnings.
 
 The module is import-safe: ``main(argv)`` takes an explicit argument
 list, so the test suite drives it without subprocesses.
@@ -27,9 +32,18 @@ from typing import Sequence
 
 from repro.core.matchers import METHOD_NAMES
 from repro.linkage.resolution import resolve
+from repro.obs import (
+    StatsCollector,
+    configure_logging,
+    get_logger,
+    render_funnel,
+    write_stats_json,
+)
 from repro.parallel.chunked import ChunkedJoin
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +53,19 @@ def build_parser() -> argparse.ArgumentParser:
             "FBF filter-and-verify approximate string matching "
             "(SC 2012 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        dest="log_quiet",
+        action="store_true",
+        help="log errors only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the Table 12/14 method set instead of the Table 1 set",
     )
+    _stats_args(exp)
 
     link = sub.add_parser(
         "link", help="record-linkage over two CSV record files"
@@ -91,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write matched pairs to this CSV",
     )
+    _stats_args(link)
 
     report = sub.add_parser(
         "report", help="assemble REPORT.md from saved benchmark results"
@@ -124,6 +153,44 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    _stats_args(sub)
+
+
+def _stats_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the filter-funnel report to stderr",
+    )
+    sub.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write funnel counters and spans as JSON",
+    )
+
+
+def _collector_for(args: argparse.Namespace) -> StatsCollector | None:
+    """One collector when any stats output was requested, else None."""
+    if args.stats or args.stats_json is not None:
+        return StatsCollector(args.command)
+    return None
+
+
+def _emit_stats(args: argparse.Namespace, collector: StatsCollector | None) -> None:
+    if collector is None:
+        return
+    if args.stats:
+        print(render_funnel(collector), file=sys.stderr)
+    if args.stats_json is not None:
+        try:
+            write_stats_json(args.stats_json, collector)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write stats to {args.stats_json}: {exc}"
+            ) from exc
+        _log.info("wrote stats JSON to %s", args.stats_json)
 
 
 def _read_lines(path: Path) -> list[str]:
@@ -141,8 +208,15 @@ def _read_lines(path: Path) -> list[str]:
 def _cmd_match(args: argparse.Namespace) -> int:
     left = _read_lines(args.left)
     right = _read_lines(args.right)
+    _log.info("matching %d x %d strings with %s", len(left), len(right), args.method)
+    collector = _collector_for(args)
     join = ChunkedJoin(
-        left, right, k=args.k, scheme_kind=args.scheme, record_matches=True
+        left,
+        right,
+        k=args.k,
+        scheme_kind=args.scheme,
+        record_matches=True,
+        collector=collector,
     )
     result = join.run(args.method)
     if not args.quiet:
@@ -153,13 +227,20 @@ def _cmd_match(args: argparse.Namespace) -> int:
         f"({args.method}, k={args.k}, verified {result.verified_pairs:,})",
         file=sys.stderr,
     )
+    _emit_stats(args, collector)
     return 0
 
 
 def _cmd_dedupe(args: argparse.Namespace) -> int:
     strings = _read_lines(args.path)
+    collector = _collector_for(args)
     join = ChunkedJoin(
-        strings, strings, k=args.k, scheme_kind=args.scheme, record_matches=True
+        strings,
+        strings,
+        k=args.k,
+        scheme_kind=args.scheme,
+        record_matches=True,
+        collector=collector,
     )
     result = join.run(args.method)
     pairs = [(i, j) for i, j in result.matches if i < j]
@@ -172,6 +253,7 @@ def _cmd_dedupe(args: argparse.Namespace) -> int:
         f"({args.method}, k={args.k})",
         file=sys.stderr,
     )
+    _emit_stats(args, collector)
     return 0
 
 
@@ -184,10 +266,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval.tables import format_string_experiment
 
     methods = LENGTH_TABLE_METHODS if args.length_filter else DEFAULT_TABLE_METHODS
+    collector = _collector_for(args)
     result = run_string_experiment(
-        args.family, args.n, k=args.k, seed=args.seed, methods=methods
+        args.family,
+        args.n,
+        k=args.k,
+        seed=args.seed,
+        methods=methods,
+        collector=collector,
     )
     print(format_string_experiment(result))
+    _emit_stats(args, collector)
     return 0
 
 
@@ -206,7 +295,8 @@ def _cmd_link(args: argparse.Namespace) -> int:
         if args.threshold is not None
         else None
     )
-    engine = default_engine(args.method, args.k, scorer=scorer)
+    collector = _collector_for(args)
+    engine = default_engine(args.method, args.k, scorer=scorer, collector=collector)
     engine.record_matches = args.output is not None
     result = engine.link(left, right)
     if args.output is not None:
@@ -219,11 +309,13 @@ def _cmd_link(args: argparse.Namespace) -> int:
         f"recall: {result.recall:.3f})",
         file=sys.stderr,
     )
+    _emit_stats(args, collector)
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(-1 if args.log_quiet else args.verbose)
     if args.command == "match":
         return _cmd_match(args)
     if args.command == "dedupe":

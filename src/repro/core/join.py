@@ -10,16 +10,25 @@ The evaluation's ground truth is positional — ``left[i]`` is the clean
 twin of ``right[i]`` — so :class:`JoinResult` carries both the match set
 and, when asked, only its confusion summary (true/false positive counts)
 to keep memory flat when a sloppy method matches millions of pairs.
+
+Pass a :class:`repro.obs.StatsCollector` to watch the filter funnel in
+flight: per-stage rejections, verified pairs, and wall-time spans for
+the prepare and pair-loop phases.  Without one, the driver runs the
+original uninstrumented path.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.matchers import PreparedMatcher
+from repro.obs.log import get_logger
 
 __all__ = ["JoinResult", "match_strings"]
+
+_log = get_logger("core.join")
 
 
 @dataclass
@@ -28,6 +37,9 @@ class JoinResult:
 
     ``matches`` is populated only when the join is run with
     ``record_matches=True``; the counters are always correct either way.
+    ``pairs_compared`` counts the pairs the driver actually iterated —
+    the full ``n_left * n_right`` product, or the size of an explicit
+    ``pairs`` subset.
     """
 
     method: str
@@ -37,11 +49,8 @@ class JoinResult:
     #: matches where ``i == j`` (hits against the positional ground truth)
     diagonal_matches: int = 0
     verified_pairs: int = 0
+    pairs_compared: int = 0
     matches: list[tuple[int, int]] = field(default_factory=list)
-
-    @property
-    def pairs_compared(self) -> int:
-        return self.n_left * self.n_right
 
     @property
     def off_diagonal_matches(self) -> int:
@@ -56,6 +65,7 @@ def match_strings(
     *,
     record_matches: bool = False,
     pairs: Iterable[tuple[int, int]] | None = None,
+    collector=None,
 ) -> JoinResult:
     """Run ``matcher`` over ``left x right`` (or an explicit pair subset).
 
@@ -72,6 +82,11 @@ def match_strings(
     pairs:
         Restrict the join to these index pairs (used by blocking methods
         and the parallel partitioner); defaults to the full product.
+    collector:
+        A :class:`repro.obs.StatsCollector` for funnel counters and
+        phase spans.  Attached to the matcher for the duration; for the
+        PDL verifier's internal tallies, build the matcher with the
+        collector instead (see :func:`build_matcher`).
 
     >>> from repro.core.matchers import build_matcher
     >>> m = build_matcher("FPDL", k=1, scheme="numeric")
@@ -79,30 +94,49 @@ def match_strings(
     >>> (r.match_count, r.diagonal_matches)
     (1, 1)
     """
-    matcher.prepare(left, right)
+    if collector:
+        matcher.collector = collector
+    else:
+        collector = getattr(matcher, "collector", None)
+    if collector:
+        collector.meta.setdefault("method", matcher.name)
+        collector.meta["n_left"] = len(left)
+        collector.meta["n_right"] = len(right)
+    span = collector.span if collector else (lambda name: nullcontext())
+    with span("join.prepare"):
+        matcher.prepare(left, right)
     result = JoinResult(matcher.name, len(left), len(right))
     matches = result.matches if record_matches else None
     match_count = 0
     diagonal = 0
+    compared = 0
     mfn = matcher.matches
-    if pairs is None:
-        for i in range(len(left)):
-            for j in range(len(right)):
+    with span("join.pairs"):
+        if pairs is None:
+            compared = len(left) * len(right)
+            for i in range(len(left)):
+                for j in range(len(right)):
+                    if mfn(i, j):
+                        match_count += 1
+                        if i == j:
+                            diagonal += 1
+                        if matches is not None:
+                            matches.append((i, j))
+        else:
+            for i, j in pairs:
+                compared += 1
                 if mfn(i, j):
                     match_count += 1
                     if i == j:
                         diagonal += 1
                     if matches is not None:
                         matches.append((i, j))
-    else:
-        for i, j in pairs:
-            if mfn(i, j):
-                match_count += 1
-                if i == j:
-                    diagonal += 1
-                if matches is not None:
-                    matches.append((i, j))
     result.match_count = match_count
     result.diagonal_matches = diagonal
     result.verified_pairs = matcher.verified_pairs
+    result.pairs_compared = compared
+    _log.debug(
+        "%s: %d matches over %d pairs (%d verified)",
+        matcher.name, match_count, compared, result.verified_pairs,
+    )
     return result

@@ -62,6 +62,14 @@ class PreparedMatcher:
     ``filters`` may be empty (bare verifier) and ``verifier`` may be
     ``None`` (filter-only method, e.g. the FBF row of Table 1 that counts
     every filter pass as a match).
+
+    Attaching a :class:`repro.obs.StatsCollector` (the ``collector``
+    argument, or assignment any time) routes every decision through the
+    funnel accounting: considered, per-filter rejections, verified and
+    matched pairs.  With no collector the decision path is the original
+    branch-free one (one attribute test per pair).  Collector accounting
+    supersedes the legacy ``collect_stats`` chain counters when both are
+    enabled.
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class PreparedMatcher:
         verifier: Callable[[str, str], bool] | None = None,
         *,
         collect_stats: bool = False,
+        collector=None,
     ):
         if not filters and verifier is None:
             raise ValueError(f"method {name!r} has neither filters nor a verifier")
@@ -80,6 +89,25 @@ class PreparedMatcher:
         self._left: Sequence[str] = ()
         self._right: Sequence[str] = ()
         self.verified_pairs = 0  # how many pairs reached the verifier
+        self._obs_stages: list = []
+        self.collector = collector
+
+    @property
+    def collector(self):
+        """The attached stats collector (None or falsy = not observing)."""
+        return self._collector
+
+    @collector.setter
+    def collector(self, collector) -> None:
+        self._collector = collector
+        # One StageStat per filter position, resolved once so the
+        # per-pair loop touches no dicts.  Stats accumulate across
+        # prepares by design (a collector outlives one join).
+        self._obs_stages = (
+            [collector.stage(f.name) for f in self.chain.filters]
+            if collector
+            else []
+        )
 
     def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
         """Precompute filter state (signatures, lengths) for the datasets."""
@@ -90,12 +118,34 @@ class PreparedMatcher:
 
     def matches(self, i: int, j: int) -> bool:
         """Full stack decision for pair ``(left[i], right[j])``."""
+        collector = self._collector
+        if collector:
+            return self._matches_observed(i, j, collector)
         if not self.chain.passes(i, j):
             return False
         if self.verifier is None:
             return True
         self.verified_pairs += 1
         return self.verifier(self._left[i], self._right[j])
+
+    def _matches_observed(self, i: int, j: int, collector) -> bool:
+        """The decision path with full funnel accounting."""
+        collector.pairs_considered += 1
+        for f, stage in zip(self.chain.filters, self._obs_stages):
+            stage.tested += 1
+            if not f.passes(i, j):
+                return False
+            stage.passed += 1
+        collector.survivors += 1
+        if self.verifier is None:
+            collector.matched += 1
+            return True
+        self.verified_pairs += 1
+        collector.verified += 1
+        if self.verifier(self._left[i], self._right[j]):
+            collector.matched += 1
+            return True
+        return False
 
     @property
     def filter_stats(self):
@@ -153,7 +203,12 @@ METHOD_NAMES = tuple(spec.name for spec in _SPECS)
 _REGISTRY = method_registry()
 
 
-def _make_verifier(kind: str | None, k: int, theta: float) -> Callable | None:
+def _make_verifier(
+    kind: str | None,
+    k: int,
+    theta: float,
+    counters: dict[str, int] | None = None,
+) -> Callable | None:
     if kind is None:
         return None
     if kind == "dl":
@@ -163,7 +218,7 @@ def _make_verifier(kind: str | None, k: int, theta: float) -> Callable | None:
 
         return dl_verify
     if kind == "pdl":
-        return pdl_matcher(k)
+        return pdl_matcher(k, counters=counters)
     if kind == "jaro":
         return jaro_matcher(theta)
     if kind == "wink":
@@ -182,6 +237,7 @@ def build_matcher(
     scheme: SignatureScheme | str | None = None,
     *,
     collect_stats: bool = False,
+    collector=None,
 ) -> PreparedMatcher:
     """Construct any registered method stack.
 
@@ -201,6 +257,12 @@ def build_matcher(
     collect_stats:
         Record per-filter pass/reject counts (the paper's "FBF removed N
         comparisons" numbers) at a small per-pair cost.
+    collector:
+        A :class:`repro.obs.StatsCollector` receiving the full funnel
+        accounting.  Building with the collector (rather than assigning
+        ``matcher.collector`` later) additionally wires the PDL
+        verifier's internal tallies (``length_pruned``/``early_exit``)
+        into ``collector.verifier_counters``.
     """
     spec = _REGISTRY.get(name)
     if spec is None:
@@ -211,7 +273,9 @@ def build_matcher(
             filters.append(LengthFilter(k))
         elif f == "fbf":
             filters.append(FBFFilter(k, scheme))
-    verifier = _make_verifier(spec.verifier, k, theta)
+    counters = collector.verifier_counters if collector else None
+    verifier = _make_verifier(spec.verifier, k, theta, counters)
     return PreparedMatcher(
-        spec.name, filters, verifier, collect_stats=collect_stats
+        spec.name, filters, verifier, collect_stats=collect_stats,
+        collector=collector,
     )

@@ -15,6 +15,13 @@ is empty — even for two empty strings, whose OSA distance is 0.  That is
 deliberate in a record-linkage setting (an empty field carries no
 identity evidence), and is kept as the default; pass
 ``empty_matches=True`` for the mathematically consistent behaviour.
+
+Both pruning mechanisms can report how often they fired: pass a
+``counters`` dict and PDL increments ``counters["length_pruned"]`` per
+step-1 rejection and ``counters["early_exit"]`` per band-row
+termination — the tallies :class:`repro.obs.StatsCollector` surfaces as
+the verifier's avoided work.  ``counters=None`` (the default) keeps the
+hot path branch-free on accepts.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ from repro.distance.base import validate_threshold
 __all__ = ["pdl", "bounded_osa", "pdl_matcher"]
 
 
-def pdl(s: str, t: str, k: int, *, empty_matches: bool = False) -> bool:
+def pdl(
+    s: str,
+    t: str,
+    k: int,
+    *,
+    empty_matches: bool = False,
+    counters: dict[str, int] | None = None,
+) -> bool:
     """Paper Algorithm 2: is the OSA distance between s and t at most k?
 
     >>> pdl("Saturday", "Sunday", 3)
@@ -41,8 +55,10 @@ def pdl(s: str, t: str, k: int, *, empty_matches: bool = False) -> bool:
             return abs(m - n) <= k
         return False
     if abs(m - n) > k:
+        if counters is not None:
+            counters["length_pruned"] += 1
         return False
-    return _banded_osa(s, t, k) is not None
+    return _banded_osa(s, t, k, counters) is not None
 
 
 def bounded_osa(s: str, t: str, k: int) -> int | None:
@@ -63,14 +79,16 @@ def bounded_osa(s: str, t: str, k: int) -> int | None:
     return _banded_osa(s, t, k)
 
 
-def _banded_osa(s: str, t: str, k: int) -> int | None:
+def _banded_osa(
+    s: str, t: str, k: int, counters: dict[str, int] | None = None
+) -> int | None:
     """Core banded OSA DP shared by :func:`pdl` and :func:`bounded_osa`.
 
     Preconditions: both strings non-empty and ``abs(m - n) <= k``.
     Returns the distance when ``<= k``; ``None`` on early termination or
     when the final cell exceeds ``k``.  Cells outside the band hold
     ``INF`` — the role played by the literal 1000 border in the paper's
-    pseudocode.
+    pseudocode.  ``counters`` (optional) tallies early terminations.
     """
     m, n = len(s), len(t)
     if k == 0:
@@ -106,17 +124,28 @@ def _banded_osa(s: str, t: str, k: int) -> int | None:
         if hi < n:
             cur[hi + 1] = INF
         if row_min > k:
+            if counters is not None:
+                counters["early_exit"] += 1
             return None  # the paper's x <= 0 early termination
         prev2, prev, cur = prev, cur, prev2
     return prev[n] if prev[n] <= k else None
 
 
-def pdl_matcher(k: int, *, empty_matches: bool = False) -> Callable[[str, str], bool]:
-    """Bind a threshold: returns ``matcher(s, t) -> bool`` running PDL."""
+def pdl_matcher(
+    k: int,
+    *,
+    empty_matches: bool = False,
+    counters: dict[str, int] | None = None,
+) -> Callable[[str, str], bool]:
+    """Bind a threshold: returns ``matcher(s, t) -> bool`` running PDL.
+
+    ``counters`` (optional) receives the pruning tallies of every call —
+    see :func:`pdl`.
+    """
     validate_threshold(k)
 
     def matcher(s: str, t: str) -> bool:
-        return pdl(s, t, k, empty_matches=empty_matches)
+        return pdl(s, t, k, empty_matches=empty_matches, counters=counters)
 
     matcher.__name__ = f"pdl_k{k}"
     return matcher

@@ -137,12 +137,18 @@ def run_string_experiment(
     protocol: TimingProtocol = TimingProtocol.QUICK,
     dataset: DatasetPair | None = None,
     levels: int = 2,
+    collector=None,
 ) -> StringExperimentResult:
     """Run one of the paper's string-comparison tables.
 
     ``dataset`` overrides the sampled clean/error pair (used by tests
     and the curve runner); otherwise :func:`dataset_for_family` builds
     it from ``(family, n, seed)``.
+
+    ``collector`` (a :class:`repro.obs.StatsCollector`) receives one
+    child funnel per method.  The instrumented joins run *separately
+    after* the timed ones, so observation never perturbs the timing
+    rows.
     """
     theta = _default_theta(family) if theta is None else theta
     dp = dataset or dataset_for_family(family, n, seed)
@@ -150,6 +156,10 @@ def run_string_experiment(
     result = StringExperimentResult(
         family=family, n=dp.n, k=k, theta=theta, engine=engine, seed=seed
     )
+    if collector:
+        collector.meta.update(
+            {"family": family, "n": dp.n, "k": k, "engine": engine}
+        )
     result.gen_time_ms = _time_signature_generation(dp, kind, engine, protocol, levels)
     if engine == "vectorized":
         join = ChunkedJoin(
@@ -158,6 +168,9 @@ def run_string_experiment(
         for m in methods:
             timing, res = time_callable(lambda m=m: join.run(m), protocol)
             result.rows.append(_row_from(m, res, dp, timing.mean_ms))
+        if collector:
+            for m in methods:
+                join.run(m, collector=collector.child(m))
     elif engine == "scalar":
         for m in methods:
             def run_one(m: str = m):
@@ -166,6 +179,13 @@ def run_string_experiment(
 
             timing, res = time_callable(run_one, protocol)
             result.rows.append(_row_from(m, res, dp, timing.mean_ms))
+        if collector:
+            for m in methods:
+                child = collector.child(m)
+                matcher = build_matcher(
+                    m, k=k, theta=theta, scheme=kind, collector=child
+                )
+                match_strings(dp.clean, dp.error, matcher, collector=child)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     base = result.baseline_time_ms
@@ -307,6 +327,7 @@ def run_rl_experiment(
     k: int = 1,
     seed: int = 0,
     protocol: TimingProtocol = TimingProtocol.QUICK,
+    collector=None,
 ) -> RLExperimentResult:
     """The paper's RL experiment: ``n`` clean vs ``n`` corrupted records.
 
@@ -314,6 +335,10 @@ def run_rl_experiment(
     deterministic point-and-threshold scorer, and the full record pair
     space.  The "Gen" time is the FBF comparators' prepare cost
     (signature generation for every field column).
+
+    ``collector`` receives one child per method, each carrying the
+    engine-level funnel plus per-field sub-funnels; as in the string
+    experiment, instrumented runs happen after the timed ones.
     """
     import random
 
@@ -346,6 +371,12 @@ def run_rl_experiment(
                 match_count=link_result.true_positives + link_result.false_positives,
             )
         )
+    if collector:
+        collector.meta.update({"n": n, "k": k})
+        for m in methods:
+            default_engine(m, k, collector=collector.child(m)).link(
+                records, corrupted
+            )
     base = result.baseline_time_ms
     if base is not None:
         for row in result.rows:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Callable, Iterator, Sequence
 
 __all__ = [
@@ -58,6 +58,29 @@ class BlockingMethod:
     ) -> Iterator[tuple[int, int]]:
         """Yield candidate ``(i, j)`` pairs (no duplicates)."""
         raise NotImplementedError
+
+    def pairs_observed(
+        self,
+        left: Sequence[str],
+        right: Sequence[str],
+        collector,
+        *,
+        stage: str | None = None,
+    ) -> Iterator[tuple[int, int]]:
+        """:meth:`pairs`, recording the blocking funnel stage.
+
+        The stage (named after the method by default) is recorded once
+        the generator is exhausted: ``tested`` is the full product,
+        ``passed`` the candidates actually emitted — the method's
+        reduction ratio, live.
+        """
+        stage = stage or self.name
+        count = 0
+        for pair in self.pairs(left, right):
+            count += 1
+            yield pair
+        collector.add_stage(stage, len(left) * len(right), count)
+        collector.meta.setdefault("blocking", self.name)
 
     def reduction_ratio(
         self, left: Sequence[str], right: Sequence[str]
@@ -104,6 +127,20 @@ class StandardBlocking(BlockingMethod):
                 continue
             for j in index.get(kv, ()):
                 yield i, j
+
+    def pairs_observed(self, left, right, collector, *, stage=None):
+        yield from super().pairs_observed(left, right, collector, stage=stage)
+        # Block-size profile: skew here is what makes key-based blocking
+        # slow *and* brittle, so surface it alongside the pair counts.
+        left_counts = Counter(kv for kv in map(self.key, left) if kv)
+        right_counts = Counter(kv for kv in map(self.key, right) if kv)
+        sizes = [
+            n * right_counts[kv]
+            for kv, n in left_counts.items()
+            if kv in right_counts
+        ]
+        collector.meta["blocks"] = len(sizes)
+        collector.meta["largest_block_pairs"] = max(sizes, default=0)
 
 
 class SortedNeighbourhood(BlockingMethod):

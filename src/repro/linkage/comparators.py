@@ -45,6 +45,14 @@ class FieldComparator:
     def agrees(self, i: int, j: int) -> bool:
         raise NotImplementedError
 
+    def observe(self, collector) -> None:
+        """Attach a :class:`repro.obs.StatsCollector`.
+
+        No-op by default — scalar comparators (exact, Soundex) have no
+        internal funnel to report.  Must be called before
+        :meth:`prepare`; the linkage engine does so.
+        """
+
 
 class ExactComparator(FieldComparator):
     """Byte-for-byte equality; empty values never agree.
@@ -90,11 +98,28 @@ class StringMatchComparator(FieldComparator):
     ):
         super().__init__(field)
         self.method = method
+        self._k = k
+        self._theta = theta
+        self._scheme = scheme
         self._matcher: PreparedMatcher = build_matcher(
             method, k=k, theta=theta, scheme=scheme
         )
         self._left: Sequence[str] = ()
         self._right: Sequence[str] = ()
+
+    def observe(self, collector) -> None:
+        # Rebuild rather than assign `matcher.collector`: building with
+        # the collector also wires the PDL verifier's internal tallies
+        # (length_pruned / early_exit).  prepare() runs after this.
+        collector.meta.setdefault("method", self.method)
+        collector.meta.setdefault("k", self._k)
+        self._matcher = build_matcher(
+            self.method,
+            k=self._k,
+            theta=self._theta,
+            scheme=self._scheme,
+            collector=collector,
+        )
 
     def prepare(self, left: Sequence[str], right: Sequence[str]) -> None:
         self._left = left

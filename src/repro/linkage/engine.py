@@ -29,8 +29,12 @@ from repro.linkage.comparators import (
 )
 from repro.linkage.records import FIELDS, Record
 from repro.linkage.scoring import Decision, PointThresholdScorer, Scorer
+from repro.obs.log import get_logger
+from repro.obs.stats import NULL_COLLECTOR
 
 __all__ = ["LinkageEngine", "LinkageResult", "default_engine"]
+
+_log = get_logger("linkage.engine")
 
 
 @dataclass
@@ -82,6 +86,7 @@ class LinkageEngine:
         *,
         blocking_field: str = "last_name",
         record_matches: bool = False,
+        collector=None,
     ):
         if not comparators:
             raise ValueError("at least one field comparator is required")
@@ -96,6 +101,7 @@ class LinkageEngine:
         self.blocking = blocking or FullProduct()
         self.blocking_field = blocking_field
         self.record_matches = record_matches
+        self.collector = collector
 
     def link(
         self,
@@ -103,36 +109,75 @@ class LinkageEngine:
         right: Sequence[Record],
         *,
         pairs: Iterable[tuple[int, int]] | None = None,
+        collector=None,
     ) -> LinkageResult:
-        """Run the pipeline; ground truth is positional (``i == j``)."""
-        columns_left = {
-            c.field: [r[c.field] for r in left] for c in self.comparators
-        }
-        columns_right = {
-            c.field: [r[c.field] for r in right] for c in self.comparators
-        }
-        for c in self.comparators:
-            c.prepare(columns_left[c.field], columns_right[c.field])
-        if pairs is None:
+        """Run the pipeline; ground truth is positional (``i == j``).
+
+        ``collector`` (or one set on the engine) receives the run-level
+        funnel — blocking reduction, candidates scored, declared
+        matches — with one child collector per string-matched field
+        holding that field's own filter-and-verify funnel.
+        """
+        obs = collector if collector else (
+            self.collector if self.collector else NULL_COLLECTOR
+        )
+        if obs:
+            obs.meta["n_left"] = len(left)
+            obs.meta["n_right"] = len(right)
+            obs.meta.setdefault("blocking", self.blocking.name)
+            for c in self.comparators:
+                c.observe(obs.child(f"field.{c.field}"))
+        with obs.span("linkage.prepare"):
+            columns_left = {
+                c.field: [r[c.field] for r in left] for c in self.comparators
+            }
+            columns_right = {
+                c.field: [r[c.field] for r in right] for c in self.comparators
+            }
+            for c in self.comparators:
+                c.prepare(columns_left[c.field], columns_right[c.field])
+        blocked = pairs is None
+        if blocked:
             key_left = [r[self.blocking_field] for r in left]
             key_right = [r[self.blocking_field] for r in right]
-            pairs = self.blocking.pairs(key_left, key_right)
+            if obs:
+                pairs = self.blocking.pairs_observed(key_left, key_right, obs)
+            else:
+                pairs = self.blocking.pairs(key_left, key_right)
         result = LinkageResult(len(left), len(right))
         classify = self.scorer.classify
         comparators = self.comparators
-        for i, j in pairs:
-            result.candidates += 1
-            agreements = {c.field: c.agrees(i, j) for c in comparators}
-            decision = classify(agreements)
-            if decision == Decision.MATCH:
-                if i == j:
-                    result.true_positives += 1
-                else:
-                    result.false_positives += 1
-                if self.record_matches:
-                    result.matches.append((i, j))
-            elif decision == Decision.POSSIBLE:
-                result.possibles += 1
+        with obs.span("linkage.pairs"):
+            for i, j in pairs:
+                result.candidates += 1
+                agreements = {c.field: c.agrees(i, j) for c in comparators}
+                decision = classify(agreements)
+                if decision == Decision.MATCH:
+                    if i == j:
+                        result.true_positives += 1
+                    else:
+                        result.false_positives += 1
+                    if self.record_matches:
+                        result.matches.append((i, j))
+                elif decision == Decision.POSSIBLE:
+                    result.possibles += 1
+        if obs:
+            # Run-level funnel: blocking (recorded by pairs_observed as a
+            # stage when it ran) narrows the product to the candidates,
+            # every candidate is scored ("verified"), matches come out.
+            obs.add_pairs(
+                len(left) * len(right) if blocked else result.candidates
+            )
+            obs.add_survivors(result.candidates)
+            obs.add_verified(result.candidates)
+            obs.add_matched(result.true_positives + result.false_positives)
+            obs.meta["possibles"] = result.possibles
+        _log.debug(
+            "linked %d x %d: %d candidates, %d matches (%d true)",
+            len(left), len(right), result.candidates,
+            result.true_positives + result.false_positives,
+            result.true_positives,
+        )
         return result
 
 
@@ -142,6 +187,7 @@ def default_engine(
     *,
     scorer: Scorer | None = None,
     blocking: BlockingMethod | None = None,
+    collector=None,
 ) -> LinkageEngine:
     """The paper's RL configuration with method ``X`` in the string slots.
 
@@ -159,4 +205,6 @@ def default_engine(
         StringMatchComparator("ssn", method, k, scheme="numeric"),
         StringMatchComparator("birthdate", method, k, scheme="numeric"),
     ]
-    return LinkageEngine(comparators, scorer=scorer, blocking=blocking)
+    return LinkageEngine(
+        comparators, scorer=scorer, blocking=blocking, collector=collector
+    )

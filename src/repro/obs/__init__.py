@@ -1,0 +1,61 @@
+"""repro.obs — observability for the filter-and-verify pipeline.
+
+Three small, dependency-free pieces that every layer of the system
+reports into:
+
+* :mod:`repro.obs.stats` — :class:`StatsCollector`, the funnel counters
+  (considered -> length-rejected -> FBF-rejected -> verified -> matched)
+  with a falsy no-op default so the uninstrumented path costs nothing;
+* :mod:`repro.obs.trace` — nested wall-time spans over
+  ``time.perf_counter_ns`` (``with collector.span("fbf.filter"):``);
+* :mod:`repro.obs.export` — the filtration-ratio table (text) and JSON
+  snapshot, directly comparable to the paper's Tables 1-4 columns;
+* :mod:`repro.obs.log` — the ``repro.*`` module-logger hierarchy behind
+  the CLI's ``-v``/``-q`` flags.
+
+Quick tour::
+
+    from repro.obs import StatsCollector, render_funnel
+
+    c = StatsCollector("ssn-join")
+    join = ChunkedJoin(left, right, k=1, collector=c)
+    join.run("FPDL")
+    print(render_funnel(c))
+    assert c.conserved        # considered == rejected-by-stage + survivors
+"""
+
+from repro.obs.export import render_funnel, stats_dict, write_stats_json
+from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
+from repro.obs.stats import (
+    NULL_COLLECTOR,
+    NullStatsCollector,
+    StageStat,
+    StatsCollector,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SpanStat,
+    Tracer,
+    current_tracer,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_COLLECTOR",
+    "NULL_SPAN",
+    "NullStatsCollector",
+    "ROOT_LOGGER_NAME",
+    "SpanStat",
+    "StageStat",
+    "StatsCollector",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "get_logger",
+    "render_funnel",
+    "stats_dict",
+    "trace",
+    "use_tracer",
+    "write_stats_json",
+]

@@ -1,0 +1,129 @@
+"""Funnel exporters: the filtration-ratio table and its JSON twin.
+
+:func:`render_funnel` turns a :class:`~repro.obs.stats.StatsCollector`
+into the plain-text table the paper's evaluation reasons over — one row
+per funnel stage with the pairs in, rejected, surviving and the reject
+percentage, so a run's output is directly comparable to the
+filter-effectiveness columns of Tables 1-4 (and to the candidate-count
+tables PASS-JOIN / EmbedJoin report).  :func:`stats_dict` /
+:func:`write_stats_json` export the same tree machine-readably for
+dashboards and regression tracking.
+
+Formatting is local and dependency-free on purpose: the richer table
+helpers in :mod:`repro.eval.tables` sit *above* the engines that import
+this package, and observability must stay importable from the innermost
+layers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.stats import StatsCollector
+
+__all__ = ["render_funnel", "stats_dict", "write_stats_json"]
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace alignment: first column left, the rest right."""
+    cells = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(r[col]) for r in cells) for col in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        padded = [
+            row[0].ljust(widths[0]),
+            *(c.rjust(w) for c, w in zip(row[1:], widths[1:])),
+        ]
+        lines.append("  ".join(padded).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.2f}%" if whole else "-"
+
+
+def _funnel_lines(c: StatsCollector, *, include_spans: bool) -> list[str]:
+    label = c.meta.get("method", c.name)
+    header_bits = [f"funnel: {label}"]
+    if "k" in c.meta:
+        header_bits.append(f"k={c.meta['k']}")
+    if "n_left" in c.meta and "n_right" in c.meta:
+        header_bits.append(f"{c.meta['n_left']:,} x {c.meta['n_right']:,}")
+    lines = [" | ".join(str(b) for b in header_bits)]
+
+    rows: list[list[str]] = []
+    flowing = c.pairs_considered
+    rows.append(["considered", f"{flowing:,}", "", "", ""])
+    for stage in c.stages.values():
+        rows.append(
+            [
+                stage.name,
+                f"{stage.tested:,}",
+                f"{stage.rejected:,}",
+                f"{stage.passed:,}",
+                _pct(stage.rejected, stage.tested),
+            ]
+        )
+        flowing = stage.passed
+    if c.verified:
+        rows.append(
+            [
+                "verify",
+                f"{c.verified:,}",
+                f"{c.verified - c.matched:,}",
+                f"{c.matched:,}",
+                _pct(c.verified - c.matched, c.verified),
+            ]
+        )
+    rows.append(["matched", f"{c.matched:,}", "", "", ""])
+    lines.append(
+        _format_table(["stage", "pairs in", "rejected", "passed", "reject %"], rows)
+    )
+
+    summary = [
+        f"filtration: {_pct(c.total_rejected, c.pairs_considered)} of pairs "
+        f"never reached the verifier" if c.pairs_considered else "filtration: -",
+        f"conserved: {'yes' if c.conserved else 'NO (counter leak!)'}",
+    ]
+    vc = c.verifier_counters
+    if any(vc.values()):
+        tallies = ", ".join(f"{k} {v:,}" for k, v in vc.items() if v)
+        summary.append(f"verifier shortcuts: {tallies}")
+    lines.extend(summary)
+
+    if include_spans and c.tracer.spans:
+        span_rows = [
+            [s.path, f"{s.calls:,}", f"{s.total_ms:,.2f}"]
+            for s in c.tracer.spans.values()
+        ]
+        lines.append("")
+        lines.append(_format_table(["span", "calls", "total ms"], span_rows))
+    return lines
+
+
+def render_funnel(collector: StatsCollector, *, include_spans: bool = True) -> str:
+    """The human-readable funnel report (children rendered indented)."""
+    lines = _funnel_lines(collector, include_spans=include_spans)
+    for child in collector.children.values():
+        lines.append("")
+        lines.extend(
+            "  " + line if line else ""
+            for line in _funnel_lines(child, include_spans=include_spans)
+        )
+    return "\n".join(lines)
+
+
+def stats_dict(collector: StatsCollector) -> dict[str, object]:
+    """JSON-ready snapshot (alias of :meth:`StatsCollector.as_dict`)."""
+    return collector.as_dict()
+
+
+def write_stats_json(path: str | Path, collector: StatsCollector) -> None:
+    """Write the collector tree as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(stats_dict(collector), indent=2, default=str) + "\n"
+    )

@@ -1,0 +1,81 @@
+"""The ``repro`` module-logger hierarchy.
+
+Every subsystem logs through a child of the ``repro`` root logger —
+``repro.cli``, ``repro.parallel.chunked``, ``repro.linkage.engine`` — so
+one :func:`configure_logging` call (the CLI's ``-v``/``-q`` flags) sets
+the verbosity for the whole pipeline, and embedders who never call it
+get the standard library's silent default (no handler, WARNING+ to
+``lastResort``).
+
+Verbosity maps the conventional way::
+
+    -q   -> ERROR      (verbosity -1)
+    (none) -> WARNING  (verbosity 0)
+    -v   -> INFO       (verbosity 1)
+    -vv  -> DEBUG      (verbosity >= 2)
+
+:func:`configure_logging` is idempotent: re-invocation replaces the
+handler it previously installed rather than stacking duplicates, so
+in-process CLI drivers (the test suite) can call it per command.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: marker attribute identifying the handler configure_logging installed
+_HANDLER_MARK = "_repro_obs_installed"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("parallel.chunked")`` and
+    ``get_logger("repro.parallel.chunked")`` return the same logger;
+    ``get_logger()`` returns the hierarchy root.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def level_for(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count to a stdlib logging level."""
+    if verbosity < 0:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, *, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` root at ``verbosity``.
+
+    Returns the configured root logger.  Replaces any handler a previous
+    call installed; handlers added by embedding applications are left
+    alone.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level_for(verbosity))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    # Don't double-print through the stdlib root logger.
+    root.propagate = False
+    return root

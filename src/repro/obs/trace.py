@@ -1,0 +1,164 @@
+"""Lightweight nested-span tracing over ``time.perf_counter_ns``.
+
+The paper's evaluation decomposes every method's cost into per-stage
+wall time (signature generation, filtering, verification — the "Gen"
+rows and time columns of Tables 1-4).  :class:`Tracer` records the same
+decomposition at runtime: a *span* is a named ``with`` block, spans
+nest, and each distinct nesting path accumulates call count and total
+nanoseconds into one :class:`SpanStat`.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  The module-level :func:`trace` helper
+   returns a shared no-op context manager when no tracer is active —
+   one global load and one ``is None`` test per call, no allocation.
+2. **Cheap when on.**  A span entry/exit is two ``perf_counter_ns``
+   calls, one list push/pop and one dict upsert; no objects are
+   retained per call, only per distinct path.
+3. **Mergeable.**  Parallel drivers trace into private tracers and
+   :meth:`Tracer.merge` them into one, mirroring how their counters
+   merge.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("fbf.filter"):
+        ...
+    with use_tracer(tracer):          # route module-level trace() calls
+        with trace("verify"):
+            ...
+    tracer.spans                       # {"fbf.filter": SpanStat(...), ...}
+
+Nested spans key under their full path with ``/`` separators, e.g.
+``"join/fbf.filter"`` — span *names* keep their conventional dots.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter_ns
+from typing import Iterator
+
+__all__ = [
+    "SpanStat",
+    "Tracer",
+    "NULL_SPAN",
+    "trace",
+    "use_tracer",
+    "current_tracer",
+]
+
+
+@dataclass
+class SpanStat:
+    """Accumulated timing for one span path."""
+
+    path: str
+    calls: int = 0
+    total_ns: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.calls if self.calls else 0.0
+
+
+class _Span:
+    """One live ``with`` block; records into its tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self._name)
+        self._t0 = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter_ns() - self._t0
+        tracer = self._tracer
+        path = "/".join(tracer._stack)
+        tracer._stack.pop()
+        stat = tracer.spans.get(path)
+        if stat is None:
+            stat = tracer.spans[path] = SpanStat(path)
+        stat.calls += 1
+        stat.total_ns += elapsed
+        return False
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager (the inactive-tracer path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Accumulates :class:`SpanStat` per distinct nesting path."""
+
+    def __init__(self) -> None:
+        self.spans: dict[str, SpanStat] = {}
+        self._stack: list[str] = []
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one named (possibly nested) span."""
+        return _Span(self, name)
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's accumulated spans into this one."""
+        for path, stat in other.spans.items():
+            mine = self.spans.get(path)
+            if mine is None:
+                mine = self.spans[path] = SpanStat(path)
+            mine.calls += stat.calls
+            mine.total_ns += stat.total_ns
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready view: path -> {calls, total_ms}."""
+        return {
+            path: {"calls": s.calls, "total_ms": s.total_ms}
+            for path, s in self.spans.items()
+        }
+
+
+#: the tracer module-level :func:`trace` routes to (None = tracing off)
+_active: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer :func:`trace` currently records into, if any."""
+    return _active
+
+
+def trace(name: str):
+    """Span against the active tracer; free no-op when none is active."""
+    tracer = _active
+    return tracer.span(name) if tracer is not None else NULL_SPAN
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the active target of :func:`trace` in this block."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

@@ -11,6 +11,14 @@ Timing fidelity note (DESIGN.md): *all* methods run in the same
 vectorized paradigm here, so relative timings — the paper's speedup
 columns — compare like with like, exactly as the paper's all-C
 implementations did.
+
+Observability: pass a :class:`repro.obs.StatsCollector` (constructor or
+per-:meth:`ChunkedJoin.run` call) and the engine reports the same
+funnel the scalar driver does — stage sweeps record their tested/passed
+totals, verification merges per-chunk aggregates into the one
+collector, and signature generation / filtering / verification each get
+a wall-time span.  With no collector every hook routes to the falsy
+shared no-op and the hot loops are unchanged.
 """
 
 from __future__ import annotations
@@ -31,9 +39,13 @@ from repro.distance.vectorized import (
     osa_pairs,
     osa_within_k_pairs,
 )
+from repro.obs.log import get_logger
+from repro.obs.stats import NULL_COLLECTOR
 from repro.parallel.partition import iter_pair_blocks
 
 __all__ = ["ChunkedJoin", "VJoinResult"]
+
+_log = get_logger("parallel.chunked")
 
 
 def _group_by_value(values: np.ndarray) -> dict[int, np.ndarray]:
@@ -100,6 +112,10 @@ class ChunkedJoin:
         XOR+popcount, length masks, Hamming, Soundex), whose per-pair
         state is a few bytes; large chunks amortize the per-chunk
         Python overhead these are dominated by.
+    collector:
+        A :class:`repro.obs.StatsCollector` receiving signature-"Gen"
+        spans at construction and the funnel counters of every
+        :meth:`run` (unless the run supplies its own).
     """
 
     def __init__(
@@ -115,6 +131,7 @@ class ChunkedJoin:
         filter_chunk: int = 1 << 20,
         variant: str = "paper",
         record_matches: bool = False,
+        collector=None,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -126,12 +143,17 @@ class ChunkedJoin:
         self.filter_chunk = max(chunk, filter_chunk)
         self.variant = variant
         self.record_matches = record_matches
-        self.codes_l, self.len_l = encode_raw(left)
-        self.codes_r, self.len_r = encode_raw(right)
+        self.collector = collector
+        obs = collector if collector else NULL_COLLECTOR
+        self._obs = NULL_COLLECTOR  # run-scoped; set by run()
+        with obs.span("gen.encode"):
+            self.codes_l, self.len_l = encode_raw(left)
+            self.codes_r, self.len_r = encode_raw(right)
         kind = scheme_kind or detect_kind(list(left[:128]) + list(right[:128]))
         self.scheme = scheme_for(kind, levels)
-        self.sigs_l = signatures_for_scheme(left, self.scheme)
-        self.sigs_r = signatures_for_scheme(right, self.scheme)
+        with obs.span("gen.signatures"):
+            self.sigs_l = signatures_for_scheme(left, self.scheme)
+            self.sigs_r = signatures_for_scheme(right, self.scheme)
         if self.sigs_l.ndim == 1:
             self.sigs_l = self.sigs_l[:, None]
         if self.sigs_r.ndim == 1:
@@ -144,12 +166,33 @@ class ChunkedJoin:
 
     # -- method dispatch ---------------------------------------------------
 
-    def run(self, method: str) -> VJoinResult:
-        """Execute one method stack by its paper name."""
+    def run(self, method: str, collector=None) -> VJoinResult:
+        """Execute one method stack by its paper name.
+
+        ``collector`` overrides the instance collector for this run —
+        the experiment harness uses that to give each method its own
+        child collector over one prepared join.
+        """
         handler = getattr(self, f"_run_{method.lower()}", None)
         if handler is None:
             raise ValueError(f"unknown method {method!r}")
-        return handler()
+        obs = collector if collector else (
+            self.collector if self.collector else NULL_COLLECTOR
+        )
+        if obs:
+            obs.meta["method"] = method
+            obs.meta["k"] = self.k
+            obs.meta["n_left"] = len(self.left)
+            obs.meta["n_right"] = len(self.right)
+        _log.debug(
+            "run %s over %d x %d pairs", method, len(self.left), len(self.right)
+        )
+        self._obs = obs
+        try:
+            with obs.span(f"run.{method}"):
+                return handler()
+        finally:
+            self._obs = NULL_COLLECTOR
 
     # -- verifiers ----------------------------------------------------------
 
@@ -173,16 +216,24 @@ class ChunkedJoin:
         *,
         chunk: int | None = None,
     ) -> VJoinResult:
+        obs = self._obs
         result = VJoinResult(method, len(self.left), len(self.right))
         chunk = chunk or self.chunk
         for ii, jj in iter_pair_blocks(len(self.left), len(self.right), chunk):
             hits = predicate(ii, jj)
-            result.match_count += int(hits.sum())
+            n_hits = int(hits.sum())
+            result.match_count += n_hits
             result.diagonal_matches += int((hits & (ii == jj)).sum())
             if self.record_matches:
                 result.matches.extend(
                     zip(ii[hits].tolist(), jj[hits].tolist())
                 )
+            # Per-chunk aggregates; no filter stage, so every pair flows
+            # straight to the decision predicate.
+            obs.add_pairs(len(ii))
+            obs.add_survivors(len(ii))
+            obs.add_verified(len(ii))
+            obs.add_matched(n_hits)
         return result
 
     # -- filtered runner ------------------------------------------------------
@@ -193,32 +244,44 @@ class ChunkedJoin:
         candidates: tuple[np.ndarray, np.ndarray],
         verifier: Callable[[np.ndarray, np.ndarray], np.ndarray] | None,
     ) -> VJoinResult:
+        obs = self._obs
         ii, jj = candidates
         result = VJoinResult(method, len(self.left), len(self.right))
+        obs.add_pairs(len(self.left) * len(self.right))
+        obs.add_survivors(len(ii))
         if verifier is None:
             result.match_count = len(ii)
             result.diagonal_matches = int((ii == jj).sum())
             if self.record_matches:
                 result.matches.extend(zip(ii.tolist(), jj.tolist()))
+            obs.add_matched(result.match_count)
             return result
         result.verified_pairs = len(ii)
-        for c0 in range(0, len(ii), self.chunk):
-            bi = ii[c0 : c0 + self.chunk]
-            bj = jj[c0 : c0 + self.chunk]
-            hits = verifier(bi, bj)
-            result.match_count += int(hits.sum())
-            result.diagonal_matches += int((hits & (bi == bj)).sum())
-            if self.record_matches:
-                result.matches.extend(zip(bi[hits].tolist(), bj[hits].tolist()))
+        obs.add_verified(len(ii))
+        with obs.span("verify"):
+            for c0 in range(0, len(ii), self.chunk):
+                bi = ii[c0 : c0 + self.chunk]
+                bj = jj[c0 : c0 + self.chunk]
+                hits = verifier(bi, bj)
+                n_hits = int(hits.sum())
+                result.match_count += n_hits
+                result.diagonal_matches += int((hits & (bi == bj)).sum())
+                if self.record_matches:
+                    result.matches.extend(zip(bi[hits].tolist(), bj[hits].tolist()))
+                obs.add_matched(n_hits)  # per-chunk aggregate merge
         return result
 
     # -- candidate generators --------------------------------------------------
 
     def _fbf_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        obs = self._obs
         chunk_rows = max(1, self.filter_chunk // max(1, len(self.right)))
-        return fbf_candidates(
-            self.sigs_l, self.sigs_r, self.fbf_bound, chunk_rows=chunk_rows
-        )
+        with obs.span("fbf.filter"):
+            ii, jj = fbf_candidates(
+                self.sigs_l, self.sigs_r, self.fbf_bound, chunk_rows=chunk_rows
+            )
+        obs.add_stage("fbf", len(self.left) * len(self.right), len(ii))
+        return ii, jj
 
     def _length_group_blocks(self):
         """Yield ``(left_idx, right_idx)`` index blocks covering exactly
@@ -244,17 +307,22 @@ class ChunkedJoin:
                 yield left_idx, np.concatenate(right_parts)
 
     def _length_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        obs = self._obs
         parts_i: list[np.ndarray] = []
         parts_j: list[np.ndarray] = []
-        for left_idx, right_idx in self._length_group_blocks():
-            ii = np.repeat(left_idx, len(right_idx))
-            jj = np.tile(right_idx, len(left_idx))
-            parts_i.append(ii)
-            parts_j.append(jj)
+        with obs.span("length.filter"):
+            for left_idx, right_idx in self._length_group_blocks():
+                ii = np.repeat(left_idx, len(right_idx))
+                jj = np.tile(right_idx, len(left_idx))
+                parts_i.append(ii)
+                parts_j.append(jj)
         if not parts_i:
+            obs.add_stage("length", len(self.left) * len(self.right), 0)
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        return np.concatenate(parts_i), np.concatenate(parts_j)
+        ii, jj = np.concatenate(parts_i), np.concatenate(parts_j)
+        obs.add_stage("length", len(self.left) * len(self.right), len(ii))
+        return ii, jj
 
     def _length_then_fbf_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """FBF restricted to length-compatible group blocks.
@@ -264,22 +332,31 @@ class ChunkedJoin:
         which is where the paper's Section 6 "combination beats FBF
         alone" result comes from.
         """
+        obs = self._obs
+        product = len(self.left) * len(self.right)
+        length_passed = 0
         keep_i: list[np.ndarray] = []
         keep_j: list[np.ndarray] = []
-        for left_idx, right_idx in self._length_group_blocks():
-            chunk_rows = max(1, self.filter_chunk // max(1, len(right_idx)))
-            bi, bj = fbf_candidates(
-                self.sigs_l[left_idx],
-                self.sigs_r[right_idx],
-                self.fbf_bound,
-                chunk_rows=chunk_rows,
-            )
-            keep_i.append(left_idx[bi])
-            keep_j.append(right_idx[bj])
+        with obs.span("fbf.filter"):
+            for left_idx, right_idx in self._length_group_blocks():
+                length_passed += len(left_idx) * len(right_idx)
+                chunk_rows = max(1, self.filter_chunk // max(1, len(right_idx)))
+                bi, bj = fbf_candidates(
+                    self.sigs_l[left_idx],
+                    self.sigs_r[right_idx],
+                    self.fbf_bound,
+                    chunk_rows=chunk_rows,
+                )
+                keep_i.append(left_idx[bi])
+                keep_j.append(right_idx[bj])
+        obs.add_stage("length", product, length_passed)
         if not keep_i:
+            obs.add_stage("fbf", length_passed, 0)
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        return np.concatenate(keep_i), np.concatenate(keep_j)
+        ii, jj = np.concatenate(keep_i), np.concatenate(keep_j)
+        obs.add_stage("fbf", length_passed, len(ii))
+        return ii, jj
 
     # -- soundex -----------------------------------------------------------------
 

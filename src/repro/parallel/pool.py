@@ -114,6 +114,9 @@ def parallel_match_strings(
         for start, stop in balanced_splits(len(left), workers)
     ]
     result = JoinResult(method, len(left), len(right))
+    # Every slice joins its rows against all of `right`, so the iterated
+    # pair counts sum to the full product.
+    result.pairs_compared = len(left) * len(right)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for count, diagonal, verified, matches in pool.map(_run_slice, tasks):
             result.match_count += count

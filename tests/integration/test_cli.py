@@ -110,3 +110,69 @@ class TestExperimentCommand:
         main(["experiment", "--family", "LN", "--n", "60", "--length-filter"])
         out = capsys.readouterr().out
         assert "LFPDL" in out
+
+
+class TestStatsFlags:
+    def test_match_stats_prints_funnel(self, string_files, capsys):
+        left, right = string_files
+        assert main(["match", str(left), str(right), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "funnel: FPDL" in err
+        assert "conserved: yes" in err
+        assert "fbf" in err
+
+    def test_match_stats_json(self, string_files, tmp_path, capsys):
+        import json
+
+        left, right = string_files
+        out = tmp_path / "stats.json"
+        assert main(
+            ["match", str(left), str(right), "--stats-json", str(out)]
+        ) == 0
+        d = json.loads(out.read_text())
+        assert d["conserved"] is True
+        assert d["pairs_considered"] == 9
+        assert d["meta"]["method"] == "FPDL"
+        # No funnel on stderr unless --stats was also given.
+        assert "funnel:" not in capsys.readouterr().err
+
+    def test_no_stats_flag_no_funnel(self, string_files, capsys):
+        left, right = string_files
+        main(["match", str(left), str(right)])
+        assert "funnel:" not in capsys.readouterr().err
+
+    def test_dedupe_stats(self, tmp_path, capsys):
+        roster = tmp_path / "roster.txt"
+        roster.write_text("SMITH\nSMYTH\nJONES\n")
+        assert main(["dedupe", str(roster), "--stats"]) == 0
+        assert "conserved: yes" in capsys.readouterr().err
+
+    def test_experiment_stats_json_has_per_method_children(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "exp.json"
+        assert main(
+            [
+                "experiment", "--family", "SSN", "--n", "40",
+                "--stats-json", str(out),
+            ]
+        ) == 0
+        d = json.loads(out.read_text())
+        children = d["children"]
+        assert set(children) >= {"DL", "FPDL", "FBF"}
+        assert all(c["conserved"] for c in children.values())
+        assert children["FPDL"]["stages"][0]["name"] == "fbf"
+
+
+class TestLoggingFlags:
+    def test_verbose_emits_info_logs(self, string_files, capsys):
+        left, right = string_files
+        main(["-v", "match", str(left), str(right), "--quiet"])
+        assert "INFO repro.cli" in capsys.readouterr().err
+
+    def test_default_hides_info_logs(self, string_files, capsys):
+        left, right = string_files
+        main(["match", str(left), str(right), "--quiet"])
+        assert "INFO repro" not in capsys.readouterr().err

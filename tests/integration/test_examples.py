@@ -21,6 +21,7 @@ EXAMPLE_ARGS = {
     "scaling_study.py": ["300"],
     "blocking_vs_filtering.py": ["80"],
     "incremental_updates.py": ["60", "2"],
+    "funnel_inspection.py": ["120"],
 }
 
 

@@ -1,0 +1,67 @@
+"""Tests for the funnel exporters (text table and JSON)."""
+
+import json
+
+from repro.obs import StatsCollector, render_funnel, stats_dict, write_stats_json
+
+
+def _populated() -> StatsCollector:
+    c = StatsCollector("join")
+    c.meta.update({"method": "FPDL", "k": 1, "n_left": 10, "n_right": 10})
+    c.add_pairs(100)
+    c.add_stage("fbf", 100, 8)
+    c.add_survivors(8)
+    c.add_verified(8)
+    c.add_matched(5)
+    c.verifier_counters["early_exit"] += 2
+    with c.span("fbf.filter"):
+        pass
+    return c
+
+
+class TestRenderFunnel:
+    def test_contains_the_funnel_rows(self):
+        text = render_funnel(_populated())
+        assert "funnel: FPDL | k=1 | 10 x 10" in text
+        assert "considered" in text and "100" in text
+        assert "fbf" in text and "92.00%" in text
+        assert "verify" in text
+        assert "matched" in text
+        assert "conserved: yes" in text
+        assert "early_exit 2" in text
+
+    def test_flags_counter_leak(self):
+        c = _populated()
+        c.add_survivors(1)  # break conservation
+        assert "counter leak" in render_funnel(c)
+
+    def test_spans_optional(self):
+        c = _populated()
+        assert "fbf.filter" in render_funnel(c)
+        assert "fbf.filter" not in render_funnel(c, include_spans=False)
+
+    def test_children_rendered_indented(self):
+        c = StatsCollector("experiment")
+        child = c.child("FPDL")
+        child.add_pairs(4)
+        child.add_survivors(4)
+        text = render_funnel(c)
+        assert "\n  funnel: FPDL" in text
+
+    def test_empty_collector_renders(self):
+        text = render_funnel(StatsCollector())
+        assert "considered" in text and "filtration: -" in text
+
+
+class TestJsonExport:
+    def test_roundtrip(self, tmp_path):
+        c = _populated()
+        path = tmp_path / "stats.json"
+        write_stats_json(path, c)
+        d = json.loads(path.read_text())
+        assert d == json.loads(json.dumps(stats_dict(c), default=str))
+        assert d["pairs_considered"] == 100
+        assert d["conserved"] is True
+        assert d["stages"][0]["name"] == "fbf"
+        assert d["verifier"]["early_exit"] == 2
+        assert "fbf.filter" in d["spans"]

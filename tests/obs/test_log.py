@@ -1,0 +1,50 @@
+"""Tests for the repro.* logger hierarchy."""
+
+import io
+import logging
+
+from repro.obs import ROOT_LOGGER_NAME, configure_logging, get_logger
+from repro.obs.log import level_for
+
+
+class TestGetLogger:
+    def test_normalizes_into_hierarchy(self):
+        assert get_logger("parallel.chunked").name == "repro.parallel.chunked"
+        assert get_logger("repro.parallel.chunked").name == "repro.parallel.chunked"
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+    def test_children_propagate_to_repro_root(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("core.join").info("hello funnel")
+        assert "INFO repro.core.join: hello funnel" in stream.getvalue()
+
+
+class TestVerbosityMapping:
+    def test_levels(self):
+        assert level_for(-1) == logging.ERROR
+        assert level_for(0) == logging.WARNING
+        assert level_for(1) == logging.INFO
+        assert level_for(2) == logging.DEBUG
+        assert level_for(5) == logging.DEBUG
+
+
+class TestConfigureLogging:
+    def test_idempotent(self):
+        configure_logging(0)
+        configure_logging(0)
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        marked = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_installed", False)
+        ]
+        assert len(marked) == 1
+
+    def test_quiet_suppresses_warnings(self):
+        stream = io.StringIO()
+        configure_logging(-1, stream=stream)
+        get_logger("cli").warning("should not appear")
+        get_logger("cli").error("should appear")
+        out = stream.getvalue()
+        assert "should not appear" not in out
+        assert "should appear" in out

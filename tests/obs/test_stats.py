@@ -1,0 +1,127 @@
+"""Unit tests for the StatsCollector / NullStatsCollector pair."""
+
+import pytest
+
+from repro.obs import NULL_COLLECTOR, NullStatsCollector, StatsCollector
+
+
+class TestStageStat:
+    def test_derived_quantities(self):
+        c = StatsCollector()
+        c.add_stage("fbf", 100, 25)
+        s = c.stages["fbf"]
+        assert s.rejected == 75
+        assert s.pass_rate == pytest.approx(0.25)
+        assert s.filtration_ratio == pytest.approx(0.75)
+
+    def test_empty_stage_rates(self):
+        c = StatsCollector()
+        s = c.stage("fbf")
+        assert s.pass_rate == 0.0 and s.filtration_ratio == 0.0
+
+
+class TestStatsCollector:
+    def test_truthy(self):
+        assert StatsCollector()
+
+    def test_stage_is_cached(self):
+        c = StatsCollector()
+        assert c.stage("fbf") is c.stage("fbf")
+
+    def test_stages_preserve_first_recorded_order(self):
+        c = StatsCollector()
+        c.add_stage("length", 10, 5)
+        c.add_stage("fbf", 5, 2)
+        c.add_stage("length", 10, 5)
+        assert list(c.stages) == ["length", "fbf"]
+
+    def test_conservation_holds(self):
+        c = StatsCollector()
+        c.add_pairs(100)
+        c.add_stage("length", 100, 40)
+        c.add_stage("fbf", 40, 10)
+        c.add_survivors(10)
+        assert c.total_rejected == 90
+        assert c.conserved
+
+    def test_conservation_detects_leak(self):
+        c = StatsCollector()
+        c.add_pairs(100)
+        c.add_stage("fbf", 100, 10)
+        c.add_survivors(9)  # one pair vanished
+        assert not c.conserved
+
+    def test_merge_folds_everything(self):
+        a, b = StatsCollector("a"), StatsCollector("b")
+        for c in (a, b):
+            c.add_pairs(10)
+            c.add_stage("fbf", 10, 4)
+            c.add_survivors(4)
+            c.add_verified(4)
+            c.add_matched(2)
+            c.verifier_counters["early_exit"] += 3
+        b.meta["method"] = "FPDL"
+        b.child("inner").add_matched(1)
+        a.merge(b)
+        assert a.pairs_considered == 20
+        assert a.stages["fbf"].tested == 20 and a.stages["fbf"].passed == 8
+        assert a.survivors == a.verified == 8
+        assert a.matched == 4
+        assert a.verifier_counters["early_exit"] == 6
+        assert a.meta["method"] == "FPDL"
+        assert a.child("inner").matched == 1
+        assert a.conserved
+
+    def test_child_is_cached_and_in_dict(self):
+        c = StatsCollector()
+        child = c.child("field.ssn")
+        assert c.child("field.ssn") is child
+        child.add_matched(1)
+        assert c.as_dict()["children"]["field.ssn"]["matched"] == 1
+
+    def test_as_dict_shape(self):
+        c = StatsCollector("join")
+        c.add_pairs(5)
+        c.add_stage("fbf", 5, 2)
+        c.add_survivors(2)
+        d = c.as_dict()
+        assert d["name"] == "join"
+        assert d["pairs_considered"] == 5
+        assert d["stages"][0] == {
+            "name": "fbf", "tested": 5, "passed": 2, "rejected": 3,
+        }
+        assert d["conserved"] is True
+        assert set(d) >= {"spans", "meta", "children", "verifier"}
+
+
+class TestNullCollector:
+    def test_falsy_singleton(self):
+        assert not NULL_COLLECTOR
+        assert not NullStatsCollector()
+
+    def test_api_parity_with_real_collector(self):
+        """Every public method/attr of StatsCollector the producers use
+        must exist on the null twin, so unconditional call sites work."""
+        for name in (
+            "stage", "add_pairs", "add_stage", "add_survivors",
+            "add_verified", "add_matched", "span", "child", "merge",
+            "meta", "verifier_counters", "enabled",
+        ):
+            assert hasattr(NULL_COLLECTOR, name), name
+
+    def test_all_recording_is_discarded(self):
+        n = NullStatsCollector()
+        n.add_pairs(5)
+        n.add_stage("fbf", 5, 2)
+        n.meta["method"] = "FPDL"
+        assert n.meta == {}
+        assert n.child("x") is n
+        with n.span("anything"):
+            pass
+
+    def test_hot_loop_branch_pattern(self):
+        hits = []
+        for collector in (NULL_COLLECTOR, StatsCollector()):
+            if collector:
+                hits.append(collector)
+        assert len(hits) == 1 and isinstance(hits[0], StatsCollector)

@@ -1,0 +1,72 @@
+"""Unit tests for the nested-span tracer."""
+
+from repro.obs import NULL_SPAN, Tracer, current_tracer, trace, use_tracer
+
+
+class TestTracer:
+    def test_span_accumulates(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.span("fbf.filter"):
+                pass
+        stat = t.spans["fbf.filter"]
+        assert stat.calls == 3
+        assert stat.total_ns >= 0
+        assert stat.mean_ns == stat.total_ns / 3
+
+    def test_nested_paths_join_with_slash(self):
+        t = Tracer()
+        with t.span("run.FPDL"):
+            with t.span("fbf.filter"):
+                pass
+            with t.span("verify"):
+                pass
+        assert set(t.spans) == {
+            "run.FPDL", "run.FPDL/fbf.filter", "run.FPDL/verify",
+        }
+
+    def test_stack_unwinds_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with t.span("after"):
+            pass
+        assert "after" in t.spans  # not "outer/after"
+
+    def test_merge(self):
+        a, b = Tracer(), Tracer()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        with b.span("y"):
+            pass
+        a.merge(b)
+        assert a.spans["x"].calls == 2
+        assert a.spans["y"].calls == 1
+
+    def test_as_dict(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        d = t.as_dict()
+        assert d["x"]["calls"] == 1
+        assert d["x"]["total_ms"] >= 0.0
+
+
+class TestModuleLevelTrace:
+    def test_inactive_returns_shared_null_span(self):
+        assert current_tracer() is None
+        assert trace("anything") is NULL_SPAN
+
+    def test_use_tracer_routes_and_restores(self):
+        t = Tracer()
+        with use_tracer(t) as active:
+            assert active is t and current_tracer() is t
+            with trace("fbf.filter"):
+                pass
+        assert current_tracer() is None
+        assert t.spans["fbf.filter"].calls == 1
