@@ -14,7 +14,7 @@ import sys
 import time
 from collections import defaultdict
 
-from repro import ChunkedJoin
+from repro import VectorEngine
 from repro.data.errors import ErrorInjector
 from repro.data.names import build_last_name_pool
 
@@ -65,7 +65,7 @@ def main() -> None:
     print(f"roster: {len(roster)} entries covering {n_people} people\n")
 
     for method in ("FPDL", "SDX"):
-        join = ChunkedJoin(roster, roster, k=1, scheme_kind="alpha",
+        join = VectorEngine(roster, roster, k=1, scheme_kind="alpha",
                            record_matches=True)
         start = time.perf_counter()
         result = join.run(method)

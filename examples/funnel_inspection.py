@@ -15,7 +15,7 @@ import sys
 
 from repro.eval.experiments import DEFAULT_TABLE_METHODS
 from repro.obs import StatsCollector, render_funnel
-from repro.parallel.chunked import ChunkedJoin
+from repro.parallel.chunked import VectorEngine
 from repro.data.datasets import dataset_for_family
 
 METHODS = DEFAULT_TABLE_METHODS + ("LFPDL",)
@@ -25,7 +25,7 @@ def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     dp = dataset_for_family("SSN", n, seed=7)
     print(f"SSN experiment, n={dp.n}, k=1: one funnel per method\n")
-    join = ChunkedJoin(dp.clean, dp.error, k=1, scheme_kind="numeric")
+    join = VectorEngine(dp.clean, dp.error, k=1, scheme_kind="numeric")
     root = StatsCollector("funnel-inspection")
 
     rows = []

@@ -4,12 +4,10 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    ChunkedJoin,
     alpha_signature,
-    build_matcher,
     damerau_levenshtein,
     diff_bits,
-    match_strings,
+    join,
     num_signature,
     pdl,
 )
@@ -35,16 +33,15 @@ def main() -> None:
     print("\n== filter-and-verify join ==")
     clean = ["123456789", "555443333", "987001234"]
     dirty = ["123456780", "555443333", "987001243"]  # 1 edit, 0 edits, 1 swap
-    matcher = build_matcher("FPDL", k=1, scheme="numeric")
-    result = match_strings(clean, dirty, matcher, record_matches=True)
+    result = join(clean, dirty, "FPDL", k=1, record_matches=True)
     print("matches:", result.matches)
     print(
         f"verified pairs: {result.verified_pairs} of {result.pairs_compared} "
         "(the rest were discarded by the filter, guaranteed-safe)"
     )
 
-    # -- 4. The same join, vectorized, at scale --------------------------
-    print("\n== vectorized join ==")
+    # -- 4. The same line at scale: the planner switches strategy --------
+    print("\n== planned join at scale ==")
     import random
 
     from repro.data.errors import ErrorInjector
@@ -53,13 +50,14 @@ def main() -> None:
     rng = random.Random(0)
     big_clean = build_ssn_pool(2000, rng)
     big_dirty = ErrorInjector().inject_many(big_clean, rng)
-    join = ChunkedJoin(big_clean, big_dirty, k=1, scheme_kind="numeric")
-    res = join.run("FPDL")
+    res = join(big_clean, big_dirty, "FPDL", k=1)
     print(
         f"2000 x 2000 SSN pairs -> {res.match_count} matches "
-        f"({res.diagonal_matches} true), only {res.verified_pairs} of "
-        f"{res.pairs_compared:,} pairs needed the edit-distance DP"
+        f"({res.diagonal_matches} true); the planned join verified only "
+        f"{res.pairs_compared:,} of {len(big_clean) * len(big_dirty):,} "
+        "possible pairs"
     )
+    print(f"plan chosen: {res.generator} -> {res.backend}")
 
 
 if __name__ == "__main__":

@@ -7,18 +7,25 @@ matching and the record-linkage pipeline it was built for.
 
 Quickstart::
 
-    from repro import build_matcher, match_strings
+    from repro import join
 
     clean = ["123456789", "555443333"]
     dirty = ["123456780", "555443333"]
-    matcher = build_matcher("FPDL", k=1, scheme="numeric")
-    result = match_strings(clean, dirty, matcher)
+    result = join(clean, dirty, "FPDL", k=1, scheme="numeric")
     assert result.match_count == 2
+
+:func:`join` plans each call: a candidate generator (all-pairs, length
+buckets, the FBF signature index, key blocking) picks which pairs to
+look at, an execution backend (scalar, vectorized, multiprocess)
+verifies them, and a cost model composes the two from dataset size —
+see :mod:`repro.core.plan` for overrides and :class:`JoinPlanner` for
+reuse across calls.
 
 Package map (details in DESIGN.md):
 
 * :mod:`repro.core` — FBF signatures, filters, the 14 evaluated method
-  stacks and the similarity join (the paper's contribution).
+  stacks, the similarity join and the join planner (the paper's
+  contribution plus the scaling layer over it).
 * :mod:`repro.distance` — the string metrics substrate (DL/OSA, PDL,
   Jaro, Jaro-Winkler, Hamming, Soundex, q-grams) plus vectorized
   pair-batch engines.
@@ -37,6 +44,7 @@ Package map (details in DESIGN.md):
 from repro.core.filters import FBFFilter, FilterChain, LengthFilter
 from repro.core.join import JoinResult, match_strings
 from repro.core.matchers import METHOD_NAMES, build_matcher
+from repro.core.plan import JoinPlanner, join
 from repro.core.signatures import (
     SignatureScheme,
     alnum_signature,
@@ -56,19 +64,21 @@ from repro.distance import (
     soundex,
 )
 from repro.obs import StatsCollector, render_funnel
-from repro.parallel.chunked import ChunkedJoin
+from repro.parallel.chunked import ChunkedJoin, VectorEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChunkedJoin",
     "FBFFilter",
     "FilterChain",
+    "JoinPlanner",
     "JoinResult",
     "LengthFilter",
     "METHOD_NAMES",
     "SignatureScheme",
     "StatsCollector",
+    "VectorEngine",
     "__version__",
     "alnum_signature",
     "alpha_signature",
@@ -79,6 +89,7 @@ __all__ = [
     "hamming",
     "jaro",
     "jaro_winkler",
+    "join",
     "levenshtein",
     "match_strings",
     "num_signature",

@@ -14,6 +14,11 @@ Examples::
     repro-fbf dedupe roster.txt --k 1 --stats
     repro-fbf experiment --family LN --n 400 --k 1 --stats-json funnel.json
 
+``match`` and ``dedupe`` run through the join planner: a cost model
+picks the candidate generator and execution backend from dataset size,
+``--generator``/``--backend`` override it, and ``--plan`` prints the
+chosen plan to stderr without changing the output.
+
 Observability: every data subcommand accepts ``--stats`` (print the
 filter-funnel report to stderr) and ``--stats-json PATH`` (write the
 full collector tree as JSON); ``-v``/``-vv`` raise the ``repro.*``
@@ -31,6 +36,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.matchers import METHOD_NAMES
+from repro.core.plan import BACKEND_NAMES, GENERATOR_NAMES, JoinPlanner
 from repro.linkage.resolution import resolve
 from repro.obs import (
     StatsCollector,
@@ -39,7 +45,6 @@ from repro.obs import (
     render_funnel,
     write_stats_json,
 )
-from repro.parallel.chunked import ChunkedJoin
 
 __all__ = ["main", "build_parser"]
 
@@ -153,6 +158,26 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    sub.add_argument(
+        "--generator",
+        default="auto",
+        choices=["auto", *GENERATOR_NAMES],
+        help=(
+            "candidate generator (auto: cost model; 'blocking' is "
+            "Soundex standard blocking — lossy)"
+        ),
+    )
+    sub.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", *BACKEND_NAMES],
+        help="execution backend (auto: cost model)",
+    )
+    sub.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the chosen plan to stderr before running",
+    )
     _stats_args(sub)
 
 
@@ -169,6 +194,36 @@ def _stats_args(sub: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write funnel counters and spans as JSON",
     )
+
+
+def _plan_overrides(args: argparse.Namespace):
+    """Map the --generator/--backend flags to planner arguments."""
+    generator = None if args.generator == "auto" else args.generator
+    if generator == "blocking":
+        from repro.core.plan import BlockingKeyGenerator
+        from repro.distance.soundex import soundex
+        from repro.linkage.blocking import StandardBlocking
+
+        generator = BlockingKeyGenerator(StandardBlocking(key=soundex))
+    backend = None if args.backend == "auto" else args.backend
+    return generator, backend
+
+
+def _planned_join(args: argparse.Namespace, left, right, collector):
+    """Build the planner, honor --plan, and run the join."""
+    planner = JoinPlanner(
+        left,
+        right,
+        k=args.k,
+        scheme=args.scheme,
+        record_matches=True,
+        collector=collector,
+    )
+    generator, backend = _plan_overrides(args)
+    if args.plan:
+        plan = planner.plan(args.method, generator=generator, backend=backend)
+        print(f"# plan: {plan.describe()}", file=sys.stderr)
+    return planner.run(args.method, generator=generator, backend=backend)
 
 
 def _collector_for(args: argparse.Namespace) -> StatsCollector | None:
@@ -210,15 +265,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     right = _read_lines(args.right)
     _log.info("matching %d x %d strings with %s", len(left), len(right), args.method)
     collector = _collector_for(args)
-    join = ChunkedJoin(
-        left,
-        right,
-        k=args.k,
-        scheme_kind=args.scheme,
-        record_matches=True,
-        collector=collector,
-    )
-    result = join.run(args.method)
+    result = _planned_join(args, left, right, collector)
     if not args.quiet:
         for i, j in result.matches:
             print(f"{left[i]}\t{right[j]}")
@@ -234,15 +281,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
 def _cmd_dedupe(args: argparse.Namespace) -> int:
     strings = _read_lines(args.path)
     collector = _collector_for(args)
-    join = ChunkedJoin(
-        strings,
-        strings,
-        k=args.k,
-        scheme_kind=args.scheme,
-        record_matches=True,
-        collector=collector,
-    )
-    result = join.run(args.method)
+    result = _planned_join(args, strings, strings, collector)
     pairs = [(i, j) for i, j in result.matches if i < j]
     clusters = [c for c in resolve(len(strings), pairs) if len(c) > 1]
     if not args.quiet:

@@ -13,7 +13,12 @@ Layout:
   (DL, PDL, Jaro, Wink, Ham, FDL, FPDL, FBF, LDL, LPDL, LF, LFDL, LFPDL,
   LFBF) behind one factory registry.
 * :mod:`repro.core.join` — Algorithm 7 ``MatchStrings``: the all-pairs
-  similarity join with pluggable filter/verify stages.
+  similarity join with pluggable filter/verify stages (now the plan
+  layer's scalar backend).
+* :mod:`repro.core.plan` — the join planner: candidate generators
+  (all-pairs, length buckets, FBF index, key blocking) × execution
+  backends (scalar, vectorized, multiprocess), composed by a cost
+  model behind :func:`repro.join`.
 * :mod:`repro.core.vectorized` — NumPy batch engines: signature matrices,
   pairwise XOR-popcount candidate generation, chunked banded DP.
 """
@@ -28,6 +33,7 @@ from repro.core.filters import (
 from repro.core.bktree import BKTree
 from repro.core.index import FBFIndex
 from repro.core.join import JoinResult, match_strings
+from repro.core.plan import JoinPlan, JoinPlanner, join
 from repro.core.triejoin import TrieIndex
 from repro.core.matchers import (
     METHOD_NAMES,
@@ -60,6 +66,8 @@ __all__ = [
     "FilterChain",
     "TrieIndex",
     "FilterStats",
+    "JoinPlan",
+    "JoinPlanner",
     "JoinResult",
     "LengthFilter",
     "METHOD_NAMES",
@@ -72,6 +80,7 @@ __all__ = [
     "build_matcher",
     "diff_bits",
     "find_diff_bits",
+    "join",
     "match_strings",
     "method_registry",
     "num_signature",

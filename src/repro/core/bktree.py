@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 from repro.distance.damerau import true_damerau_levenshtein
 from repro.distance.levenshtein import levenshtein
+from repro.obs.stats import NULL_COLLECTOR
 
 __all__ = ["BKTree"]
 
@@ -96,18 +97,32 @@ class BKTree:
     def __getitem__(self, sid: int) -> str:
         return self._strings[sid]
 
-    def search(self, query: str, k: int = 1) -> list[int]:
-        """Ids of indexed strings within ``k`` edits (tree metric)."""
+    def search(self, query: str, k: int = 1, *, collector=None) -> list[int]:
+        """Ids of indexed strings within ``k`` edits (tree metric).
+
+        With a :class:`repro.obs.StatsCollector` the search reports the
+        join drivers' funnel shape: every indexed string is a considered
+        pair, the ``triangle`` stage records how many survived the
+        triangle-inequality pruning (strings on visited nodes, each
+        paying one metric evaluation — the verified count), and
+        ``matched`` counts the hits.
+        """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        obs = collector if collector else NULL_COLLECTOR
+        n = len(self._strings)
+        obs.add_pairs(n)
         if self._root is None:
+            obs.add_stage("triangle", n, 0)
             return []
         out: list[int] = []
         stack = [self._root]
         self.last_nodes_visited = 0
+        visited_strings = 0
         while stack:
             node = stack.pop()
             self.last_nodes_visited += 1
+            visited_strings += len(node.ids)
             d = self._metric(query, node.value)
             if d <= k:
                 out.extend(node.ids)
@@ -116,6 +131,14 @@ class BKTree:
             for edge, child in node.children.items():
                 if d - k <= edge <= d + k:
                     stack.append(child)
+        obs.add_stage("triangle", n, visited_strings)
+        obs.add_survivors(visited_strings)
+        obs.add_verified(visited_strings)
+        obs.add_matched(len(out))
+        if obs:
+            obs.meta["nodes_visited"] = (
+                int(obs.meta.get("nodes_visited", 0)) + self.last_nodes_visited
+            )
         out.sort()
         return out
 

@@ -32,6 +32,7 @@ from repro.core.popcount import popcount_batch_u32
 from repro.core.signatures import SignatureScheme, detect_kind, scheme_for
 from repro.core.vectorized import signatures_for_scheme
 from repro.distance.base import validate_threshold
+from repro.obs.stats import NULL_COLLECTOR
 from repro.distance.bitparallel import osa_bitparallel_batch
 from repro.distance.codec import encode_raw
 from repro.distance.myers import MAX_PATTERN, myers_batch
@@ -146,38 +147,130 @@ class FBFIndex:
 
     # -- search ------------------------------------------------------------
 
-    def search(self, query: str, k: int = 1) -> list[int]:
+    def search(self, query: str, k: int = 1, *, collector=None) -> list[int]:
         """Ids of every indexed string within ``k`` edits of ``query``.
 
         Exact with respect to the configured verifier's metric (OSA by
         default); results are sorted by id.  Following the paper's PDL
         semantics, empty strings — as query or as indexed entries —
         never match anything.
+
+        With a :class:`repro.obs.StatsCollector` the search reports the
+        same funnel the join drivers do, treating every indexed string
+        as a considered pair: a ``length`` stage (bucket pruning), an
+        ``fbf`` stage (signature filtering), then survivors = verified
+        candidates and the matched count.  The conservation invariant
+        holds per search and accumulates across searches.
         """
         validate_threshold(k)
+        obs = collector if collector else NULL_COLLECTOR
+        n = len(self._strings)
+        obs.add_pairs(n)
         if not self._strings or not query:
+            obs.add_stage("length", n, 0)
+            obs.add_stage("fbf", 0, 0)
             return []
         qsig = np.asarray(self.scheme.signature(query), dtype=np.uint32)
         bound = self.scheme.safe_threshold(k)
+        window = 0
+        survivors = 0
+        matched = 0
         hits: list[np.ndarray] = []
         for length in range(max(1, len(query) - k), len(query) + k + 1):
             bucket = self._buckets.get(length)
             if bucket is None or len(bucket) == 0:
                 continue
             self._pack(bucket)
+            window += len(bucket.ids)
             db = np.zeros(len(bucket.ids), dtype=np.uint16)
             for w in range(self.scheme.width):
                 db += popcount_batch_u32(bucket.sigs[:, w] ^ qsig[w])
             cand = np.nonzero(db <= bound)[0]
+            survivors += int(cand.size)
             if cand.size == 0:
                 continue
             ok = self._verify(query, bucket, cand, k)
-            hits.append(bucket.ids[cand[ok]])
+            found = bucket.ids[cand[ok]]
+            matched += len(found)
+            hits.append(found)
+        obs.add_stage("length", n, window)
+        obs.add_stage("fbf", window, survivors)
+        obs.add_survivors(survivors)
+        obs.add_verified(survivors)
+        obs.add_matched(matched)
         if not hits:
             return []
         out = np.concatenate(hits)
         out.sort()
         return out.tolist()
+
+    def candidate_blocks(
+        self,
+        queries: Sequence[str],
+        k: int = 1,
+        *,
+        max_pairs: int = 1 << 20,
+        collector=None,
+    ):
+        """Yield FBF-filtered candidate blocks for a batch of queries.
+
+        This is the index acting as a *candidate generator* for the plan
+        layer: no verification happens here.  Each yielded block is a
+        ``(query_idx, ids)`` pair of equal-length index arrays — every
+        candidate passed the bucket length window **and** the FBF
+        signature bound, so for edit-bounded verifiers no true match is
+        dropped (the filters' safety property, at index granularity).
+
+        Unlike :meth:`search`, empty queries and length-0 buckets *are*
+        included: whether empty strings match is the verifier's call
+        (the paper's DL says yes within ``k``, PDL says no), and a
+        generator must not pre-empt it.
+
+        ``max_pairs`` caps the query-rows × bucket-size product of one
+        dense XOR sweep; larger groups are split by query rows.
+        """
+        validate_threshold(k)
+        obs = collector if collector else NULL_COLLECTOR
+        n_right = len(self._strings)
+        product = len(queries) * n_right
+        obs.add_pairs(product)
+        if n_right == 0 or not len(queries):
+            obs.add_stage("length", product, 0)
+            obs.add_stage("fbf", 0, 0)
+            return
+        by_len: dict[int, list[int]] = defaultdict(list)
+        for qi, q in enumerate(queries):
+            by_len[len(q)].append(qi)
+        qsigs = signatures_for_scheme(list(queries), self.scheme)
+        if qsigs.ndim == 1:
+            qsigs = qsigs[:, None]
+        qsigs = qsigs.astype(np.uint32)
+        bound = self.scheme.safe_threshold(k)
+        window = 0
+        emitted = 0
+        for qlen in sorted(by_len):
+            q_idx = np.asarray(by_len[qlen], dtype=np.int64)
+            for length in range(max(0, qlen - k), qlen + k + 1):
+                bucket = self._buckets.get(length)
+                if bucket is None or len(bucket) == 0:
+                    continue
+                self._pack(bucket)
+                m = len(bucket.ids)
+                window += len(q_idx) * m
+                rows = max(1, max_pairs // m)
+                for r0 in range(0, len(q_idx), rows):
+                    qchunk = q_idx[r0 : r0 + rows]
+                    db = np.zeros((len(qchunk), m), dtype=np.uint16)
+                    for w in range(self.scheme.width):
+                        db += popcount_batch_u32(
+                            qsigs[qchunk, w][:, None] ^ bucket.sigs[None, :, w]
+                        )
+                    qi2, bi2 = np.nonzero(db <= bound)
+                    if len(qi2):
+                        emitted += len(qi2)
+                        yield qchunk[qi2], bucket.ids[bi2]
+        obs.add_stage("length", product, window)
+        obs.add_stage("fbf", window, emitted)
 
     def _verify(
         self, query: str, bucket: _Bucket, cand: np.ndarray, k: int

@@ -2,9 +2,12 @@
 
 The paper's driver compares every pair of the Cartesian product
 ``S x T``, first through the filter chain, then (for survivors) the
-verifier, and declares *match* or *unmatch*.  This module is the faithful
-sequential driver; :mod:`repro.parallel` provides the partitioned /
-vectorized drivers for larger inputs.
+verifier, and declares *match* or *unmatch*.  This module holds the
+faithful sequential reference loop; since the planner refactor it is the
+*scalar execution backend* of :mod:`repro.core.plan`, which composes it
+(or the vectorized / multiprocess backends) with a candidate generator.
+Call :func:`repro.join` for the planned entry point; the historical
+:func:`match_strings` signature remains as a thin deprecated shim.
 
 The evaluation's ground truth is positional — ``left[i]`` is the clean
 twin of ``right[i]`` — so :class:`JoinResult` carries both the match set
@@ -19,6 +22,7 @@ original uninstrumented path.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -27,6 +31,12 @@ from repro.core.matchers import PreparedMatcher
 from repro.obs.log import get_logger
 
 __all__ = ["JoinResult", "match_strings"]
+
+_DEPRECATION_MSG = (
+    "match_strings() is deprecated; use repro.join(left, right, method, ...) "
+    "or repro.core.plan.JoinPlanner, which pick an index-backed plan for "
+    "large products instead of always walking the full pair space"
+)
 
 _log = get_logger("core.join")
 
@@ -38,8 +48,10 @@ class JoinResult:
     ``matches`` is populated only when the join is run with
     ``record_matches=True``; the counters are always correct either way.
     ``pairs_compared`` counts the pairs the driver actually iterated —
-    the full ``n_left * n_right`` product, or the size of an explicit
-    ``pairs`` subset.
+    the full ``n_left * n_right`` product, an explicit ``pairs`` subset,
+    or (under an index-backed plan) the candidate pairs the generator
+    emitted.  ``generator`` / ``backend`` name the plan that produced the
+    result; the legacy drivers leave them at their implicit defaults.
     """
 
     method: str
@@ -51,6 +63,10 @@ class JoinResult:
     verified_pairs: int = 0
     pairs_compared: int = 0
     matches: list[tuple[int, int]] = field(default_factory=list)
+    #: candidate generator that produced the pair stream (plan layer)
+    generator: str = "all-pairs"
+    #: execution backend that verified the candidates (plan layer)
+    backend: str = "scalar"
 
     @property
     def off_diagonal_matches(self) -> int:
@@ -67,7 +83,12 @@ def match_strings(
     pairs: Iterable[tuple[int, int]] | None = None,
     collector=None,
 ) -> JoinResult:
-    """Run ``matcher`` over ``left x right`` (or an explicit pair subset).
+    """Deprecated alias for the scalar all-pairs reference join.
+
+    Delegates to the plan layer's scalar backend with the all-pairs
+    candidate generator (or the explicit ``pairs`` subset).  Prefer
+    :func:`repro.join`, which additionally knows how to skip most of the
+    pair space with index-backed candidate generation.
 
     Parameters
     ----------
@@ -94,6 +115,27 @@ def match_strings(
     >>> (r.match_count, r.diagonal_matches)
     (1, 1)
     """
+    warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=2)
+    return _scalar_join(
+        left,
+        right,
+        matcher,
+        record_matches=record_matches,
+        pairs=pairs,
+        collector=collector,
+    )
+
+
+def _scalar_join(
+    left: Sequence[str],
+    right: Sequence[str],
+    matcher: PreparedMatcher,
+    *,
+    record_matches: bool = False,
+    pairs: Iterable[tuple[int, int]] | None = None,
+    collector=None,
+) -> JoinResult:
+    """The scalar reference loop (the plan layer's scalar backend body)."""
     if collector:
         matcher.collector = collector
     else:

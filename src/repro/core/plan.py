@@ -1,0 +1,702 @@
+"""The join planner: candidate generation × execution backends.
+
+The paper's driver (Algorithm 7) walks the full ``S x T`` product and
+filters per pair; the repo long duplicated that loop three ways (scalar,
+vectorized, multiprocess) while its sub-quadratic structures — the FBF
+signature index, length bucketing, key blocking — sat outside the join.
+This module decouples the two halves every related system (PASS-JOIN,
+py_stringsimjoin) decouples:
+
+* a :class:`CandidateGenerator` decides *which pairs to look at* —
+  :class:`AllPairsGenerator` (the paper's product),
+  :class:`LengthBucketGenerator` (length-window group products),
+  :class:`FBFIndexGenerator` (bucket + signature filtering via
+  :class:`repro.core.index.FBFIndex`), or
+  :class:`BlockingKeyGenerator` (traditional key blocking — *lossy*,
+  never auto-picked);
+* an :class:`ExecutionBackend` decides *how to verify them* —
+  ``scalar`` (the reference loop), ``vectorized`` (NumPy chunks), or
+  ``multiprocess`` (process pool);
+* :class:`JoinPlanner` composes one of each from dataset size, the
+  method spec and ``k`` via a small cost model, with explicit overrides
+  for benchmarks, and runs the plan to a unified
+  :class:`repro.core.join.JoinResult`.
+
+**Safety.**  A generator is *safe* for a method when every pair the
+method would match is guaranteed to be emitted.  The length window is
+implied by edit-bounded verifiers (``dl``/``pdl``/``ham`` — padded
+Hamming upper-bounds edit distance) and by an explicit length filter;
+the FBF bound additionally requires an edit-bounded verifier or the
+method's own ``fbf`` filter.  Unsafe combinations are never auto-picked;
+an explicit override runs them anyway (with a log warning) so the
+benchmark suite can measure blocking's recall loss.
+
+**Funnel accounting.**  Every plan satisfies the conservation invariant
+of :mod:`repro.obs`: the backend counts the candidates it actually saw,
+and for non-full-product plans the planner records the generator as the
+funnel's first stage (``tested`` = full product, ``passed`` = emitted
+candidates) and credits the skipped pairs as considered-and-rejected —
+so an index-backed plan *reports* its reduction exactly where a filter
+reports its rejections.
+
+Quickstart::
+
+    from repro import join
+
+    result = join(left, right, "FPDL", k=1)          # planned
+    result = join(left, right, "DL", generator="all-pairs",
+                  backend="scalar")                  # forced reference
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.join import JoinResult, _scalar_join
+from repro.core.matchers import MethodSpec, build_matcher, method_registry
+from repro.core.signatures import detect_kind, scheme_for
+from repro.obs.log import get_logger
+from repro.obs.stats import NULL_COLLECTOR
+from repro.parallel.chunked import VectorEngine, _group_by_value
+from repro.parallel.partition import iter_pair_blocks
+from repro.parallel.pool import multiprocess_join
+
+__all__ = [
+    "EDIT_BOUNDED",
+    "GENERATOR_NAMES",
+    "BACKEND_NAMES",
+    "CandidateGenerator",
+    "AllPairsGenerator",
+    "LengthBucketGenerator",
+    "FBFIndexGenerator",
+    "BlockingKeyGenerator",
+    "ExecutionBackend",
+    "JoinPlan",
+    "JoinPlanner",
+    "join",
+]
+
+_log = get_logger("core.plan")
+
+#: Verifiers for which ``match(s, t)`` implies edit distance <= k, hence
+#: ``|len(s) - len(t)| <= k`` and the FBF diff-bits bound — the two
+#: implications the pruning generators rely on.  Jaro/Wink/SDX bound
+#: neither; padded Hamming counts overhang positions as mismatches, so
+#: ``Ham <= k`` does imply both.
+EDIT_BOUNDED = frozenset({"dl", "pdl", "ham"})
+
+GENERATOR_NAMES = ("all-pairs", "length-bucket", "fbf-index", "blocking")
+BACKEND_NAMES = ("scalar", "vectorized", "multiprocess")
+
+Block = tuple[np.ndarray, np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Candidate generators
+# ---------------------------------------------------------------------------
+
+
+class CandidateGenerator:
+    """Protocol: decide which ``(i, j)`` pairs the backend verifies.
+
+    ``blocks(planner)`` yields ``(ii, jj)`` index-array pairs; a
+    generator with ``is_full_product`` set never materializes them —
+    backends use their native full-product paths instead.
+    """
+
+    name = "generator"
+    #: covers the whole product (backends may take their dense paths)
+    is_full_product = False
+    #: guaranteed to emit every pair any method could match
+    lossless = True
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        """May this generator prune without dropping matches of ``spec``?"""
+        raise NotImplementedError
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        raise NotImplementedError
+
+
+class AllPairsGenerator(CandidateGenerator):
+    """The paper's full Cartesian product — safe for everything."""
+
+    name = "all-pairs"
+    is_full_product = True
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        return True
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        return iter_pair_blocks(
+            len(planner.left), len(planner.right), planner.block_pairs
+        )
+
+
+class LengthBucketGenerator(CandidateGenerator):
+    """Group products whose lengths differ by at most ``k``.
+
+    The length filter at *group* granularity: each side is bucketed by
+    string length once, and only bucket pairs within the ``k`` window
+    produce candidates — incompatible bucket products are skipped
+    wholesale, never enumerated.
+    """
+
+    name = "length-bucket"
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        return spec.verifier in EDIT_BOUNDED or "length" in spec.filters
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        groups_l, groups_r = planner.length_groups()
+        cap = planner.block_pairs
+        for lv, left_idx in groups_l.items():
+            right_parts = [
+                idx for rv, idx in groups_r.items() if abs(lv - rv) <= planner.k
+            ]
+            if not right_parts:
+                continue
+            right_idx = np.concatenate(right_parts)
+            rows = max(1, cap // max(1, len(right_idx)))
+            for r0 in range(0, len(left_idx), rows):
+                chunk = left_idx[r0 : r0 + rows]
+                yield (
+                    np.repeat(chunk, len(right_idx)),
+                    np.tile(right_idx, len(chunk)),
+                )
+
+
+class FBFIndexGenerator(CandidateGenerator):
+    """Bucket + FBF-signature pruning via :class:`FBFIndex`.
+
+    The right side is indexed once (length buckets holding packed
+    signature matrices); each left string probes only its length window
+    and keeps signature-compatible entries.  Unlike :meth:`FBFIndex.
+    search`, empty strings and length-0 buckets are included — whether
+    empties match is the verifier's decision, not the generator's.
+    """
+
+    name = "fbf-index"
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        if spec.verifier in EDIT_BOUNDED:
+            return True
+        return "length" in spec.filters and "fbf" in spec.filters
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        return planner.index().candidate_blocks(
+            planner.left, planner.k, max_pairs=planner.block_pairs
+        )
+
+
+class BlockingKeyGenerator(CandidateGenerator):
+    """Traditional key blocking as a candidate generator.
+
+    Wraps any object with the :class:`repro.linkage.blocking.
+    BlockingMethod` shape (``name``, ``pairs``, ``pairs_observed``) —
+    duck-typed so this module never imports the linkage layer.  Key
+    blocking is **lossy** (a key error silently drops a true match: the
+    paper's core argument against it), so the planner never auto-picks
+    it; it exists for explicit use, the linkage engine, and the
+    completeness benchmarks.
+
+    ``keys`` override what the blocking method sees per side; by default
+    the joined strings are their own keys.
+    """
+
+    is_full_product = False
+    lossless = False
+
+    def __init__(
+        self,
+        method,
+        *,
+        key_left: Sequence[str] | None = None,
+        key_right: Sequence[str] | None = None,
+        buffer_pairs: int = 1 << 16,
+    ):
+        self.method = method
+        self.name = f"blocking:{getattr(method, 'name', 'custom')}"
+        self.key_left = key_left
+        self.key_right = key_right
+        self.buffer_pairs = buffer_pairs
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        return False
+
+    def key_pairs(
+        self, left: Sequence[str], right: Sequence[str]
+    ) -> Iterator[tuple[int, int]]:
+        """The wrapped method's raw pair stream (linkage-engine entry)."""
+        return self.method.pairs(left, right)
+
+    def key_pairs_observed(
+        self, left: Sequence[str], right: Sequence[str], collector
+    ) -> Iterator[tuple[int, int]]:
+        """Pair stream with the method's own funnel-stage accounting."""
+        return self.method.pairs_observed(left, right, collector)
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        left = self.key_left if self.key_left is not None else planner.left
+        right = self.key_right if self.key_right is not None else planner.right
+        buf_i: list[int] = []
+        buf_j: list[int] = []
+        for i, j in self.method.pairs(left, right):
+            buf_i.append(i)
+            buf_j.append(j)
+            if len(buf_i) >= self.buffer_pairs:
+                yield (
+                    np.asarray(buf_i, dtype=np.int64),
+                    np.asarray(buf_j, dtype=np.int64),
+                )
+                buf_i, buf_j = [], []
+        if buf_i:
+            yield (
+                np.asarray(buf_i, dtype=np.int64),
+                np.asarray(buf_j, dtype=np.int64),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Protocol: verify a candidate stream (or the full product)."""
+
+    name = "backend"
+
+    def run(
+        self,
+        planner: "JoinPlanner",
+        method: str,
+        blocks: Iterator[Block] | None,
+        *,
+        collector,
+        record_matches: bool,
+    ) -> JoinResult:
+        """Execute; ``blocks=None`` means the full product (use the
+        native dense path)."""
+        raise NotImplementedError
+
+
+def _flatten(blocks: Iterable[Block]) -> Iterator[tuple[int, int]]:
+    for ii, jj in blocks:
+        yield from zip(ii.tolist(), jj.tolist())
+
+
+class ScalarBackend(ExecutionBackend):
+    """The paper-faithful per-pair reference loop."""
+
+    name = "scalar"
+
+    def run(self, planner, method, blocks, *, collector, record_matches):
+        matcher = build_matcher(
+            method,
+            k=planner.k,
+            theta=planner.theta,
+            scheme=planner.scheme(),
+            collector=collector,
+        )
+        result = _scalar_join(
+            planner.left,
+            planner.right,
+            matcher,
+            record_matches=record_matches,
+            pairs=None if blocks is None else _flatten(blocks),
+            collector=collector,
+        )
+        result.backend = self.name
+        return result
+
+
+class VectorizedBackend(ExecutionBackend):
+    """The chunked NumPy engine (:class:`VectorEngine`)."""
+
+    name = "vectorized"
+
+    def run(self, planner, method, blocks, *, collector, record_matches):
+        engine = planner.engine()
+        engine.record_matches = record_matches
+        if blocks is None:
+            v = engine.run(method, collector=collector)
+            result = JoinResult(
+                method,
+                v.n_left,
+                v.n_right,
+                match_count=v.match_count,
+                diagonal_matches=v.diagonal_matches,
+                verified_pairs=v.verified_pairs,
+                pairs_compared=v.pairs_compared,
+                backend=self.name,
+            )
+            result.matches = v.matches
+            return result
+        result = engine.run_candidates(method, blocks, collector=collector)
+        result.backend = self.name
+        return result
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """The scalar loop fanned out over a process pool."""
+
+    name = "multiprocess"
+
+    def run(self, planner, method, blocks, *, collector, record_matches):
+        result = multiprocess_join(
+            planner.left,
+            planner.right,
+            method,
+            k=planner.k,
+            theta=planner.theta,
+            scheme_kind=planner.kind(),
+            workers=planner.workers,
+            record_matches=record_matches,
+            collector=collector,
+            pairs=None if blocks is None else list(_flatten(blocks)),
+        )
+        result.backend = self.name
+        return result
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One chosen (generator, backend) composition."""
+
+    method: str
+    generator: CandidateGenerator
+    backend: ExecutionBackend
+    n_left: int
+    n_right: int
+    reason: str
+
+    @property
+    def product(self) -> int:
+        return self.n_left * self.n_right
+
+    def describe(self) -> str:
+        return (
+            f"{self.method}: {self.generator.name} -> {self.backend.name} "
+            f"over {self.n_left} x {self.n_right} "
+            f"({self.product:,} pairs) [{self.reason}]"
+        )
+
+
+class JoinPlanner:
+    """Pick and run a (candidate generator, execution backend) pair.
+
+    One planner is bound to two datasets and the join parameters;
+    :meth:`run` executes any registered method under the chosen (or
+    overridden) plan.  Prepared state — the vectorized engine, the FBF
+    index, length groups — is built lazily and cached, so repeated runs
+    over the same datasets (the experiment harness's shape) pay
+    preparation once; :meth:`prepare` forces it eagerly for timing
+    loops that must exclude it.
+
+    Cost model (see :meth:`plan`): index-backed candidate generation
+    needs the product to be large enough to amortize building the index
+    (``index_min_pairs``) and a small ``k`` (window width scales bucket
+    probes); the scalar backend is only right for products small enough
+    that NumPy setup dominates (``scalar_max_pairs``); multiprocess is
+    explicit-only, since process startup dwarfs any product the
+    vectorized engine can't already handle in-core.
+    """
+
+    def __init__(
+        self,
+        left: Sequence[str],
+        right: Sequence[str],
+        *,
+        k: int = 1,
+        theta: float = 0.8,
+        scheme: str | None = None,
+        levels: int = 2,
+        workers: int | None = None,
+        record_matches: bool = False,
+        collector=None,
+        block_pairs: int = 1 << 20,
+        scalar_max_pairs: int = 1 << 14,
+        index_min_pairs: int = 1 << 20,
+        max_index_k: int = 4,
+    ):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.left = list(left)
+        self.right = list(right)
+        self.k = k
+        self.theta = theta
+        self.levels = levels
+        self.workers = workers
+        self.record_matches = record_matches
+        self.collector = collector
+        self.block_pairs = block_pairs
+        self.scalar_max_pairs = scalar_max_pairs
+        self.index_min_pairs = index_min_pairs
+        self.max_index_k = max_index_k
+        self._kind = scheme
+        self._scheme = None
+        self._engine: VectorEngine | None = None
+        self._index = None
+        self._len_groups: tuple[dict, dict] | None = None
+        self._generators = {
+            g.name: g
+            for g in (
+                AllPairsGenerator(),
+                LengthBucketGenerator(),
+                FBFIndexGenerator(),
+            )
+        }
+        self._backends = {
+            b.name: b
+            for b in (ScalarBackend(), VectorizedBackend(), MultiprocessBackend())
+        }
+
+    # -- cached prepared state ---------------------------------------------
+
+    def kind(self) -> str:
+        """The FBF signature kind (detected once, like the engines do)."""
+        if self._kind is None:
+            self._kind = detect_kind(
+                list(self.left[:128]) + list(self.right[:128])
+            )
+        return self._kind
+
+    def scheme(self):
+        """The shared signature scheme — one object for matcher, engine
+        and index, so FBF decisions agree across every plan."""
+        if self._scheme is None:
+            self._scheme = scheme_for(self.kind(), self.levels)
+        return self._scheme
+
+    def engine(self) -> VectorEngine:
+        if self._engine is None:
+            self._engine = VectorEngine(
+                self.left,
+                self.right,
+                k=self.k,
+                theta=self.theta,
+                scheme_kind=self.kind(),
+                levels=self.levels,
+                record_matches=self.record_matches,
+            )
+        return self._engine
+
+    def index(self):
+        if self._index is None:
+            from repro.core.index import FBFIndex
+
+            self._index = FBFIndex(self.right, scheme=self.scheme())
+        return self._index
+
+    def length_groups(self) -> tuple[dict, dict]:
+        if self._len_groups is None:
+            len_l = np.fromiter(
+                (len(s) for s in self.left), dtype=np.int64, count=len(self.left)
+            )
+            len_r = np.fromiter(
+                (len(s) for s in self.right), dtype=np.int64, count=len(self.right)
+            )
+            self._len_groups = (_group_by_value(len_l), _group_by_value(len_r))
+        return self._len_groups
+
+    def prepare(self, backend: str = "vectorized") -> None:
+        """Eagerly build the named backend's cached state (timing parity
+        with the pre-planner drivers, which prepared outside the clock)."""
+        if backend == "vectorized":
+            self.engine()
+
+    # -- plan selection -----------------------------------------------------
+
+    def _resolve_generator(
+        self, generator, spec: MethodSpec
+    ) -> tuple[CandidateGenerator, str]:
+        if isinstance(generator, CandidateGenerator):
+            return generator, "explicit"
+        if generator is not None and generator != "auto":
+            gen = self._generators.get(generator)
+            if gen is None:
+                raise ValueError(
+                    f"unknown generator {generator!r}; expected one of "
+                    f"{GENERATOR_NAMES} or a CandidateGenerator instance"
+                )
+            return gen, "explicit"
+        product = len(self.left) * len(self.right)
+        if product >= self.index_min_pairs and self.k <= self.max_index_k:
+            fbf = self._generators["fbf-index"]
+            if fbf.is_safe_for(spec):
+                return fbf, (
+                    f"product {product:,} >= {self.index_min_pairs:,} and "
+                    f"k={self.k} <= {self.max_index_k}: index pays for itself"
+                )
+            lb = self._generators["length-bucket"]
+            if lb.is_safe_for(spec):
+                return lb, (
+                    f"product {product:,} large but {spec.name} not "
+                    "FBF-prunable: length window only"
+                )
+        return self._generators["all-pairs"], (
+            f"product {product:,} below index threshold or "
+            f"{spec.name} not prunable"
+        )
+
+    def _resolve_backend(self, backend) -> tuple[ExecutionBackend, str]:
+        if isinstance(backend, ExecutionBackend):
+            return backend, "explicit"
+        if backend is not None and backend != "auto":
+            be = self._backends.get(backend)
+            if be is None:
+                raise ValueError(
+                    f"unknown backend {backend!r}; expected one of "
+                    f"{BACKEND_NAMES} or an ExecutionBackend instance"
+                )
+            return be, "explicit"
+        product = len(self.left) * len(self.right)
+        if product <= self.scalar_max_pairs:
+            return self._backends["scalar"], (
+                f"product {product:,} <= {self.scalar_max_pairs:,}: "
+                "NumPy setup would dominate"
+            )
+        return self._backends["vectorized"], (
+            f"product {product:,} > {self.scalar_max_pairs:,}"
+        )
+
+    def plan(
+        self, method: str, *, generator=None, backend=None
+    ) -> JoinPlan:
+        """Choose (or honor) the plan for one method, without running it.
+
+        ``generator`` / ``backend`` are names, instances, ``"auto"`` or
+        ``None`` (auto).  An explicitly named generator that is unsafe
+        for the method is honored — with a warning — so blocking-recall
+        experiments stay expressible.
+        """
+        spec = method_registry().get(method)
+        if spec is None:
+            raise ValueError(f"unknown method {method!r}")
+        gen, gen_reason = self._resolve_generator(generator, spec)
+        be, be_reason = self._resolve_backend(backend)
+        if not gen.is_full_product and not gen.is_safe_for(spec):
+            _log.warning(
+                "generator %s is not safe for %s: the plan may drop matches "
+                "(%s)",
+                gen.name,
+                method,
+                "lossy by design" if not gen.lossless else "unsafe pruning",
+            )
+        reason = gen_reason if gen_reason == be_reason else (
+            f"{gen_reason}; {be_reason}"
+        )
+        return JoinPlan(method, gen, be, len(self.left), len(self.right), reason)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        method: str,
+        *,
+        generator=None,
+        backend=None,
+        collector=None,
+        record_matches: bool | None = None,
+    ) -> JoinResult:
+        """Plan and execute one method; returns the unified result.
+
+        The funnel (when a collector is given) satisfies conservation
+        for every plan: non-full-product generators appear as the first
+        stage, with the pairs they never emitted counted as considered
+        and rejected there.
+        """
+        plan = self.plan(method, generator=generator, backend=backend)
+        obs = collector if collector else (
+            self.collector if self.collector else NULL_COLLECTOR
+        )
+        record = self.record_matches if record_matches is None else record_matches
+        _log.info("plan %s", plan.describe())
+        if obs:
+            obs.meta["generator"] = plan.generator.name
+            obs.meta["backend"] = plan.backend.name
+        if plan.generator.is_full_product:
+            result = plan.backend.run(
+                self,
+                method,
+                None,
+                collector=obs if obs else None,
+                record_matches=record,
+            )
+        else:
+            emitted = 0
+
+            def counted() -> Iterator[Block]:
+                nonlocal emitted
+                for ii, jj in plan.generator.blocks(self):
+                    emitted += len(ii)
+                    yield ii, jj
+
+            # Register the generator's stage before the backend creates
+            # the filter stages, so the funnel renders in dataflow order.
+            if obs:
+                obs.stage(plan.generator.name)
+            result = plan.backend.run(
+                self,
+                method,
+                counted(),
+                collector=obs if obs else None,
+                record_matches=record,
+            )
+            if obs:
+                # The backend counted the emitted candidates; credit the
+                # generator with the full product and the skipped pairs.
+                obs.add_stage(plan.generator.name, plan.product, emitted)
+                obs.add_pairs(plan.product - emitted)
+        result.generator = plan.generator.name
+        result.backend = plan.backend.name
+        return result
+
+
+def join(
+    left: Sequence[str],
+    right: Sequence[str],
+    method: str = "FPDL",
+    *,
+    k: int = 1,
+    theta: float = 0.8,
+    scheme: str | None = None,
+    generator=None,
+    backend=None,
+    workers: int | None = None,
+    record_matches: bool = False,
+    collector=None,
+    **planner_kwargs,
+) -> JoinResult:
+    """One-shot planned similarity join (the public entry point).
+
+    Builds a :class:`JoinPlanner` and runs ``method`` under the plan its
+    cost model picks — or under an explicit ``generator`` / ``backend``
+    override.  For repeated joins over the same datasets, hold a
+    planner instead.
+
+    >>> r = join(["123456789"], ["123456780"], "FPDL", k=1, scheme="numeric")
+    >>> (r.match_count, r.generator, r.backend)
+    (1, 'all-pairs', 'scalar')
+    """
+    planner = JoinPlanner(
+        left,
+        right,
+        k=k,
+        theta=theta,
+        scheme=scheme,
+        workers=workers,
+        record_matches=record_matches,
+        collector=collector,
+        **planner_kwargs,
+    )
+    return planner.run(method, generator=generator, backend=backend)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.stats import NULL_COLLECTOR
+
 __all__ = ["TrieIndex"]
 
 
@@ -73,7 +75,7 @@ class TrieIndex:
             stack.extend(node.children.values())
         return count
 
-    def search(self, query: str, k: int = 1) -> list[int]:
+    def search(self, query: str, k: int = 1, *, collector=None) -> list[int]:
         """Ids of indexed strings within ``k`` OSA edits of ``query``.
 
         DFS over the trie; each visited node evaluates one DP row
@@ -81,11 +83,23 @@ class TrieIndex:
         soon as a row's minimum exceeds ``k`` — the same prefix-pruning
         idea as the paper's Algorithm 2, amortized across every indexed
         string sharing the prefix.
+
+        With a :class:`repro.obs.StatsCollector` the search reports the
+        funnel with every indexed string as a considered pair: the trie
+        decides match/unmatch *inside* its single ``prefix-prune``
+        stage (filter and verification are fused in the DP), so stage
+        survivors equal matches, ``verified`` stays 0, and the visited
+        node count lands in ``meta["nodes_visited"]``.
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        obs = collector if collector else NULL_COLLECTOR
+        total = len(self._strings)
+        obs.add_pairs(total)
         if not query or not self._strings:
+            obs.add_stage("prefix-prune", total, 0)
             return []
+        nodes_visited = 0
         n = len(query)
         root_row = list(range(n + 1))
         out: list[int] = []
@@ -96,6 +110,7 @@ class TrieIndex:
         ]
         while stack:
             node, edge_char, row, parent_row, parent_char = stack.pop()
+            nodes_visited += 1
             depth_cost = row[n]
             if node.ids and depth_cost <= k and edge_char != "":
                 out.extend(node.ids)
@@ -108,6 +123,13 @@ class TrieIndex:
                 )
                 if min(child_row) <= k:
                     stack.append((child, ch, child_row, row, edge_char))
+        obs.add_stage("prefix-prune", total, len(out))
+        obs.add_survivors(len(out))
+        obs.add_matched(len(out))
+        if obs:
+            obs.meta["nodes_visited"] = (
+                int(obs.meta.get("nodes_visited", 0)) + nodes_visited
+            )
         out.sort()
         return out
 

@@ -18,7 +18,7 @@ from typing import Mapping, Sequence
 
 from repro.data.datasets import FAMILIES, dataset_for_family
 from repro.eval.timing import TimingProtocol, time_callable
-from repro.parallel.chunked import ChunkedJoin
+from repro.parallel.chunked import VectorEngine
 
 __all__ = [
     "FIG7_METHODS",
@@ -87,7 +87,7 @@ def run_runtime_curve(
         per_method: dict[str, list[float]] = {m: [] for m in methods}
         for rep in range(datasets_per_n):
             dp = dataset_for_family(family, n, seed=seed + 1000 * step + rep)
-            join = ChunkedJoin(dp.clean, dp.error, k=k, theta=theta, scheme_kind=kind)
+            join = VectorEngine(dp.clean, dp.error, k=k, theta=theta, scheme_kind=kind)
             for m in methods:
                 timing, _ = time_callable(lambda m=m: join.run(m), protocol)
                 per_method[m].append(timing.mean_ms)

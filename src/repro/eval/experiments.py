@@ -13,11 +13,14 @@ Three runners cover every table:
   point-and-threshold record-linkage pipeline with each method stack in
   the string-comparator slots.
 
-Each runner supports both engines: ``"vectorized"`` (the
-:class:`repro.parallel.ChunkedJoin` NumPy engine — the default, and the
-one whose *relative* timings mirror the paper's C implementation, see
-DESIGN.md) and ``"scalar"`` (the literal per-pair reference
-implementation).
+Each runner drives the joins through :class:`repro.core.plan.
+JoinPlanner`.  ``engine`` selects the execution backend over the full
+pair product, for table fidelity: ``"vectorized"`` (the NumPy engine —
+the default, and the one whose *relative* timings mirror the paper's C
+implementation, see DESIGN.md) or ``"scalar"`` (the literal per-pair
+reference implementation).  ``engine="planned"`` lets the planner's
+cost model pick the candidate generator and backend instead — the
+production path, not a paper table.
 """
 
 from __future__ import annotations
@@ -25,8 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.join import match_strings
-from repro.core.matchers import build_matcher
+from repro.core.plan import JoinPlanner
 from repro.core.signatures import scheme_for
 from repro.core.vectorized import signatures_for_scheme
 from repro.data.datasets import FAMILIES, DatasetPair, dataset_for_family
@@ -34,7 +36,6 @@ from repro.eval.metrics import Confusion
 from repro.eval.timing import TimingProtocol, time_callable
 from repro.linkage.engine import default_engine
 from repro.linkage.records import RecordCorruptor, generate_records
-from repro.parallel.chunked import ChunkedJoin
 
 __all__ = [
     "DEFAULT_TABLE_METHODS",
@@ -161,33 +162,34 @@ def run_string_experiment(
             {"family": family, "n": dp.n, "k": k, "engine": engine}
         )
     result.gen_time_ms = _time_signature_generation(dp, kind, engine, protocol, levels)
-    if engine == "vectorized":
-        join = ChunkedJoin(
-            dp.clean, dp.error, k=k, theta=theta, scheme_kind=kind, levels=levels
-        )
-        for m in methods:
-            timing, res = time_callable(lambda m=m: join.run(m), protocol)
-            result.rows.append(_row_from(m, res, dp, timing.mean_ms))
-        if collector:
-            for m in methods:
-                join.run(m, collector=collector.child(m))
-    elif engine == "scalar":
-        for m in methods:
-            def run_one(m: str = m):
-                matcher = build_matcher(m, k=k, theta=theta, scheme=kind)
-                return match_strings(dp.clean, dp.error, matcher)
-
-            timing, res = time_callable(run_one, protocol)
-            result.rows.append(_row_from(m, res, dp, timing.mean_ms))
-        if collector:
-            for m in methods:
-                child = collector.child(m)
-                matcher = build_matcher(
-                    m, k=k, theta=theta, scheme=kind, collector=child
-                )
-                match_strings(dp.clean, dp.error, matcher, collector=child)
-    else:
+    if engine not in {"vectorized", "scalar", "planned"}:
         raise ValueError(f"unknown engine {engine!r}")
+    planner = JoinPlanner(
+        dp.clean, dp.error, k=k, theta=theta, scheme=kind, levels=levels
+    )
+    # Table fidelity: the paper times every method over the full
+    # product, so the generator is pinned to all-pairs unless the
+    # caller asked for the planned (cost-model) path.  Cached engine
+    # state is built eagerly, outside the clock, exactly as the
+    # pre-planner harness constructed its join before timing.
+    generator = None if engine == "planned" else "all-pairs"
+    backend = None if engine == "planned" else engine
+    if engine != "scalar":
+        planner.prepare("vectorized")
+    for m in methods:
+        timing, res = time_callable(
+            lambda m=m: planner.run(m, generator=generator, backend=backend),
+            protocol,
+        )
+        result.rows.append(_row_from(m, res, dp, timing.mean_ms))
+    if collector:
+        for m in methods:
+            planner.run(
+                m,
+                generator=generator,
+                backend=backend,
+                collector=collector.child(m),
+            )
     base = result.baseline_time_ms
     if base is not None:
         for row in result.rows:
@@ -216,7 +218,7 @@ def _time_signature_generation(
 ) -> float:
     """The paper's "Gen" row: FBF signature generation for both lists."""
     scheme = scheme_for(kind, levels)
-    if engine == "vectorized":
+    if engine != "scalar":
         def gen():
             signatures_for_scheme(dp.clean, scheme)
             signatures_for_scheme(dp.error, scheme)
@@ -269,16 +271,16 @@ def run_soundex_experiment(
     dp = dataset_for_family(family, n, seed)
     right = dp.error if mode == "error" else dp.clean
     rows: list[SoundexRow] = []
+    planner = JoinPlanner(dp.clean, right, k=k, scheme="alpha")
+    if engine == "vectorized":
+        planner.prepare("vectorized")
     for method in ("DL", "SDX"):
-        if engine == "vectorized":
-            join = ChunkedJoin(dp.clean, right, k=k, scheme_kind="alpha")
-            timing, res = time_callable(lambda: join.run(method), protocol)
-        else:
-            def run_one():
-                matcher = build_matcher(method, k=k, scheme="alpha")
-                return match_strings(dp.clean, right, matcher)
-
-            timing, res = time_callable(run_one, protocol)
+        timing, res = time_callable(
+            lambda method=method: planner.run(
+                method, generator="all-pairs", backend=engine
+            ),
+            protocol,
+        )
         conf = Confusion(dp.n, dp.n, res.match_count, res.diagonal_matches)
         rows.append(
             SoundexRow(

@@ -20,7 +20,7 @@ from repro.data.datasets import DatasetPair
 from repro.distance.codec import encode_raw
 from repro.distance.vectorized import jaro_pairs, jaro_winkler_pairs
 from repro.eval.metrics import Confusion
-from repro.parallel.chunked import ChunkedJoin
+from repro.parallel.chunked import VectorEngine
 from repro.parallel.partition import iter_pair_blocks
 
 __all__ = ["SweepPoint", "sweep_edit_threshold", "sweep_similarity_threshold"]
@@ -53,7 +53,7 @@ def sweep_edit_threshold(
     """Type 1 / Type 2 at every edit threshold for one method stack."""
     points = []
     for k in ks:
-        join = ChunkedJoin(dp.clean, dp.error, k=k, scheme_kind=scheme_kind)
+        join = VectorEngine(dp.clean, dp.error, k=k, scheme_kind=scheme_kind)
         res = join.run(method)
         conf = Confusion(dp.n, dp.n, res.match_count, res.diagonal_matches)
         points.append(SweepPoint(float(k), conf.type1, conf.type2, res.match_count))

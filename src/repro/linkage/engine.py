@@ -3,7 +3,10 @@
 Wires the pieces together the way the paper's department system does:
 
 1. **candidate generation** — full product by default (the paper's RL
-   experiment) or any :class:`repro.linkage.blocking.BlockingMethod`;
+   experiment) or any :class:`repro.linkage.blocking.BlockingMethod`,
+   wrapped in the plan layer's :class:`repro.core.plan.
+   BlockingKeyGenerator` so blocking is just another candidate
+   generator;
 2. **field comparison** — one prepared comparator per configured field;
 3. **scoring & classification** — a :class:`repro.linkage.scoring.Scorer`;
 4. **accounting** — confusion counts against the positional ground truth
@@ -138,12 +141,18 @@ class LinkageEngine:
                 c.prepare(columns_left[c.field], columns_right[c.field])
         blocked = pairs is None
         if blocked:
+            # Blocking is a plan-layer candidate generator; the wrapper
+            # preserves each method's own pairs/pairs_observed semantics
+            # (StandardBlocking's block-size profile included).
+            from repro.core.plan import BlockingKeyGenerator
+
+            generator = BlockingKeyGenerator(self.blocking)
             key_left = [r[self.blocking_field] for r in left]
             key_right = [r[self.blocking_field] for r in right]
             if obs:
-                pairs = self.blocking.pairs_observed(key_left, key_right, obs)
+                pairs = generator.key_pairs_observed(key_left, key_right, obs)
             else:
-                pairs = self.blocking.pairs(key_left, key_right)
+                pairs = generator.key_pairs(key_left, key_right)
         result = LinkageResult(len(left), len(right))
         classify = self.scorer.classify
         comparators = self.comparators

@@ -15,11 +15,11 @@ reports into:
 
 Quick tour::
 
+    from repro import join
     from repro.obs import StatsCollector, render_funnel
 
     c = StatsCollector("ssn-join")
-    join = ChunkedJoin(left, right, k=1, collector=c)
-    join.run("FPDL")
+    join(left, right, "FPDL", k=1, collector=c)
     print(render_funnel(c))
     assert c.conserved        # considered == rejected-by-stage + survivors
 """

@@ -7,25 +7,33 @@ call per pair:
 * :mod:`repro.parallel.partition` — pair-space partitioning: rectangular
   blocking of the ``n_left x n_right`` product into cache-sized chunks,
   and balanced work splits for multi-process runs.
-* :mod:`repro.parallel.chunked` — the vectorized join: every method
-  stack of the evaluation implemented over NumPy pair chunks
-  (:mod:`repro.distance.vectorized` + :mod:`repro.core.vectorized`).
-  One process, no per-pair Python.
-* :mod:`repro.parallel.pool` — a multiprocessing driver that partitions
-  the pair space across worker processes, for the scalar matchers
-  (reference engine at scale) and as the distributed-RL skeleton the
-  paper's conclusion sketches.
+* :mod:`repro.parallel.chunked` — the vectorized join
+  (:class:`VectorEngine`): every method stack of the evaluation
+  implemented over NumPy pair chunks (:mod:`repro.distance.vectorized`
+  + :mod:`repro.core.vectorized`).  One process, no per-pair Python;
+  the plan layer's ``vectorized`` backend.
+* :mod:`repro.parallel.pool` — a multiprocessing driver
+  (:func:`multiprocess_join`) that partitions the pair space across
+  worker processes, for the scalar matchers (reference engine at
+  scale) and as the distributed-RL skeleton the paper's conclusion
+  sketches; the plan layer's ``multiprocess`` backend.
+
+Both are composed with candidate generators by
+:class:`repro.core.plan.JoinPlanner`; ``ChunkedJoin`` and
+``parallel_match_strings`` remain as deprecated aliases.
 """
 
-from repro.parallel.chunked import ChunkedJoin, VJoinResult
+from repro.parallel.chunked import ChunkedJoin, VectorEngine, VJoinResult
 from repro.parallel.partition import balanced_splits, iter_pair_blocks, row_blocks
-from repro.parallel.pool import parallel_match_strings
+from repro.parallel.pool import multiprocess_join, parallel_match_strings
 
 __all__ = [
     "ChunkedJoin",
     "VJoinResult",
+    "VectorEngine",
     "balanced_splits",
     "iter_pair_blocks",
+    "multiprocess_join",
     "parallel_match_strings",
     "row_blocks",
 ]

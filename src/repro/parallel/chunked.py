@@ -1,11 +1,18 @@
 """The vectorized similarity join: every method stack over NumPy chunks.
 
-:class:`ChunkedJoin` is the scaled twin of
-:func:`repro.core.join.match_strings`: same methods, same decisions
-(pinned by the equivalence tests), but the pair loop runs as NumPy
-operations over bounded chunks instead of per-pair Python.  This is the
-engine the runtime-curve experiments (paper Figures 7 and 9) use, since
-their products reach hundreds of millions of pairs.
+:class:`VectorEngine` is the scaled twin of the scalar reference join:
+same methods, same decisions (pinned by the equivalence tests), but the
+pair loop runs as NumPy operations over bounded chunks instead of
+per-pair Python.  This is the engine the runtime-curve experiments
+(paper Figures 7 and 9) use, since their products reach hundreds of
+millions of pairs.
+
+Since the planner refactor the engine serves as the *vectorized
+execution backend* of :mod:`repro.core.plan`: :meth:`VectorEngine.run`
+covers full-product plans and :meth:`VectorEngine.run_candidates`
+verifies an explicit candidate stream from any candidate generator
+(length buckets, the FBF signature index, key blocking).
+:class:`ChunkedJoin` remains as a deprecated alias.
 
 Timing fidelity note (DESIGN.md): *all* methods run in the same
 vectorized paradigm here, so relative timings — the paper's speedup
@@ -23,11 +30,15 @@ shared no-op and the hot loops are unchanged.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.core.join import JoinResult
+from repro.core.matchers import method_registry
+from repro.core.popcount import popcount_batch_u32
 from repro.core.signatures import detect_kind, scheme_for
 from repro.core.vectorized import fbf_candidates, signatures_for_scheme
 from repro.distance.codec import encode_raw
@@ -43,7 +54,7 @@ from repro.obs.log import get_logger
 from repro.obs.stats import NULL_COLLECTOR
 from repro.parallel.partition import iter_pair_blocks
 
-__all__ = ["ChunkedJoin", "VJoinResult"]
+__all__ = ["VectorEngine", "ChunkedJoin", "VJoinResult"]
 
 _log = get_logger("parallel.chunked")
 
@@ -84,12 +95,13 @@ class VJoinResult:
         return self.match_count - self.diagonal_matches
 
 
-class ChunkedJoin:
+class VectorEngine:
     """A prepared vectorized join over two string datasets.
 
     Encoding, lengths, FBF signatures and Soundex codes are computed
     once at construction (the paper's "Gen" cost); :meth:`run` then
-    executes any method stack by name.
+    executes any method stack by name over the full product, and
+    :meth:`run_candidates` over an explicit candidate pair stream.
 
     Parameters
     ----------
@@ -358,6 +370,143 @@ class ChunkedJoin:
         obs.add_stage("fbf", length_passed, len(ii))
         return ii, jj
 
+    def length_blocks(self):
+        """Public view of the length-compatible group blocks.
+
+        Yields ``(left_idx, right_idx)`` index arrays whose products
+        cover exactly the length-filter-passing pairs; the plan layer's
+        length-bucket candidate generator is built on this.
+        """
+        return self._length_group_blocks()
+
+    # -- candidate-stream execution (plan-layer backend) -----------------------
+
+    def _pair_filter_mask(
+        self, name: str, ii: np.ndarray, jj: np.ndarray
+    ) -> np.ndarray:
+        """Per-pair boolean mask of one named filter over candidate arrays."""
+        if name == "length":
+            return np.abs(self.len_l[ii] - self.len_r[jj]) <= self.k
+        if name == "fbf":
+            db = np.zeros(len(ii), dtype=np.uint16)
+            sigs_l, sigs_r = self.sigs_l, self.sigs_r
+            for w in range(sigs_l.shape[1]):
+                db += popcount_batch_u32(sigs_l[ii, w] ^ sigs_r[jj, w])
+            return db <= self.fbf_bound
+        raise ValueError(f"unknown filter {name!r}")
+
+    def _pair_verifier(
+        self, kind: str | None
+    ) -> Callable[[np.ndarray, np.ndarray], np.ndarray] | None:
+        """The per-pair decision predicate for one verifier kind."""
+        if kind is None:
+            return None
+        if kind == "dl":
+            return self._verify_dl
+        if kind == "pdl":
+            return self._verify_pdl
+        if kind == "ham":
+            return lambda ii, jj: (
+                hamming_pairs(
+                    self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj
+                )
+                <= self.k
+            )
+        if kind == "jaro":
+            return lambda ii, jj: (
+                jaro_pairs(
+                    self.codes_l, self.len_l, self.codes_r, self.len_r,
+                    ii, jj, self.variant,
+                )
+                >= self.theta
+            )
+        if kind == "wink":
+            return lambda ii, jj: (
+                jaro_winkler_pairs(
+                    self.codes_l, self.len_l, self.codes_r, self.len_r,
+                    ii, jj, 0.1, self.variant,
+                )
+                >= self.theta
+            )
+        if kind == "sdx":
+            sl, sr = self._sdx_codes()
+            return lambda ii, jj: (sl[ii] == sr[jj]) & (sl[ii] != 0)
+        raise ValueError(f"unknown verifier kind {kind!r}")
+
+    def run_candidates(
+        self,
+        method: str,
+        blocks: Iterable[tuple[np.ndarray, np.ndarray]],
+        *,
+        collector=None,
+    ) -> JoinResult:
+        """Execute one method stack over an explicit candidate stream.
+
+        ``blocks`` yields ``(ii, jj)`` index-pair arrays (a candidate
+        generator's output).  The method's own filters still run over
+        every candidate — redundant when the generator already implies
+        them, but it keeps decisions independent of who generated the
+        candidates (plan equivalence) and the funnel stages uniform.
+
+        Funnel accounting covers exactly the candidates seen here; the
+        planner accounts for the pairs the generator never emitted.
+        Returns the unified :class:`repro.core.join.JoinResult` with
+        ``pairs_compared`` equal to the candidate count.
+        """
+        spec = method_registry().get(method)
+        if spec is None:
+            raise ValueError(f"unknown method {method!r}")
+        obs = collector if collector else (
+            self.collector if self.collector else NULL_COLLECTOR
+        )
+        if obs:
+            obs.meta.setdefault("method", method)
+            obs.meta.setdefault("k", self.k)
+            obs.meta["n_left"] = len(self.left)
+            obs.meta["n_right"] = len(self.right)
+        verifier = self._pair_verifier(spec.verifier)
+        result = JoinResult(
+            method, len(self.left), len(self.right), backend="vectorized"
+        )
+        compared = 0
+        with obs.span(f"run.{method}.candidates"):
+            for ii, jj in blocks:
+                ii = np.asarray(ii, dtype=np.int64)
+                jj = np.asarray(jj, dtype=np.int64)
+                compared += len(ii)
+                obs.add_pairs(len(ii))
+                for fname in spec.filters:
+                    tested = len(ii)
+                    mask = self._pair_filter_mask(fname, ii, jj)
+                    ii, jj = ii[mask], jj[mask]
+                    obs.add_stage(fname, tested, len(ii))
+                obs.add_survivors(len(ii))
+                if len(ii) == 0:
+                    continue
+                if verifier is None:
+                    result.match_count += len(ii)
+                    result.diagonal_matches += int((ii == jj).sum())
+                    if self.record_matches:
+                        result.matches.extend(zip(ii.tolist(), jj.tolist()))
+                    obs.add_matched(len(ii))
+                    continue
+                result.verified_pairs += len(ii)
+                obs.add_verified(len(ii))
+                for c0 in range(0, len(ii), self.chunk):
+                    bi = ii[c0 : c0 + self.chunk]
+                    bj = jj[c0 : c0 + self.chunk]
+                    hits = verifier(bi, bj)
+                    n_hits = int(hits.sum())
+                    result.match_count += n_hits
+                    result.diagonal_matches += int((hits & (bi == bj)).sum())
+                    if self.record_matches:
+                        result.matches.extend(
+                            zip(bi[hits].tolist(), bj[hits].tolist())
+                        )
+                    obs.add_matched(n_hits)
+        result.pairs_compared = compared
+        return result
+
     # -- soundex -----------------------------------------------------------------
 
     def _sdx_codes(self) -> tuple[np.ndarray, np.ndarray]:
@@ -455,3 +604,22 @@ class ChunkedJoin:
         return self._filtered(
             "LFPDL", self._length_then_fbf_pairs(), self._verify_pdl
         )
+
+
+class ChunkedJoin(VectorEngine):
+    """Deprecated alias for :class:`VectorEngine`.
+
+    Kept so pre-planner code importing ``ChunkedJoin`` keeps working;
+    new code should go through :func:`repro.join` or
+    :class:`repro.core.plan.JoinPlanner` with ``backend="vectorized"``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "ChunkedJoin is deprecated; use repro.join(left, right, method, "
+            "backend='vectorized') or repro.core.plan.JoinPlanner (the class "
+            "itself now lives on as repro.parallel.chunked.VectorEngine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -1,8 +1,8 @@
-"""Multiprocessing join driver.
+"""Multiprocessing execution backend.
 
-Partitions the left dataset's rows across worker processes, each of which
-runs the scalar (reference) method stack over its slice of the pair
-space.  This serves two purposes:
+Partitions the pair space across worker processes, each of which runs
+the scalar (reference) method stack over its share.  This serves two
+purposes:
 
 * it scales the *reference* engine — useful for cross-checking the
   vectorized engine on products too large for single-process Python, and
@@ -11,29 +11,40 @@ space.  This serves two purposes:
   process demographic data"), with the pair space as the unit of
   distribution.
 
-Workers are seeded with the full datasets (strings pickle cheaply at
-these sizes) and a method *description* rather than a live matcher —
-prepared matchers hold per-dataset state and are rebuilt per worker, so
-nothing unpicklable crosses the process boundary.
+:func:`multiprocess_join` is the planner-facing entry point: full
+products are split by left rows, explicit candidate-pair streams by pair
+ranges.  Workers are seeded with the full datasets (strings pickle
+cheaply at these sizes) and a method *description* rather than a live
+matcher — prepared matchers hold per-dataset state and are rebuilt per
+worker, so nothing unpicklable crosses the process boundary.  When the
+parent passes a :class:`repro.obs.StatsCollector`, each worker runs its
+slice under a private collector which comes back with the counters and
+is merged into the parent's, so the funnel-conservation invariant holds
+for the multiprocess path exactly as for the single-process ones.
+
+:func:`parallel_match_strings` remains as a deprecated shim over the
+planner.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.join import JoinResult, match_strings
+from repro.core.join import JoinResult, _scalar_join
 from repro.core.matchers import build_matcher
+from repro.obs.stats import StatsCollector
 from repro.parallel.partition import balanced_splits
 
-__all__ = ["parallel_match_strings"]
+__all__ = ["multiprocess_join", "parallel_match_strings"]
 
 
 @dataclass(frozen=True)
 class _WorkerTask:
-    """Everything one worker needs to join its row slice."""
+    """Everything one worker needs to join its share of the pair space."""
 
     left: tuple[str, ...]
     right: tuple[str, ...]
@@ -44,34 +55,167 @@ class _WorkerTask:
     theta: float
     scheme_kind: str | None
     record_matches: bool
+    #: build a private StatsCollector and ship it back with the counters
+    collect: bool = False
+    #: explicit candidate pairs (global indices); row range unused then
+    pairs: tuple[tuple[int, int], ...] | None = None
 
 
-def _run_slice(task: _WorkerTask) -> tuple[int, int, int, list[tuple[int, int]]]:
-    """Worker body: join rows ``[row_start, row_stop)`` against all of
-    ``right`` and return the counters (global indices)."""
+def _run_slice(
+    task: _WorkerTask,
+) -> tuple[int, int, int, list[tuple[int, int]], StatsCollector | None]:
+    """Worker body: join one row slice (or explicit pair slice) and
+    return the counters in global indices."""
+    wc = StatsCollector("worker") if task.collect else None
     matcher = build_matcher(
-        task.method, k=task.k, theta=task.theta, scheme=task.scheme_kind
+        task.method, k=task.k, theta=task.theta, scheme=task.scheme_kind,
+        collector=wc,
     )
+    if task.pairs is not None:
+        # Explicit-pairs mode: indices are already global, so matches
+        # and the i == j diagonal need no rebasing.
+        result = _scalar_join(
+            list(task.left),
+            list(task.right),
+            matcher,
+            record_matches=task.record_matches,
+            pairs=task.pairs,
+            collector=wc,
+        )
+        return (
+            result.match_count,
+            result.diagonal_matches,
+            result.verified_pairs,
+            result.matches,
+            wc,
+        )
     left_slice = list(task.left[task.row_start : task.row_stop])
-    result = match_strings(
+    result = _scalar_join(
         left_slice,
         list(task.right),
         matcher,
         record_matches=task.record_matches,
         pairs=None,
+        collector=wc,
     )
     # Re-base matches to global row indices.  The slice-local join
     # counted its own i == j diagonal, which is meaningless here, so the
     # true-ground-truth diagonal (global i == j) is recomputed; capture
-    # verified_pairs first since the extra matcher calls would inflate it.
+    # verified_pairs first and detach the collector so the extra matcher
+    # calls inflate neither the count nor the funnel.
     matches = [(i + task.row_start, j) for i, j in result.matches]
     verified = result.verified_pairs
+    matcher.collector = None
     diagonal = sum(
         1
         for i in range(task.row_start, task.row_stop)
         if i < len(task.right) and matcher.matches(i - task.row_start, i)
     )
-    return result.match_count, diagonal, verified, matches
+    return result.match_count, diagonal, verified, matches, wc
+
+
+def multiprocess_join(
+    left: Sequence[str],
+    right: Sequence[str],
+    method: str,
+    *,
+    k: int = 1,
+    theta: float = 0.8,
+    scheme_kind: str | None = None,
+    workers: int | None = None,
+    record_matches: bool = False,
+    collector=None,
+    pairs: Sequence[tuple[int, int]] | None = None,
+) -> JoinResult:
+    """Scalar-engine join distributed over ``workers`` processes.
+
+    Decisions are identical to building the matcher and running the
+    scalar reference loop (asserted by the equivalence tests); only the
+    wall time changes.  ``workers`` defaults to the CPU count;
+    ``workers=1`` (or an input too small to split) short-circuits to the
+    sequential path so small joins don't pay process startup.
+
+    ``pairs`` restricts the join to an explicit candidate list in
+    *global* indices — this is how the plan layer feeds non-all-pairs
+    candidate streams to the multiprocess backend; the pair list is then
+    the unit of partitioning instead of left rows.
+
+    With a ``collector``, per-worker collectors are merged in, so the
+    parent funnel satisfies the conservation invariant and its counters
+    equal the single-process reference run's.
+    """
+    workers = workers or os.cpu_count() or 1
+    if pairs is not None:
+        pairs = [(int(i), int(j)) for i, j in pairs]
+    n_units = len(pairs) if pairs is not None else len(left)
+    if workers == 1 or n_units < 2 * workers:
+        matcher = build_matcher(
+            method, k=k, theta=theta, scheme=scheme_kind, collector=collector
+        )
+        result = _scalar_join(
+            list(left),
+            list(right),
+            matcher,
+            record_matches=record_matches,
+            pairs=pairs,
+            collector=collector,
+        )
+        result.backend = "multiprocess"
+        return result
+    result = JoinResult(method, len(left), len(right), backend="multiprocess")
+    if collector:
+        collector.meta.setdefault("method", method)
+        collector.meta["n_left"] = len(left)
+        collector.meta["n_right"] = len(right)
+    if pairs is not None:
+        tasks = [
+            _WorkerTask(
+                tuple(left),
+                tuple(right),
+                0,
+                0,
+                method,
+                k,
+                theta,
+                scheme_kind,
+                record_matches,
+                collect=bool(collector),
+                pairs=tuple(pairs[start:stop]),
+            )
+            for start, stop in balanced_splits(len(pairs), workers)
+        ]
+        result.pairs_compared = len(pairs)
+    else:
+        tasks = [
+            _WorkerTask(
+                tuple(left),
+                tuple(right),
+                start,
+                stop,
+                method,
+                k,
+                theta,
+                scheme_kind,
+                record_matches,
+                collect=bool(collector),
+            )
+            for start, stop in balanced_splits(len(left), workers)
+        ]
+        # Every slice joins its rows against all of `right`, so the
+        # iterated pair counts sum to the full product.
+        result.pairs_compared = len(left) * len(right)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for count, diagonal, verified, matches, wc in pool.map(_run_slice, tasks):
+            result.match_count += count
+            result.diagonal_matches += diagonal
+            result.verified_pairs += verified
+            if record_matches:
+                result.matches.extend(matches)
+            if collector and wc is not None:
+                collector.merge(wc)
+    if record_matches:
+        result.matches.sort()
+    return result
 
 
 def parallel_match_strings(
@@ -85,45 +229,26 @@ def parallel_match_strings(
     workers: int | None = None,
     record_matches: bool = False,
 ) -> JoinResult:
-    """Scalar-engine join distributed over ``workers`` processes.
+    """Deprecated alias: the all-pairs multiprocess plan.
 
-    Semantics are identical to building the matcher and calling
-    :func:`repro.core.join.match_strings` (asserted by the equivalence
-    tests); only the wall time changes.  ``workers`` defaults to the CPU
-    count; ``workers=1`` short-circuits to the sequential path so small
-    joins don't pay process startup.
+    Delegates to :class:`repro.core.plan.JoinPlanner` with the all-pairs
+    candidate generator and the multiprocess backend; prefer
+    :func:`repro.join`, which can also pick an index-backed plan.
     """
-    workers = workers or os.cpu_count() or 1
-    if workers == 1 or len(left) < 2 * workers:
-        matcher = build_matcher(method, k=k, theta=theta, scheme=scheme_kind)
-        return match_strings(
-            list(left), list(right), matcher, record_matches=record_matches
-        )
-    tasks = [
-        _WorkerTask(
-            tuple(left),
-            tuple(right),
-            start,
-            stop,
-            method,
-            k,
-            theta,
-            scheme_kind,
-            record_matches,
-        )
-        for start, stop in balanced_splits(len(left), workers)
-    ]
-    result = JoinResult(method, len(left), len(right))
-    # Every slice joins its rows against all of `right`, so the iterated
-    # pair counts sum to the full product.
-    result.pairs_compared = len(left) * len(right)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for count, diagonal, verified, matches in pool.map(_run_slice, tasks):
-            result.match_count += count
-            result.diagonal_matches += diagonal
-            result.verified_pairs += verified
-            if record_matches:
-                result.matches.extend(matches)
-    if record_matches:
-        result.matches.sort()
-    return result
+    warnings.warn(
+        "parallel_match_strings() is deprecated; use repro.join(left, right, "
+        "method, backend='multiprocess') or repro.core.plan.JoinPlanner",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.plan import JoinPlanner
+
+    return JoinPlanner(
+        list(left),
+        list(right),
+        k=k,
+        theta=theta,
+        scheme=scheme_kind,
+        workers=workers,
+        record_matches=record_matches,
+    ).run(method, generator="all-pairs", backend="multiprocess")

@@ -92,3 +92,48 @@ class TestSearch:
             if true_damerau_levenshtein(query, s) <= k
         )
         assert got == want
+
+
+class TestSearchCollector:
+    def test_funnel_conserves(self):
+        from repro.obs import StatsCollector
+
+        pool = ["BOOK", "BOOKS", "CAKE", "CAPE", "CART"]
+        tree = BKTree(pool)
+        c = StatsCollector("probe")
+        hits = tree.search("CAKE", 1, collector=c)
+        assert c.pairs_considered == len(pool)
+        assert c.conserved
+        assert c.matched == len(hits)
+        # The triangle stage records exactly the strings whose distance
+        # was computed; pruning shows up as its rejections.
+        tri = c.stages["triangle"]
+        assert tri.tested == len(pool)
+        assert tri.passed == c.survivors
+        assert c.meta["nodes_visited"] >= 1
+
+    def test_pruning_visible_in_counters(self):
+        from repro.obs import StatsCollector
+
+        pool = ["A", "AB", "ABC", "ABCD", "ABCDE", "ZZZZZZZZZ"]
+        tree = BKTree(pool)
+        c = StatsCollector("probe")
+        tree.search("A", 1, collector=c)
+        assert c.stages["triangle"].rejected > 0
+
+    def test_collector_does_not_change_results(self):
+        from repro.obs import StatsCollector
+
+        pool = ["BOOK", "BOOKS", "CAKE"]
+        tree = BKTree(pool)
+        assert tree.search("BOOK", 1, collector=StatsCollector()) == tree.search(
+            "BOOK", 1
+        )
+
+    def test_empty_tree_accounts_zero(self):
+        from repro.obs import StatsCollector
+
+        c = StatsCollector("probe")
+        assert BKTree().search("X", 1, collector=c) == []
+        assert c.pairs_considered == 0
+        assert c.conserved

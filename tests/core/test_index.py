@@ -165,3 +165,83 @@ class TestMyersVerifier:
             i for i, s in enumerate(pool) if levenshtein(query, s) <= k
         )
         assert got == want
+
+
+class TestSearchCollector:
+    def test_funnel_conserves_and_orders(self):
+        from repro.obs import StatsCollector
+
+        pool = ["12345", "12354", "99999", "123", ""]
+        idx = FBFIndex(pool, scheme="numeric")
+        c = StatsCollector("probe")
+        hits = idx.search("12345", 1, collector=c)
+        assert hits == [0, 1]
+        assert c.pairs_considered == len(pool)
+        assert c.conserved
+        assert [s.name for s in c.stages.values()] == ["length", "fbf"]
+        # Length windowing drops the length-3 and empty entries before
+        # the signature stage ever sees them.
+        assert c.stages["length"].tested == len(pool)
+        assert c.stages["length"].passed == 3
+        assert c.stages["fbf"].tested == 3
+        assert c.matched == len(hits)
+        assert c.verified == c.survivors
+
+    def test_empty_query_still_accounts(self):
+        from repro.obs import StatsCollector
+
+        idx = FBFIndex(["123", "456"], scheme="numeric")
+        c = StatsCollector("probe")
+        assert idx.search("", 1, collector=c) == []
+        assert c.pairs_considered == 2
+        assert c.conserved
+
+    def test_collector_does_not_change_results(self):
+        from repro.obs import StatsCollector
+
+        pool = ["12345", "12354", "54321"]
+        idx = FBFIndex(pool, scheme="numeric")
+        assert idx.search("12345", 1, collector=StatsCollector()) == idx.search(
+            "12345", 1
+        )
+
+
+class TestCandidateBlocks:
+    def test_blocks_cover_all_within_k(self):
+        pool = ["12345", "12354", "99999", "1234", ""]
+        queries = ["12345", "123", ""]
+        idx = FBFIndex(pool, scheme="numeric")
+        pairs = set()
+        for ii, jj in idx.candidate_blocks(queries, 1):
+            pairs.update(zip(ii.tolist(), jj.tolist()))
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(pool):
+                if damerau_levenshtein(q, s) <= 1:
+                    assert (qi, si) in pairs, (q, s)
+
+    def test_blocks_include_empty_strings(self):
+        # Unlike search(), generation must emit empty-vs-short pairs:
+        # whether they match is the verifier's call.
+        idx = FBFIndex(["", "1"], scheme="numeric")
+        pairs = set()
+        for ii, jj in idx.candidate_blocks(["", "1"], 1):
+            pairs.update(zip(ii.tolist(), jj.tolist()))
+        assert {(0, 0), (0, 1), (1, 0), (1, 1)} <= pairs
+
+    def test_max_pairs_bounds_block_size(self):
+        pool = [f"{i:05d}" for i in range(50)]
+        idx = FBFIndex(pool, scheme="numeric")
+        for ii, jj in idx.candidate_blocks(pool, 1, max_pairs=64):
+            assert len(ii) == len(jj) <= 64
+
+    def test_collector_records_generation_funnel(self):
+        from repro.obs import StatsCollector
+
+        pool = [f"{i:05d}" for i in range(30)]
+        idx = FBFIndex(pool, scheme="numeric")
+        c = StatsCollector("gen")
+        emitted = sum(
+            len(ii) for ii, _ in idx.candidate_blocks(pool, 1, collector=c)
+        )
+        assert c.stages["fbf"].passed == emitted
+        assert c.stages["length"].tested == len(pool) * len(pool)

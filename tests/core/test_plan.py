@@ -1,0 +1,330 @@
+"""The join planner: cost model, overrides, funnel accounting, shims.
+
+The planner's contract has four parts, each covered here:
+
+* **Cost model** — generator/backend picks follow dataset size, ``k``
+  and the method's safety profile, and never auto-pick a lossy or
+  unsafe pruning plan.
+* **Overrides** — explicit names (and instances) are honored even when
+  unsafe, and unknown names fail loudly.
+* **Funnel accounting** — every plan satisfies the conservation
+  invariant, with non-full-product generators appearing as the first
+  funnel stage; the Table-3 last-names workload demonstrates the
+  index-backed plan touching well under 20% of the product at ``k=1``.
+* **Compatibility** — the three pre-planner entry points still work but
+  warn ``DeprecationWarning``.
+"""
+
+import pytest
+
+import repro
+from repro.core.join import JoinResult
+from repro.core.matchers import method_registry
+from repro.core.plan import (
+    BACKEND_NAMES,
+    EDIT_BOUNDED,
+    GENERATOR_NAMES,
+    AllPairsGenerator,
+    BlockingKeyGenerator,
+    FBFIndexGenerator,
+    JoinPlanner,
+    LengthBucketGenerator,
+    join,
+)
+from repro.data.datasets import dataset_for_family
+from repro.obs import StatsCollector
+
+REGISTRY = method_registry()
+
+
+@pytest.fixture(scope="module")
+def ssn_pair():
+    return dataset_for_family("SSN", 40, seed=9)
+
+
+@pytest.fixture(scope="module")
+def ln_pair():
+    return dataset_for_family("LN", 300, seed=3)
+
+
+def _fake_strings(n: int) -> list[str]:
+    # plan() never touches string contents, only counts — cheap inputs.
+    return [f"{i:09d}" for i in range(n)]
+
+
+class TestCostModel:
+    def test_small_product_scalar_all_pairs(self):
+        p = JoinPlanner(_fake_strings(100), _fake_strings(100), k=1)
+        plan = p.plan("FPDL")
+        assert (plan.generator.name, plan.backend.name) == ("all-pairs", "scalar")
+
+    def test_medium_product_vectorized_all_pairs(self):
+        p = JoinPlanner(_fake_strings(1000), _fake_strings(1000), k=1)
+        plan = p.plan("FPDL")
+        assert (plan.generator.name, plan.backend.name) == (
+            "all-pairs",
+            "vectorized",
+        )
+
+    def test_large_product_picks_index(self):
+        p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=1)
+        plan = p.plan("FPDL")
+        assert (plan.generator.name, plan.backend.name) == (
+            "fbf-index",
+            "vectorized",
+        )
+
+    def test_large_k_disables_index(self):
+        p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=5)
+        assert p.plan("FPDL").generator.name == "all-pairs"
+
+    def test_unprunable_method_stays_all_pairs(self):
+        # Jaro bounds neither length nor FBF bits: no pruning generator
+        # is safe, whatever the product.
+        p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=1)
+        assert p.plan("Jaro").generator.name == "all-pairs"
+
+    def test_length_only_method_gets_length_bucket(self):
+        # LF filters on length but carries no FBF filter or edit-bounded
+        # verifier: the index would prune unsafely, buckets are exact.
+        p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=1)
+        assert p.plan("LF").generator.name == "length-bucket"
+
+    def test_multiprocess_never_auto_picked(self):
+        for n in (100, 1100):
+            p = JoinPlanner(_fake_strings(n), _fake_strings(n), k=1)
+            assert p.plan("FPDL").backend.name != "multiprocess"
+
+    def test_blocking_never_auto_picked(self):
+        for method in REGISTRY:
+            p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=1)
+            assert not p.plan(method).generator.name.startswith("blocking")
+
+    def test_plan_describe_mentions_shape(self):
+        p = JoinPlanner(_fake_strings(100), _fake_strings(100), k=1)
+        text = p.plan("FPDL").describe()
+        assert "FPDL" in text and "all-pairs" in text and "100 x 100" in text
+
+
+class TestSafety:
+    @pytest.mark.parametrize("method", sorted(REGISTRY))
+    def test_safety_matches_spec(self, method):
+        spec = REGISTRY[method]
+        bounded = spec.verifier in EDIT_BOUNDED
+        assert AllPairsGenerator().is_safe_for(spec)
+        assert LengthBucketGenerator().is_safe_for(spec) == (
+            bounded or "length" in spec.filters
+        )
+        assert FBFIndexGenerator().is_safe_for(spec) == (
+            bounded or ("length" in spec.filters and "fbf" in spec.filters)
+        )
+
+    def test_blocking_is_never_safe(self):
+        class _Null:
+            name = "null"
+
+            def pairs(self, left, right):
+                return iter(())
+
+        gen = BlockingKeyGenerator(_Null())
+        assert not gen.lossless
+        for spec in REGISTRY.values():
+            assert not gen.is_safe_for(spec)
+
+
+class TestOverrides:
+    def test_unknown_generator_raises(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        with pytest.raises(ValueError, match="unknown generator"):
+            p.plan("FPDL", generator="bogus")
+
+    def test_unknown_backend_raises(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            p.plan("FPDL", backend="bogus")
+
+    def test_unknown_method_raises(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        with pytest.raises(ValueError, match="unknown method"):
+            p.plan("NOPE")
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError, match="k must be"):
+            JoinPlanner(["a"], ["b"], k=-1)
+
+    def test_explicit_names_honored(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        plan = p.plan("FPDL", generator="length-bucket", backend="vectorized")
+        assert (plan.generator.name, plan.backend.name) == (
+            "length-bucket",
+            "vectorized",
+        )
+        assert plan.reason == "explicit"
+
+    def test_generator_instance_honored(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        gen = LengthBucketGenerator()
+        assert p.plan("FPDL", generator=gen).generator is gen
+
+    def test_unsafe_override_warns_but_runs(self, ssn_pair, caplog):
+        # Jaro under the FBF index may drop matches; the explicit
+        # override is for recall experiments, so it runs with a warning.
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1, record_matches=True)
+        ref = p.run("Jaro", generator="all-pairs", backend="scalar")
+        with caplog.at_level("WARNING", logger="repro.core.plan"):
+            pruned = p.run("Jaro", generator="fbf-index", backend="scalar")
+        assert any("not safe" in rec.message for rec in caplog.records)
+        assert set(pruned.matches) <= set(ref.matches)
+
+
+class TestRun:
+    def test_result_carries_plan_names(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        r = p.run("FPDL", generator="fbf-index", backend="vectorized")
+        assert isinstance(r, JoinResult)
+        assert (r.generator, r.backend) == ("fbf-index", "vectorized")
+
+    @pytest.mark.parametrize("generator", ["all-pairs", "length-bucket", "fbf-index"])
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_join_entry_point_runs_every_combo(self, ssn_pair, generator, backend):
+        ref = join(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            generator="all-pairs", backend="scalar", record_matches=True,
+        )
+        r = join(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            generator=generator, backend=backend, record_matches=True,
+        )
+        assert (r.generator, r.backend) == (generator, backend)
+        assert sorted(r.matches) == sorted(ref.matches)
+
+    def test_join_multiprocess_combo(self, ssn_pair):
+        ref = join(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            generator="all-pairs", backend="scalar", record_matches=True,
+        )
+        r = join(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+            generator="fbf-index", backend="multiprocess",
+            workers=2, record_matches=True,
+        )
+        assert (r.generator, r.backend) == ("fbf-index", "multiprocess")
+        assert sorted(r.matches) == sorted(ref.matches)
+
+    def test_join_is_packaged_at_top_level(self, ssn_pair):
+        r = repro.join(ssn_pair.clean, ssn_pair.error, "FPDL", k=1)
+        assert r.match_count > 0
+
+    def test_dedupe_diagonal_survives_planning(self, ssn_pair):
+        # Self-join: the identity diagonal must be counted by every plan.
+        r = join(
+            ssn_pair.clean, ssn_pair.clean, "FPDL", k=1,
+            generator="fbf-index", backend="vectorized",
+        )
+        assert r.diagonal_matches == ssn_pair.n
+
+    def test_blocking_generator_is_subset(self, ssn_pair):
+        from repro.distance.soundex import soundex
+        from repro.linkage.blocking import StandardBlocking
+
+        gen = BlockingKeyGenerator(StandardBlocking(key=soundex))
+        assert gen.name.startswith("blocking:")
+        ref = join(
+            ssn_pair.clean, ssn_pair.error, "DL", k=1,
+            generator="all-pairs", backend="scalar", record_matches=True,
+        )
+        blocked = join(
+            ssn_pair.clean, ssn_pair.error, "DL", k=1,
+            generator=gen, backend="scalar", record_matches=True,
+        )
+        assert blocked.generator == gen.name
+        assert set(blocked.matches) <= set(ref.matches)
+        assert blocked.pairs_compared <= ref.pairs_compared
+
+
+class TestFunnel:
+    @pytest.mark.parametrize("generator", ["length-bucket", "fbf-index"])
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_pruned_plan_conserves(self, ssn_pair, generator, backend):
+        c = StatsCollector("plan")
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        r = p.run("FPDL", generator=generator, backend=backend, collector=c)
+        product = ssn_pair.n * ssn_pair.n
+        assert c.pairs_considered == product
+        assert c.conserved, (
+            f"{generator}/{backend}: {c.pairs_considered} != "
+            f"{c.total_rejected} + {c.survivors}"
+        )
+        assert c.matched == r.match_count
+        assert c.meta["generator"] == generator
+        assert c.meta["backend"] == backend
+
+    def test_generator_is_first_stage(self, ssn_pair):
+        c = StatsCollector("plan")
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        r = p.run("FPDL", generator="fbf-index", backend="vectorized", collector=c)
+        stages = list(c.stages.values())
+        assert stages[0].name == "fbf-index"
+        assert stages[0].tested == ssn_pair.n * ssn_pair.n
+        assert stages[0].passed == r.pairs_compared
+
+    def test_full_product_plan_has_no_generator_stage(self, ssn_pair):
+        c = StatsCollector("plan")
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        p.run("FPDL", generator="all-pairs", backend="scalar", collector=c)
+        assert "all-pairs" not in c.stages
+        assert c.conserved
+
+    def test_table3_ln_index_prunes_below_20_percent(self, ln_pair):
+        # Acceptance: on the Table-3 last-names workload at k=1 the
+        # index-backed generator enumerates < 20% of the full product.
+        c = StatsCollector("ln")
+        p = JoinPlanner(ln_pair.clean, ln_pair.error, k=1, record_matches=True)
+        r = p.run("FPDL", generator="fbf-index", backend="vectorized", collector=c)
+        product = ln_pair.n * ln_pair.n
+        emitted = c.stages["fbf-index"].passed
+        assert emitted == r.pairs_compared
+        assert emitted < 0.2 * product, (
+            f"index emitted {emitted} of {product} pairs "
+            f"({emitted / product:.1%})"
+        )
+        assert c.conserved
+        ref = p.run("FPDL", generator="all-pairs", backend="vectorized")
+        assert sorted(r.matches) == sorted(ref.matches)
+
+
+class TestDeprecatedShims:
+    def test_match_strings_warns(self, ssn_pair):
+        from repro.core.join import match_strings
+        from repro.core.matchers import build_matcher
+
+        matcher = build_matcher("FPDL", k=1, scheme="numeric")
+        with pytest.warns(DeprecationWarning, match="repro.join"):
+            r = match_strings(ssn_pair.clean, ssn_pair.error, matcher)
+        assert r.match_count > 0
+
+    def test_parallel_match_strings_warns(self, ssn_pair):
+        from repro.parallel.pool import parallel_match_strings
+
+        with pytest.warns(DeprecationWarning, match="repro.join"):
+            r = parallel_match_strings(
+                ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
+                scheme_kind="numeric", workers=1,
+            )
+        assert r.backend == "multiprocess"
+
+    def test_chunked_join_warns(self, ssn_pair):
+        from repro.parallel.chunked import ChunkedJoin, VectorEngine
+
+        with pytest.warns(DeprecationWarning, match="VectorEngine"):
+            engine = ChunkedJoin(
+                ssn_pair.clean, ssn_pair.error, k=1, scheme_kind="numeric"
+            )
+        assert isinstance(engine, VectorEngine)
+        assert engine.run("FPDL").match_count > 0
+
+    def test_names_stay_exported(self):
+        assert set(GENERATOR_NAMES) == {
+            "all-pairs", "length-bucket", "fbf-index", "blocking",
+        }
+        assert set(BACKEND_NAMES) == {"scalar", "vectorized", "multiprocess"}

@@ -1,0 +1,97 @@
+"""Property test: every safe plan equals the reference all-pairs scalar.
+
+The planner's core guarantee — candidate generation and backend choice
+are *execution strategy*, never *semantics* — restated over random
+inputs: for every method stack and every safe (generator, backend)
+composition, the match set is identical to Algorithm 7's all-pairs
+scalar loop, and the funnel conserves.
+
+Inputs deliberately include empty strings, duplicates and mixed
+lengths; the alphabet mixes digits and letters so the auto-detected
+signature scheme exercises the alphanumeric combination path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matchers import METHOD_NAMES, method_registry
+from repro.core.plan import (
+    FBFIndexGenerator,
+    JoinPlanner,
+    LengthBucketGenerator,
+)
+from repro.data.datasets import dataset_for_family
+from repro.obs import StatsCollector
+
+REGISTRY = method_registry()
+
+strings = st.lists(
+    st.text(alphabet="ab12", max_size=6), min_size=0, max_size=12
+)
+
+
+def _safe_generators(method: str) -> list[str]:
+    spec = REGISTRY[method]
+    names = ["all-pairs"]
+    if LengthBucketGenerator().is_safe_for(spec):
+        names.append("length-bucket")
+    if FBFIndexGenerator().is_safe_for(spec):
+        names.append("fbf-index")
+    return names
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+@settings(max_examples=25)
+@given(left=strings, right=strings)
+def test_safe_plans_match_reference(method, left, right):
+    ref = JoinPlanner(left, right, k=1, record_matches=True).run(
+        method, generator="all-pairs", backend="scalar"
+    )
+    expected = sorted(ref.matches)
+    for generator in _safe_generators(method):
+        for backend in ("scalar", "vectorized"):
+            c = StatsCollector(f"{generator}/{backend}")
+            planner = JoinPlanner(left, right, k=1, record_matches=True)
+            r = planner.run(
+                method, generator=generator, backend=backend, collector=c
+            )
+            assert sorted(r.matches) == expected, (
+                f"{method} under {generator}/{backend} diverged"
+            )
+            assert r.match_count == ref.match_count
+            assert r.diagonal_matches == ref.diagonal_matches
+            assert c.pairs_considered == len(left) * len(right)
+            assert c.conserved, f"{method} {generator}/{backend} leaked pairs"
+            assert c.matched == ref.match_count
+
+
+class TestMultiprocessEquivalence:
+    """Fixed-input equivalence for the pool backend (too slow for the
+    hypothesis loop: each example would fork a pool)."""
+
+    @pytest.fixture(scope="class")
+    def ssn_pair(self):
+        return dataset_for_family("SSN", 40, seed=9)
+
+    @pytest.mark.parametrize("method", ["DL", "FPDL", "LFPDL", "Wink", "SDX"])
+    def test_matches_reference(self, ssn_pair, method):
+        ref = JoinPlanner(
+            ssn_pair.clean, ssn_pair.error, k=1, record_matches=True
+        ).run(method, generator="all-pairs", backend="scalar")
+        par = JoinPlanner(
+            ssn_pair.clean, ssn_pair.error, k=1,
+            workers=2, record_matches=True,
+        ).run(method, generator="all-pairs", backend="multiprocess")
+        assert sorted(par.matches) == sorted(ref.matches)
+        assert par.verified_pairs == ref.verified_pairs
+
+    def test_candidate_fed_pool_matches_reference(self, ssn_pair):
+        ref = JoinPlanner(
+            ssn_pair.clean, ssn_pair.error, k=1, record_matches=True
+        ).run("FPDL", generator="all-pairs", backend="scalar")
+        par = JoinPlanner(
+            ssn_pair.clean, ssn_pair.error, k=1,
+            workers=2, record_matches=True,
+        ).run("FPDL", generator="fbf-index", backend="multiprocess")
+        assert sorted(par.matches) == sorted(ref.matches)

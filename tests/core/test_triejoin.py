@@ -92,3 +92,40 @@ class TestSearch:
         trie = TrieIndex(strings)
         fbf = FBFIndex(strings, scheme="alnum")
         assert trie.search(query, k) == fbf.search(query, k)
+
+
+class TestSearchCollector:
+    def test_funnel_conserves(self):
+        from repro.obs import StatsCollector
+
+        pool = ["AB", "ABC", "BBC", "C12"]
+        idx = TrieIndex(pool)
+        c = StatsCollector("probe")
+        hits = idx.search("ABC", 1, collector=c)
+        assert c.pairs_considered == len(pool)
+        assert c.conserved
+        assert c.matched == len(hits)
+        # Filter and verify are fused in the trie DFS, so survivors are
+        # exactly the matches and nothing is separately "verified".
+        assert c.survivors == len(hits)
+        assert c.verified == 0
+        prune = c.stages["prefix-prune"]
+        assert (prune.tested, prune.passed) == (len(pool), len(hits))
+        assert c.meta["nodes_visited"] >= 1
+
+    def test_collector_does_not_change_results(self):
+        from repro.obs import StatsCollector
+
+        pool = ["AB", "ABC", "BBC"]
+        idx = TrieIndex(pool)
+        assert idx.search("AB", 1, collector=StatsCollector()) == idx.search(
+            "AB", 1
+        )
+
+    def test_empty_index_accounts_zero(self):
+        from repro.obs import StatsCollector
+
+        c = StatsCollector("probe")
+        assert TrieIndex().search("X", 1, collector=c) == []
+        assert c.pairs_considered == 0
+        assert c.conserved

@@ -175,3 +175,54 @@ class TestVerifierCounters:
         matcher = build_matcher("PDL", k=1, collector=c)
         match_strings(["ab", "abcdef"], ["ab", "abcdefgh"], matcher)
         assert c.verifier_counters["length_pruned"] > 0
+
+
+class TestConservationMultiprocess:
+    """The pool backend merges per-worker collectors into the parent;
+    the merged funnel must be indistinguishable from a one-process run."""
+
+    def test_counters_conserve_across_workers(self, ssn_pair):
+        from repro.parallel.pool import multiprocess_join
+
+        c = StatsCollector("pool")
+        result = multiprocess_join(
+            ssn_pair.clean, ssn_pair.error, "FPDL", k=K,
+            scheme_kind="numeric", workers=2, collector=c,
+        )
+        n_pairs = ssn_pair.n * ssn_pair.n
+        assert c.pairs_considered == n_pairs == result.pairs_compared
+        assert c.conserved
+        assert c.matched == result.match_count
+
+    @pytest.mark.parametrize("method", ["DL", "FPDL", "LFBF"])
+    def test_merged_funnel_equals_scalar(self, ssn_pair, method):
+        from repro.parallel.pool import multiprocess_join
+
+        cp = StatsCollector("pool")
+        multiprocess_join(
+            ssn_pair.clean, ssn_pair.error, method, k=K,
+            scheme_kind="numeric", workers=2, collector=cp,
+        )
+        cs = StatsCollector("scalar")
+        matcher = build_matcher(method, k=K, scheme="numeric", collector=cs)
+        match_strings(ssn_pair.clean, ssn_pair.error, matcher)
+        assert cp.pairs_considered == cs.pairs_considered
+        assert cp.survivors == cs.survivors
+        assert cp.verified == cs.verified
+        assert cp.matched == cs.matched
+        for name, stage in cs.stages.items():
+            merged = cp.stages[name]
+            assert (merged.tested, merged.passed) == (stage.tested, stage.passed)
+
+    def test_verifier_counters_survive_merge(self, ssn_pair):
+        from repro.parallel.pool import multiprocess_join
+
+        cp = StatsCollector("pool")
+        multiprocess_join(
+            ssn_pair.clean, ssn_pair.error, "PDL", k=K,
+            scheme_kind="numeric", workers=2, collector=cp,
+        )
+        cs = StatsCollector("scalar")
+        matcher = build_matcher("PDL", k=K, scheme="numeric", collector=cs)
+        match_strings(ssn_pair.clean, ssn_pair.error, matcher)
+        assert cp.verifier_counters == cs.verifier_counters
