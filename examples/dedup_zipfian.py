@@ -1,0 +1,56 @@
+"""Deduplicate a Zipfian roster: the multiplicity layer's home turf.
+
+Scenario: a census-style last-name column where a handful of common
+names cover most rows (names drawn with replacement under a 1/rank
+weight).  The same FPDL self-join runs three ways — the full-product
+baseline, the triangular self-join, and the planner's auto pick
+(unique-string collapse + triangle) — and must return the identical
+weighted match count while verifying orders of magnitude fewer pairs.
+
+Run:  python examples/dedup_zipfian.py [n]
+"""
+
+import random
+import sys
+import time
+
+from repro import JoinPlanner
+from repro.data.names import sample_zipfian_roster
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    rng = random.Random(11)
+    roster = sample_zipfian_roster(n, rng)
+    n_unique = len(set(roster))
+    print(f"roster: {n} entries, {n_unique} distinct names "
+          f"(top name covers {roster.count(max(set(roster), key=roster.count))} rows)\n")
+
+    cells = [
+        ("full product", dict(collapse="off", self_join=False)),
+        ("triangle only", dict(collapse="off", self_join=True)),
+        ("auto (collapse + triangle)", dict()),
+    ]
+    for label, opts in cells:
+        planner = JoinPlanner(roster, roster, k=1, scheme="alpha", **opts)
+        start = time.perf_counter()
+        result = planner.run("FPDL")
+        elapsed = time.perf_counter() - start
+        uniq = "" if result.unique_left is None else (
+            f"  unique={result.unique_left}"
+        )
+        print(f"[{label:>27}] {elapsed*1e3:8.1f} ms  "
+              f"verified={result.pairs_compared:>9,}  "
+              f"matches={result.match_count:,}  "
+              f"exact-dupes={result.diagonal_matches:,}{uniq}")
+
+    print(
+        "\nEvery cell agrees on the weighted match count; the collapsed\n"
+        "run did the work once per distinct pair and multiplied by the\n"
+        "pair's multiplicity.  diagonal_matches counts value-identity\n"
+        "pairs — the exact-duplicate mass a dedup caller wants."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,10 @@ buckets, the FBF signature index, key blocking) picks which pairs to
 look at, an execution backend (scalar, vectorized, multiprocess)
 verifies them, and a cost model composes the two from dataset size —
 see :mod:`repro.core.plan` for overrides and :class:`JoinPlanner` for
-reuse across calls.
+reuse across calls.  Duplicate-heavy inputs are collapsed to their
+unique values and self-joins enumerate only the pair triangle
+(:mod:`repro.core.multiplicity`), with results bit-identical to the
+full product.
 
 Package map (details in DESIGN.md):
 
@@ -44,6 +47,11 @@ Package map (details in DESIGN.md):
 from repro.core.filters import FBFFilter, FilterChain, LengthFilter
 from repro.core.join import JoinResult, match_strings
 from repro.core.matchers import METHOD_NAMES, build_matcher
+from repro.core.multiplicity import (
+    CollapsedSide,
+    PairWeighter,
+    VerificationMemo,
+)
 from repro.core.plan import JoinPlanner, join
 from repro.core.signatures import (
     SignatureScheme,
@@ -66,19 +74,22 @@ from repro.distance import (
 from repro.obs import StatsCollector, render_funnel
 from repro.parallel.chunked import ChunkedJoin, VectorEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ChunkedJoin",
+    "CollapsedSide",
     "FBFFilter",
     "FilterChain",
     "JoinPlanner",
     "JoinResult",
     "LengthFilter",
     "METHOD_NAMES",
+    "PairWeighter",
     "SignatureScheme",
     "StatsCollector",
     "VectorEngine",
+    "VerificationMemo",
     "__version__",
     "alnum_signature",
     "alpha_signature",

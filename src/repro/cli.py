@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     match = sub.add_parser("match", help="join two string files")
     match.add_argument("left", type=Path, help="newline-delimited strings")
     match.add_argument("right", type=Path, help="newline-delimited strings")
+    match.add_argument(
+        "--self-join",
+        action="store_true",
+        help=(
+            "assert both files hold the same values and enumerate only "
+            "the pair triangle (auto-detected for identical inputs; "
+            "dedupe always self-joins)"
+        ),
+    )
     _common_join_args(match)
 
     dedupe = sub.add_parser("dedupe", help="find duplicate clusters in one file")
@@ -174,6 +183,15 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
         help="execution backend (auto: cost model)",
     )
     sub.add_argument(
+        "--collapse",
+        default="auto",
+        choices=["auto", "on", "off"],
+        help=(
+            "unique-string collapse: run the join over distinct values "
+            "only (auto: when sampled duplication makes it pay)"
+        ),
+    )
+    sub.add_argument(
         "--plan",
         action="store_true",
         help="print the chosen plan to stderr before running",
@@ -211,14 +229,19 @@ def _plan_overrides(args: argparse.Namespace):
 
 def _planned_join(args: argparse.Namespace, left, right, collector):
     """Build the planner, honor --plan, and run the join."""
-    planner = JoinPlanner(
-        left,
-        right,
-        k=args.k,
-        scheme=args.scheme,
-        record_matches=True,
-        collector=collector,
-    )
+    try:
+        planner = JoinPlanner(
+            left,
+            right,
+            k=args.k,
+            scheme=args.scheme,
+            record_matches=True,
+            collector=collector,
+            collapse=args.collapse,
+            self_join=True if getattr(args, "self_join", False) else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     generator, backend = _plan_overrides(args)
     if args.plan:
         plan = planner.plan(args.method, generator=generator, backend=backend)
@@ -287,9 +310,14 @@ def _cmd_dedupe(args: argparse.Namespace) -> int:
     if not args.quiet:
         for cluster in clusters:
             print(" | ".join(strings[i] for i in cluster))
+    unique_note = (
+        f", {result.unique_left} unique"
+        if result.unique_left is not None
+        else ""
+    )
     print(
-        f"# {len(clusters)} duplicate clusters among {len(strings)} strings "
-        f"({args.method}, k={args.k})",
+        f"# {len(clusters)} duplicate clusters among {len(strings)} strings"
+        f"{unique_note} ({args.method}, k={args.k})",
         file=sys.stderr,
     )
     _emit_stats(args, collector)

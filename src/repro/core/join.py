@@ -22,11 +22,11 @@ original uninstrumented path.
 
 from __future__ import annotations
 
-import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro._compat import warn_once
 from repro.core.matchers import PreparedMatcher
 from repro.obs.log import get_logger
 
@@ -49,16 +49,33 @@ class JoinResult:
     ``record_matches=True``; the counters are always correct either way.
     ``pairs_compared`` counts the pairs the driver actually iterated —
     the full ``n_left * n_right`` product, an explicit ``pairs`` subset,
-    or (under an index-backed plan) the candidate pairs the generator
-    emitted.  ``generator`` / ``backend`` name the plan that produced the
-    result; the legacy drivers leave them at their implicit defaults.
+    or (under an index-backed or multiplicity-collapsed plan) the
+    candidate pairs actually enumerated.  ``generator`` / ``backend``
+    name the plan that produced the result; the legacy drivers leave
+    them at their implicit defaults.
+
+    **Diagonal semantics.**  For two *different* datasets,
+    ``diagonal_matches`` counts matches with ``i == j`` — hits against
+    the evaluation's positional ground truth.  For a *self-join*
+    (``left is right``, or equal content), position is an accident of
+    ordering, so the diagonal counts matches by **value identity**
+    (``left[i] == right[j]``) instead: the pairs that are literal
+    duplicates rather than near-misses.  Every engine applies the same
+    rule, so cross-engine equivalence holds on both kinds of input.
+
+    ``unique_left`` / ``unique_right`` expose the distinct-value counts
+    when the multiplicity layer collapsed the join (``None`` when the
+    join ran uncollapsed); ``verified_pairs`` and ``pairs_compared``
+    then count *unique-space* work (the cost that was actually paid)
+    while ``match_count`` / ``diagonal_matches`` stay in original-pair
+    units.
     """
 
     method: str
     n_left: int
     n_right: int
     match_count: int = 0
-    #: matches where ``i == j`` (hits against the positional ground truth)
+    #: positional (``i == j``) hits — or value-identity hits on self-joins
     diagonal_matches: int = 0
     verified_pairs: int = 0
     pairs_compared: int = 0
@@ -67,6 +84,9 @@ class JoinResult:
     generator: str = "all-pairs"
     #: execution backend that verified the candidates (plan layer)
     backend: str = "scalar"
+    #: distinct left/right values under unique-string collapse (else None)
+    unique_left: int | None = None
+    unique_right: int | None = None
 
     @property
     def off_diagonal_matches(self) -> int:
@@ -115,7 +135,7 @@ def match_strings(
     >>> (r.match_count, r.diagonal_matches)
     (1, 1)
     """
-    warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=2)
+    warn_once("core.join.match_strings", _DEPRECATION_MSG)
     return _scalar_join(
         left,
         right,
@@ -134,12 +154,27 @@ def _scalar_join(
     record_matches: bool = False,
     pairs: Iterable[tuple[int, int]] | None = None,
     collector=None,
+    weighter=None,
+    self_join: bool | None = None,
 ) -> JoinResult:
-    """The scalar reference loop (the plan layer's scalar backend body)."""
+    """The scalar reference loop (the plan layer's scalar backend body).
+
+    ``weighter`` (a :class:`repro.core.multiplicity.PairWeighter`)
+    scales match counts and funnel counters by per-pair multiplicity —
+    the collapsed-plan contract.  ``self_join`` switches the diagonal to
+    value identity; ``None`` auto-detects it from content equality, so
+    direct callers get the right semantics without the plan layer.
+    """
     if collector:
         matcher.collector = collector
     else:
         collector = getattr(matcher, "collector", None)
+    if weighter is not None:
+        matcher.weighter = weighter
+    if self_join is None:
+        self_join = left is right or (
+            len(left) == len(right) and list(left) == list(right)
+        )
     if collector:
         collector.meta.setdefault("method", matcher.name)
         collector.meta["n_left"] = len(left)
@@ -153,24 +188,32 @@ def _scalar_join(
     diagonal = 0
     compared = 0
     mfn = matcher.matches
+    if self_join:
+        def on_diag(i: int, j: int) -> bool:
+            return left[i] == right[j]
+    else:
+        def on_diag(i: int, j: int) -> bool:
+            return i == j
     with span("join.pairs"):
         if pairs is None:
             compared = len(left) * len(right)
             for i in range(len(left)):
                 for j in range(len(right)):
                     if mfn(i, j):
-                        match_count += 1
-                        if i == j:
-                            diagonal += 1
+                        w = 1 if weighter is None else weighter.weight(i, j)
+                        match_count += w
+                        if on_diag(i, j):
+                            diagonal += w
                         if matches is not None:
                             matches.append((i, j))
         else:
             for i, j in pairs:
                 compared += 1
                 if mfn(i, j):
-                    match_count += 1
-                    if i == j:
-                        diagonal += 1
+                    w = 1 if weighter is None else weighter.weight(i, j)
+                    match_count += w
+                    if on_diag(i, j):
+                        diagonal += w
                     if matches is not None:
                         matches.append((i, j))
     result.match_count = match_count

@@ -90,6 +90,13 @@ class PreparedMatcher:
         self._right: Sequence[str] = ()
         self.verified_pairs = 0  # how many pairs reached the verifier
         self._obs_stages: list = []
+        #: multiplicity weights (plan layer): funnel counters scale by
+        #: ``weighter.weight(i, j)`` so collapsed joins conserve against
+        #: the uncollapsed baseline.  None = every pair weighs 1.
+        self.weighter = None
+        #: bounded verdict cache (plan layer); verdicts for a canonical
+        #: ``(s, t)`` are computed once.  None = verify every arrival.
+        self.memo = None
         self.collector = collector
 
     @property
@@ -126,26 +133,52 @@ class PreparedMatcher:
         if self.verifier is None:
             return True
         self.verified_pairs += 1
-        return self.verifier(self._left[i], self._right[j])
+        if self.memo is None:
+            return self.verifier(self._left[i], self._right[j])
+        return self._verify_memoized(self._left[i], self._right[j], None)
 
     def _matches_observed(self, i: int, j: int, collector) -> bool:
-        """The decision path with full funnel accounting."""
-        collector.pairs_considered += 1
+        """The decision path with full funnel accounting.
+
+        With a ``weighter`` attached every counter moves by the pair's
+        multiplicity weight instead of 1 — the unique-space pair stands
+        for that many original pairs.
+        """
+        w = 1 if self.weighter is None else self.weighter.weight(i, j)
+        collector.pairs_considered += w
         for f, stage in zip(self.chain.filters, self._obs_stages):
-            stage.tested += 1
+            stage.tested += w
             if not f.passes(i, j):
                 return False
-            stage.passed += 1
-        collector.survivors += 1
+            stage.passed += w
+        collector.survivors += w
         if self.verifier is None:
-            collector.matched += 1
+            collector.matched += w
             return True
         self.verified_pairs += 1
-        collector.verified += 1
-        if self.verifier(self._left[i], self._right[j]):
-            collector.matched += 1
+        collector.verified += w
+        if self.memo is None:
+            verdict = self.verifier(self._left[i], self._right[j])
+        else:
+            verdict = self._verify_memoized(
+                self._left[i], self._right[j], collector
+            )
+        if verdict:
+            collector.matched += w
             return True
         return False
+
+    def _verify_memoized(self, s: str, t: str, collector) -> bool:
+        """Verify through the memo; mirror hit/miss tallies when observed."""
+        verdict = self.memo.lookup(s, t)
+        if verdict is None:
+            verdict = self.verifier(s, t)
+            self.memo.store(s, t, verdict)
+            if collector:
+                collector.verifier_counters["memo_misses"] += 1
+        elif collector:
+            collector.verifier_counters["memo_hits"] += 1
+        return verdict
 
     @property
     def filter_stats(self):

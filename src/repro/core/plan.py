@@ -39,6 +39,18 @@ candidates) and credits the skipped pairs as considered-and-rejected —
 so an index-backed plan *reports* its reduction exactly where a filter
 reports its rejections.
 
+**Multiplicity.**  Demographic workloads are heavily duplicated, so the
+planner composes the :mod:`repro.core.multiplicity` layer in front of
+any (generator, backend) pair: ``collapse`` runs the whole funnel on
+the unique-value product with per-pair weights keeping every counter in
+original-pair units; self-joins (same dataset on both sides, detected
+or forced with ``self_join=True``) enumerate only the ``i <= j``
+triangle of the unique product; and a bounded verification memo lets
+the scalar and multiprocess backends verify each distinct string pair
+once on uncollapsed duplicate-bearing plans.  All of it is
+bit-identical to the uncollapsed plan (asserted by the equivalence
+suite) — only the enumerated-pair cost changes.
+
 Quickstart::
 
     from repro import join
@@ -57,6 +69,15 @@ import numpy as np
 
 from repro.core.join import JoinResult, _scalar_join
 from repro.core.matchers import MethodSpec, build_matcher, method_registry
+from repro.core.multiplicity import (
+    CollapsedJoinResult,
+    CollapsedSide,
+    PairWeighter,
+    VerificationMemo,
+    estimate_uniqueness,
+    expand_matches,
+    positional_diagonal,
+)
 from repro.core.signatures import detect_kind, scheme_for
 from repro.obs.log import get_logger
 from repro.obs.stats import NULL_COLLECTOR
@@ -302,6 +323,9 @@ class ScalarBackend(ExecutionBackend):
             scheme=planner.scheme(),
             collector=collector,
         )
+        memo = planner.memo_for(method)
+        if memo is not None:
+            matcher.memo = memo
         result = _scalar_join(
             planner.left,
             planner.right,
@@ -309,6 +333,8 @@ class ScalarBackend(ExecutionBackend):
             record_matches=record_matches,
             pairs=None if blocks is None else _flatten(blocks),
             collector=collector,
+            weighter=planner.weighter,
+            self_join=planner.content_equal,
         )
         result.backend = self.name
         return result
@@ -336,7 +362,9 @@ class VectorizedBackend(ExecutionBackend):
             )
             result.matches = v.matches
             return result
-        result = engine.run_candidates(method, blocks, collector=collector)
+        result = engine.run_candidates(
+            method, blocks, collector=collector, weighter=planner.weighter
+        )
         result.backend = self.name
         return result
 
@@ -347,6 +375,7 @@ class MultiprocessBackend(ExecutionBackend):
     name = "multiprocess"
 
     def run(self, planner, method, blocks, *, collector, record_matches):
+        memo = planner.memo_for(method)
         result = multiprocess_join(
             planner.left,
             planner.right,
@@ -358,6 +387,9 @@ class MultiprocessBackend(ExecutionBackend):
             record_matches=record_matches,
             collector=collector,
             pairs=None if blocks is None else list(_flatten(blocks)),
+            weighter=planner.weighter,
+            memo_capacity=memo.capacity if memo is not None else 0,
+            self_join=planner.content_equal,
         )
         result.backend = self.name
         return result
@@ -427,11 +459,40 @@ class JoinPlanner:
         scalar_max_pairs: int = 1 << 14,
         index_min_pairs: int = 1 << 20,
         max_index_k: int = 4,
+        collapse: str = "auto",
+        self_join: bool | None = None,
+        memo: str = "auto",
+        memo_capacity: int = 1 << 16,
+        collapse_min_pairs: int = 1 << 20,
+        collapse_auto_ratio: float = 0.5,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        if collapse not in ("auto", "on", "off"):
+            raise ValueError(
+                f"collapse must be 'auto', 'on' or 'off', got {collapse!r}"
+            )
+        if memo not in ("auto", "on", "off"):
+            raise ValueError(
+                f"memo must be 'auto', 'on' or 'off', got {memo!r}"
+            )
+        same_object = right is left
         self.left = list(left)
-        self.right = list(right)
+        self.right = self.left if same_object else list(right)
+        #: both sides hold the same values (the self-join *condition*);
+        #: detected once so backends get value-identity diagonal
+        #: semantics without re-comparing datasets per run
+        self.content_equal = same_object or (
+            len(self.left) == len(self.right) and self.left == self.right
+        )
+        if self_join and not self.content_equal:
+            raise ValueError(
+                "self_join=True requires left and right to hold the same "
+                "values (the triangular enumeration mirrors every pair)"
+            )
+        #: use the triangular enumeration strategy (the self-join
+        #: *optimization*; diagonal semantics follow the data, not this)
+        self.self_join = self.content_equal if self_join is None else bool(self_join)
         self.k = k
         self.theta = theta
         self.levels = levels
@@ -442,6 +503,18 @@ class JoinPlanner:
         self.scalar_max_pairs = scalar_max_pairs
         self.index_min_pairs = index_min_pairs
         self.max_index_k = max_index_k
+        self.collapse = collapse
+        self.memo = memo
+        self.memo_capacity = memo_capacity
+        self.collapse_min_pairs = collapse_min_pairs
+        self.collapse_auto_ratio = collapse_auto_ratio
+        #: per-pair multiplicity weights, set around a collapsed run so
+        #: the backends (which only see this planner) pick them up
+        self.weighter: PairWeighter | None = None
+        self._uniqueness: float | None = None
+        self._memos: dict[str, VerificationMemo] = {}
+        self._collapsed: tuple[CollapsedSide, CollapsedSide] | None = None
+        self._inner: "JoinPlanner" | None = None
         self._kind = scheme
         self._scheme = None
         self._engine: VectorEngine | None = None
@@ -514,6 +587,114 @@ class JoinPlanner:
         if backend == "vectorized":
             self.engine()
 
+    # -- multiplicity layer --------------------------------------------------
+
+    def uniqueness_ratio(self) -> float:
+        """Sampled estimate of ``unique product / full product``.
+
+        The product of each side's :func:`estimate_uniqueness`; cached,
+        since it both gates auto-collapse and auto-enables the memo.
+        """
+        if self._uniqueness is None:
+            ul = estimate_uniqueness(self.left)
+            ur = ul if self.content_equal else estimate_uniqueness(self.right)
+            self._uniqueness = ul * ur
+        return self._uniqueness
+
+    def collapse_active(self) -> bool:
+        """Will plans run on the unique-value product?
+
+        ``"on"``/``"off"`` are honored verbatim.  ``"auto"`` collapses a
+        self-join whenever the sampled unique product is at most
+        ``collapse_auto_ratio`` of the full one; a two-dataset join
+        additionally needs a product of at least ``collapse_min_pairs``
+        (collapsing pays a dictionary pass per side up front, which tiny
+        joins never earn back).
+        """
+        if self.collapse == "on":
+            return True
+        if self.collapse == "off":
+            return False
+        ratio = self.uniqueness_ratio()
+        if self.self_join:
+            return ratio <= self.collapse_auto_ratio
+        product = len(self.left) * len(self.right)
+        return (
+            product >= self.collapse_min_pairs
+            and ratio <= self.collapse_auto_ratio
+        )
+
+    def _multiplicity_active(self) -> bool:
+        """Route through the collapsed path (triangle and/or collapse)?"""
+        return self.self_join or self.collapse_active()
+
+    def memo_for(self, method: str) -> VerificationMemo | None:
+        """The per-method verification memo, or ``None`` when disabled.
+
+        ``"auto"`` enables the memo only when duplicates were sampled
+        (``uniqueness_ratio() < 1``) — on unique data every canonical
+        pair arrives once and the cache is pure overhead.  The collapsed
+        path disables it outright (its inner planner is built with
+        ``memo="off"``): unique-space pairs never repeat either.
+        Filter-only methods have no verifier to memoize.
+        """
+        if self.memo == "off":
+            return None
+        if self.memo == "auto" and self.uniqueness_ratio() >= 1.0:
+            return None
+        spec = method_registry().get(method)
+        if spec is None or spec.verifier is None:
+            return None
+        m = self._memos.get(method)
+        if m is None:
+            m = self._memos[method] = VerificationMemo(self.memo_capacity)
+        return m
+
+    def _collapsed_sides(self) -> tuple[CollapsedSide, CollapsedSide]:
+        """The factored sides (shared object for self-joins; identity
+        views when the triangle is wanted but collapsing declined)."""
+        if self._collapsed is None:
+            make = (
+                CollapsedSide.from_strings
+                if self.collapse_active()
+                else CollapsedSide.identity
+            )
+            cl = make(self.left)
+            cr = cl if self.content_equal else make(self.right)
+            self._collapsed = (cl, cr)
+        return self._collapsed
+
+    def _unique_planner(self) -> "JoinPlanner":
+        """The inner planner over unique values.
+
+        Cached: it owns the prepared state (engine, index) of the
+        unique-space problem, so repeated runs pay preparation once just
+        like the uncollapsed planner does.  Built with ``collapse="off"``
+        / ``self_join=False`` / ``memo="off"`` so it never recurses into
+        the multiplicity layer; for self-joins both sides are the *same
+        object*, which is how the backends detect value-identity
+        diagonal semantics.
+        """
+        if self._inner is None:
+            cl, cr = self._collapsed_sides()
+            self._inner = JoinPlanner(
+                cl.values,
+                cl.values if self.content_equal else cr.values,
+                k=self.k,
+                theta=self.theta,
+                scheme=self.kind(),
+                levels=self.levels,
+                workers=self.workers,
+                block_pairs=self.block_pairs,
+                scalar_max_pairs=self.scalar_max_pairs,
+                index_min_pairs=self.index_min_pairs,
+                max_index_k=self.max_index_k,
+                collapse="off",
+                self_join=False,
+                memo="off",
+            )
+        return self._inner
+
     # -- plan selection -----------------------------------------------------
 
     def _resolve_generator(
@@ -582,6 +763,19 @@ class JoinPlanner:
         spec = method_registry().get(method)
         if spec is None:
             raise ValueError(f"unknown method {method!r}")
+        if self._multiplicity_active():
+            inner = self._unique_planner()
+            p = inner.plan(method, generator=generator, backend=backend)
+            parts = []
+            if self.self_join:
+                parts.append("triangular self-join")
+            if self.collapse_active():
+                parts.append("unique-collapse")
+            prefix = " + ".join(parts)
+            return JoinPlan(
+                method, p.generator, p.backend, p.n_left, p.n_right,
+                f"{prefix}: {p.reason}",
+            )
         gen, gen_reason = self._resolve_generator(generator, spec)
         be, be_reason = self._resolve_backend(backend)
         if not gen.is_full_product and not gen.is_safe_for(spec):
@@ -615,11 +809,16 @@ class JoinPlanner:
         stage, with the pairs they never emitted counted as considered
         and rejected there.
         """
-        plan = self.plan(method, generator=generator, backend=backend)
         obs = collector if collector else (
             self.collector if self.collector else NULL_COLLECTOR
         )
         record = self.record_matches if record_matches is None else record_matches
+        if self._multiplicity_active():
+            return self._run_collapsed(
+                method, generator=generator, backend=backend,
+                obs=obs, record=record,
+            )
+        plan = self.plan(method, generator=generator, backend=backend)
         _log.info("plan %s", plan.describe())
         if obs:
             obs.meta["generator"] = plan.generator.name
@@ -661,6 +860,96 @@ class JoinPlanner:
         result.backend = plan.backend.name
         return result
 
+    def _run_collapsed(
+        self, method: str, *, generator, backend, obs, record: bool
+    ) -> CollapsedJoinResult:
+        """Run one method through the multiplicity layer.
+
+        The inner planner's (generator, backend) pair executes over the
+        unique-value product — restricted to the ``i <= j`` triangle for
+        self-joins — with a :class:`PairWeighter` keeping every counter
+        in original-pair units.  The generator is accounted as the
+        funnel's first stage against the *original* product, so
+        conservation holds exactly as for uncollapsed plans; the skipped
+        weight is the enumerated-pair reduction this layer exists for.
+        """
+        cl, cr = self._collapsed_sides()
+        inner = self._unique_planner()
+        plan = self.plan(method, generator=generator, backend=backend)
+        _log.info("plan %s", plan.describe())
+        weighter = PairWeighter(cl.counts, cr.counts, symmetric=self.self_join)
+        # Unique-space matches are needed for the lazy expansion and,
+        # on two-dataset joins, for the positional diagonal.
+        need_matches = record or not self.self_join
+        product = len(self.left) * len(self.right)
+        if obs:
+            obs.meta["generator"] = plan.generator.name
+            obs.meta["backend"] = plan.backend.name
+            obs.meta["collapse"] = self.collapse_active()
+            obs.meta["self_join"] = self.self_join
+            # Register the generator's stage before the backend creates
+            # the filter stages (dataflow order in the funnel).
+            obs.stage(plan.generator.name)
+        emitted_w = 0
+
+        def counted() -> Iterator[Block]:
+            nonlocal emitted_w
+            for ii, jj in plan.generator.blocks(inner):
+                if self.self_join:
+                    keep = ii <= jj
+                    ii, jj = ii[keep], jj[keep]
+                if len(ii) == 0:
+                    continue
+                emitted_w += weighter.total(ii, jj)
+                yield ii, jj
+
+        inner.weighter = weighter
+        try:
+            result = plan.backend.run(
+                inner,
+                method,
+                counted(),
+                collector=obs if obs else None,
+                record_matches=need_matches,
+            )
+        finally:
+            inner.weighter = None
+        if obs:
+            obs.add_stage(plan.generator.name, product, emitted_w)
+            obs.add_pairs(product - emitted_w)
+            # The backend stamped unique-space sizes; restore originals.
+            obs.meta["n_left"] = len(self.left)
+            obs.meta["n_right"] = len(self.right)
+        unique_matches = list(result.matches) if need_matches else []
+        if self.self_join:
+            # Unique values are distinct, so the backend's value-identity
+            # diagonal is exactly the weighted sum over matched (u, u).
+            diagonal = result.diagonal_matches
+        else:
+            diagonal = positional_diagonal(unique_matches, cl, cr)
+        expander = None
+        if record:
+            symmetric = self.self_join
+
+            def expander(um):
+                return expand_matches(um, cl, cr, symmetric=symmetric)
+
+        return CollapsedJoinResult(
+            method,
+            len(self.left),
+            len(self.right),
+            match_count=result.match_count,
+            diagonal_matches=diagonal,
+            verified_pairs=result.verified_pairs,
+            pairs_compared=result.pairs_compared,
+            generator=plan.generator.name,
+            backend=plan.backend.name,
+            unique_left=cl.n_unique,
+            unique_right=cr.n_unique,
+            unique_matches=unique_matches,
+            expander=expander,
+        )
+
 
 def join(
     left: Sequence[str],
@@ -675,6 +964,8 @@ def join(
     workers: int | None = None,
     record_matches: bool = False,
     collector=None,
+    collapse: str = "auto",
+    self_join: bool | None = None,
     **planner_kwargs,
 ) -> JoinResult:
     """One-shot planned similarity join (the public entry point).
@@ -683,6 +974,12 @@ def join(
     cost model picks — or under an explicit ``generator`` / ``backend``
     override.  For repeated joins over the same datasets, hold a
     planner instead.
+
+    ``collapse`` (``"auto"``/``"on"``/``"off"``) controls unique-string
+    collapse; ``self_join=True`` forces the triangular enumeration for
+    content-equal sides (it is auto-detected when both arguments are the
+    same object or hold the same values).  The memo knobs (``memo``,
+    ``memo_capacity``) pass through ``planner_kwargs``.
 
     >>> r = join(["123456789"], ["123456780"], "FPDL", k=1, scheme="numeric")
     >>> (r.match_count, r.generator, r.backend)
@@ -697,6 +994,8 @@ def join(
         workers=workers,
         record_matches=record_matches,
         collector=collector,
+        collapse=collapse,
+        self_join=self_join,
         **planner_kwargs,
     )
     return planner.run(method, generator=generator, backend=backend)

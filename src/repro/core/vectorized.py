@@ -42,7 +42,34 @@ __all__ = [
     "pairwise_diff_bits",
     "fbf_candidates",
     "length_candidates",
+    "value_identity_codes",
 ]
+
+
+def value_identity_codes(
+    left: Sequence[str], right: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integer codes under which ``code_l[i] == code_r[j]`` iff
+    ``left[i] == right[j]``.
+
+    One shared dictionary pass over both sides; the vectorized engines
+    use these for the value-identity diagonal of self-joins, where an
+    ``(ii == jj)`` positional test would miss duplicate values.
+    """
+    table: dict[str, int] = {}
+
+    def encode(strings: Sequence[str]) -> np.ndarray:
+        out = np.empty(len(strings), dtype=np.int64)
+        for idx, s in enumerate(strings):
+            code = table.get(s)
+            if code is None:
+                code = table[s] = len(table)
+            out[idx] = code
+        return out
+
+    codes_l = encode(left)
+    codes_r = codes_l if right is left else encode(right)
+    return codes_l, codes_r
 
 
 def _occurrence_counts(strings: Sequence[str], codec, n_symbols: int) -> np.ndarray:

@@ -33,6 +33,7 @@ __all__ = [
     "NameGenerator",
     "build_last_name_pool",
     "build_first_name_pool",
+    "sample_zipfian_roster",
 ]
 
 #: Paper Table 13 — counts of 2000 Census last names by string length.
@@ -297,3 +298,40 @@ def build_first_name_pool(
     """
     gen = NameGenerator(FIRST_NAMES)
     return gen.pool(size, histogram or PAPER_FN_LENGTH_HISTOGRAM, rng)
+
+
+def sample_zipfian_roster(
+    size: int,
+    rng: random.Random,
+    *,
+    vocabulary: Sequence[str] | None = None,
+    exponent: float = 1.0,
+    pool_size: int | None = None,
+) -> list[str]:
+    """A roster of ``size`` names drawn Zipf-like *with replacement*.
+
+    The pool builders above produce all-unique vocabularies (one row per
+    name, as a census list is); real rosters — a customer table, a
+    payroll extract — repeat names with the census *frequency* skew,
+    which is approximately Zipfian (SMITH alone covers about 1% of the
+    2000 Census population).  This sampler turns a unique vocabulary
+    into such a roster: name at frequency rank ``r`` is drawn with
+    probability proportional to ``1 / r**exponent``.
+
+    This is the workload the multiplicity layer
+    (:mod:`repro.core.multiplicity`) exists for, and what the collapse
+    ablation benchmark feeds the planner.
+
+    >>> rng = random.Random(7)
+    >>> roster = sample_zipfian_roster(1000, rng, pool_size=250)
+    >>> len(roster), len(set(roster)) < 250
+    (1000, True)
+    """
+    if size <= 0:
+        return []
+    if vocabulary is None:
+        vocabulary = build_last_name_pool(
+            pool_size or max(16, size // 4), rng
+        )
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(vocabulary))]
+    return rng.choices(list(vocabulary), weights=weights, k=size)

@@ -20,8 +20,17 @@ makes that funnel observable at runtime:
     pairs declared matches;
 ``verifier_counters``
     the verifier's internal shortcuts — ``length_pruned`` (PDL step 1
-    rejections before any DP work) and ``early_exit`` (band rows that
-    exceeded ``k``, the paper's ``x <= 0`` termination).
+    rejections before any DP work), ``early_exit`` (band rows that
+    exceeded ``k``, the paper's ``x <= 0`` termination), and
+    ``memo_hits`` / ``memo_misses`` (verification-memo lookups when the
+    plan layer's :class:`repro.core.multiplicity.VerificationMemo` is
+    active).
+
+Multiplicity-collapsed plans (:mod:`repro.core.multiplicity`) push
+*weighted* counts — each unique-space pair counts for the
+``count(i) * count(j)`` original pairs it stands for — so every counter
+here stays in original-pair units and the conservation invariant holds
+against the uncollapsed ``n_left * n_right`` baseline.
 
 The conservation invariant every correctly-wired join satisfies::
 
@@ -90,10 +99,12 @@ class StatsCollector:
         self.matched = 0
         #: stage name -> StageStat, in first-recorded (= evaluation) order
         self.stages: dict[str, StageStat] = {}
-        #: PDL-internal tallies: work the verifier itself avoided
+        #: verifier-internal tallies: work the verifier itself avoided
         self.verifier_counters: dict[str, int] = {
             "length_pruned": 0,
             "early_exit": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
         }
         self.children: dict[str, "StatsCollector"] = {}
         #: free-form context (method name, k, dataset sizes, ...)

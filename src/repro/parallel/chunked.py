@@ -30,17 +30,21 @@ shared no-op and the hot loops are unchanged.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.core.join import JoinResult
 from repro.core.matchers import method_registry
 from repro.core.popcount import popcount_batch_u32
 from repro.core.signatures import detect_kind, scheme_for
-from repro.core.vectorized import fbf_candidates, signatures_for_scheme
+from repro.core.vectorized import (
+    fbf_candidates,
+    signatures_for_scheme,
+    value_identity_codes,
+)
 from repro.distance.codec import encode_raw
 from repro.distance.soundex import soundex
 from repro.distance.vectorized import (
@@ -175,6 +179,13 @@ class VectorEngine:
         self._sdx_r: np.ndarray | None = None
         self._len_groups_l: dict[int, np.ndarray] | None = None
         self._len_groups_r: dict[int, np.ndarray] | None = None
+        #: self-joins count the diagonal by value identity (see
+        #: JoinResult's diagonal-semantics note), detected once here.
+        self.self_join = right is left or (
+            len(left) == len(right) and list(left) == list(right)
+        )
+        self._vid_l: np.ndarray | None = None
+        self._vid_r: np.ndarray | None = None
 
     # -- method dispatch ---------------------------------------------------
 
@@ -219,6 +230,21 @@ class VectorEngine:
             self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj, self.k
         )
 
+    # -- diagonal ------------------------------------------------------------
+
+    def _diag_mask(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        """Diagonal membership for a candidate block.
+
+        Positional (``i == j``) for two different datasets; value
+        identity (``left[i] == right[j]``) for self-joins, matching the
+        scalar driver's semantics.
+        """
+        if not self.self_join:
+            return ii == jj
+        if self._vid_l is None:
+            self._vid_l, self._vid_r = value_identity_codes(self.left, self.right)
+        return self._vid_l[ii] == self._vid_r[jj]
+
     # -- full-product predicate runner ---------------------------------------
 
     def _full_product(
@@ -235,7 +261,7 @@ class VectorEngine:
             hits = predicate(ii, jj)
             n_hits = int(hits.sum())
             result.match_count += n_hits
-            result.diagonal_matches += int((hits & (ii == jj)).sum())
+            result.diagonal_matches += int((hits & self._diag_mask(ii, jj)).sum())
             if self.record_matches:
                 result.matches.extend(
                     zip(ii[hits].tolist(), jj[hits].tolist())
@@ -263,7 +289,7 @@ class VectorEngine:
         obs.add_survivors(len(ii))
         if verifier is None:
             result.match_count = len(ii)
-            result.diagonal_matches = int((ii == jj).sum())
+            result.diagonal_matches = int(self._diag_mask(ii, jj).sum())
             if self.record_matches:
                 result.matches.extend(zip(ii.tolist(), jj.tolist()))
             obs.add_matched(result.match_count)
@@ -277,7 +303,7 @@ class VectorEngine:
                 hits = verifier(bi, bj)
                 n_hits = int(hits.sum())
                 result.match_count += n_hits
-                result.diagonal_matches += int((hits & (bi == bj)).sum())
+                result.diagonal_matches += int((hits & self._diag_mask(bi, bj)).sum())
                 if self.record_matches:
                     result.matches.extend(zip(bi[hits].tolist(), bj[hits].tolist()))
                 obs.add_matched(n_hits)  # per-chunk aggregate merge
@@ -439,6 +465,7 @@ class VectorEngine:
         blocks: Iterable[tuple[np.ndarray, np.ndarray]],
         *,
         collector=None,
+        weighter=None,
     ) -> JoinResult:
         """Execute one method stack over an explicit candidate stream.
 
@@ -452,6 +479,12 @@ class VectorEngine:
         planner accounts for the pairs the generator never emitted.
         Returns the unified :class:`repro.core.join.JoinResult` with
         ``pairs_compared`` equal to the candidate count.
+
+        ``weighter`` (a :class:`repro.core.multiplicity.PairWeighter`)
+        puts the funnel counters and match counts in original-pair units
+        when the candidates live in unique-value space; ``verified_pairs``
+        and ``pairs_compared`` keep counting the actual (unique-space)
+        work performed.
         """
         spec = method_registry().get(method)
         if spec is None:
@@ -474,31 +507,46 @@ class VectorEngine:
                 ii = np.asarray(ii, dtype=np.int64)
                 jj = np.asarray(jj, dtype=np.int64)
                 compared += len(ii)
-                obs.add_pairs(len(ii))
+                ww = None if weighter is None else weighter.block(ii, jj)
+                obs.add_pairs(len(ii) if ww is None else int(ww.sum()))
                 for fname in spec.filters:
-                    tested = len(ii)
+                    tested = len(ii) if ww is None else int(ww.sum())
                     mask = self._pair_filter_mask(fname, ii, jj)
                     ii, jj = ii[mask], jj[mask]
-                    obs.add_stage(fname, tested, len(ii))
-                obs.add_survivors(len(ii))
+                    if ww is not None:
+                        ww = ww[mask]
+                    obs.add_stage(
+                        fname, tested, len(ii) if ww is None else int(ww.sum())
+                    )
+                surviving = len(ii) if ww is None else int(ww.sum())
+                obs.add_survivors(surviving)
                 if len(ii) == 0:
                     continue
                 if verifier is None:
-                    result.match_count += len(ii)
-                    result.diagonal_matches += int((ii == jj).sum())
+                    dm = self._diag_mask(ii, jj)
+                    result.match_count += surviving
+                    result.diagonal_matches += (
+                        int(dm.sum()) if ww is None else int(ww[dm].sum())
+                    )
                     if self.record_matches:
                         result.matches.extend(zip(ii.tolist(), jj.tolist()))
-                    obs.add_matched(len(ii))
+                    obs.add_matched(surviving)
                     continue
                 result.verified_pairs += len(ii)
-                obs.add_verified(len(ii))
+                obs.add_verified(surviving)
                 for c0 in range(0, len(ii), self.chunk):
                     bi = ii[c0 : c0 + self.chunk]
                     bj = jj[c0 : c0 + self.chunk]
+                    bw = None if ww is None else ww[c0 : c0 + self.chunk]
                     hits = verifier(bi, bj)
-                    n_hits = int(hits.sum())
+                    dm = self._diag_mask(bi, bj)
+                    if bw is None:
+                        n_hits = int(hits.sum())
+                        result.diagonal_matches += int((hits & dm).sum())
+                    else:
+                        n_hits = int(bw[hits].sum())
+                        result.diagonal_matches += int(bw[hits & dm].sum())
                     result.match_count += n_hits
-                    result.diagonal_matches += int((hits & (bi == bj)).sum())
                     if self.record_matches:
                         result.matches.extend(
                             zip(bi[hits].tolist(), bj[hits].tolist())
@@ -615,11 +663,10 @@ class ChunkedJoin(VectorEngine):
     """
 
     def __init__(self, *args, **kwargs):
-        warnings.warn(
+        warn_once(
+            "parallel.chunked.ChunkedJoin",
             "ChunkedJoin is deprecated; use repro.join(left, right, method, "
             "backend='vectorized') or repro.core.plan.JoinPlanner (the class "
             "itself now lives on as repro.parallel.chunked.VectorEngine)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         super().__init__(*args, **kwargs)

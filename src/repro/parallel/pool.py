@@ -29,13 +29,14 @@ planner.
 from __future__ import annotations
 
 import os
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro._compat import warn_once
 from repro.core.join import JoinResult, _scalar_join
 from repro.core.matchers import build_matcher
+from repro.core.multiplicity import PairWeighter, VerificationMemo
 from repro.obs.stats import StatsCollector
 from repro.parallel.partition import balanced_splits
 
@@ -59,6 +60,16 @@ class _WorkerTask:
     collect: bool = False
     #: explicit candidate pairs (global indices); row range unused then
     pairs: tuple[tuple[int, int], ...] | None = None
+    #: multiplicity weights per index (plan layer); workers rebuild a
+    #: PairWeighter from these — tuples, since ndarrays don't belong in
+    #: a frozen task that crosses the pickle boundary
+    w_left: tuple[int, ...] | None = None
+    w_right: tuple[int, ...] | None = None
+    symmetric: bool = False
+    #: value-identity diagonal semantics (resolved by the parent once)
+    self_join: bool = False
+    #: rebuild a per-worker VerificationMemo of this capacity (0 = none)
+    memo_capacity: int = 0
 
 
 def _run_slice(
@@ -71,9 +82,16 @@ def _run_slice(
         task.method, k=task.k, theta=task.theta, scheme=task.scheme_kind,
         collector=wc,
     )
+    if task.memo_capacity:
+        matcher.memo = VerificationMemo(task.memo_capacity)
+    weighter = None
+    if task.w_left is not None:
+        weighter = PairWeighter(
+            task.w_left, task.w_right, symmetric=task.symmetric
+        )
     if task.pairs is not None:
         # Explicit-pairs mode: indices are already global, so matches
-        # and the i == j diagonal need no rebasing.
+        # and the diagonal need no rebasing.
         result = _scalar_join(
             list(task.left),
             list(task.right),
@@ -81,6 +99,8 @@ def _run_slice(
             record_matches=task.record_matches,
             pairs=task.pairs,
             collector=wc,
+            weighter=weighter,
+            self_join=task.self_join,
         )
         return (
             result.match_count,
@@ -97,14 +117,20 @@ def _run_slice(
         record_matches=task.record_matches,
         pairs=None,
         collector=wc,
+        self_join=task.self_join,
     )
-    # Re-base matches to global row indices.  The slice-local join
-    # counted its own i == j diagonal, which is meaningless here, so the
-    # true-ground-truth diagonal (global i == j) is recomputed; capture
-    # verified_pairs first and detach the collector so the extra matcher
-    # calls inflate neither the count nor the funnel.
+    # Re-base matches to global row indices.
     matches = [(i + task.row_start, j) for i, j in result.matches]
     verified = result.verified_pairs
+    if task.self_join:
+        # The value-identity diagonal compares strings, not positions,
+        # so the slice-local count is already globally correct.
+        return result.match_count, result.diagonal_matches, verified, matches, wc
+    # The slice-local join counted its own i == j diagonal, which is
+    # meaningless here, so the true-ground-truth diagonal (global
+    # i == j) is recomputed; verified_pairs was captured above and the
+    # collector is detached so the extra matcher calls inflate neither
+    # the count nor the funnel.
     matcher.collector = None
     diagonal = sum(
         1
@@ -126,6 +152,9 @@ def multiprocess_join(
     record_matches: bool = False,
     collector=None,
     pairs: Sequence[tuple[int, int]] | None = None,
+    weighter: PairWeighter | None = None,
+    memo_capacity: int = 0,
+    self_join: bool | None = None,
 ) -> JoinResult:
     """Scalar-engine join distributed over ``workers`` processes.
 
@@ -140,6 +169,14 @@ def multiprocess_join(
     candidate streams to the multiprocess backend; the pair list is then
     the unit of partitioning instead of left rows.
 
+    The multiplicity layer's knobs: a ``weighter`` puts counters in
+    original-pair units (requires ``pairs`` — row-slice workers see
+    slice-local left indices, which a symmetric weighter would
+    mis-double); ``memo_capacity`` > 0 gives each worker a private
+    :class:`VerificationMemo`; ``self_join`` forces value-identity
+    diagonal semantics (``None`` auto-detects content equality once,
+    here in the parent, so workers never compare slices to wholes).
+
     With a ``collector``, per-worker collectors are merged in, so the
     parent funnel satisfies the conservation invariant and its counters
     equal the single-process reference run's.
@@ -147,11 +184,22 @@ def multiprocess_join(
     workers = workers or os.cpu_count() or 1
     if pairs is not None:
         pairs = [(int(i), int(j)) for i, j in pairs]
+    elif weighter is not None:
+        raise ValueError(
+            "multiprocess_join with a weighter requires an explicit pairs "
+            "stream (row-slice partitioning breaks symmetric weighting)"
+        )
+    if self_join is None:
+        self_join = right is left or (
+            len(left) == len(right) and list(left) == list(right)
+        )
     n_units = len(pairs) if pairs is not None else len(left)
     if workers == 1 or n_units < 2 * workers:
         matcher = build_matcher(
             method, k=k, theta=theta, scheme=scheme_kind, collector=collector
         )
+        if memo_capacity:
+            matcher.memo = VerificationMemo(memo_capacity)
         result = _scalar_join(
             list(left),
             list(right),
@@ -159,6 +207,8 @@ def multiprocess_join(
             record_matches=record_matches,
             pairs=pairs,
             collector=collector,
+            weighter=weighter,
+            self_join=self_join,
         )
         result.backend = "multiprocess"
         return result
@@ -168,6 +218,12 @@ def multiprocess_join(
         collector.meta["n_left"] = len(left)
         collector.meta["n_right"] = len(right)
     if pairs is not None:
+        w_left = w_right = None
+        symmetric = False
+        if weighter is not None:
+            w_left = tuple(int(w) for w in weighter.w_left)
+            w_right = tuple(int(w) for w in weighter.w_right)
+            symmetric = weighter.symmetric
         tasks = [
             _WorkerTask(
                 tuple(left),
@@ -181,6 +237,11 @@ def multiprocess_join(
                 record_matches,
                 collect=bool(collector),
                 pairs=tuple(pairs[start:stop]),
+                w_left=w_left,
+                w_right=w_right,
+                symmetric=symmetric,
+                self_join=self_join,
+                memo_capacity=memo_capacity,
             )
             for start, stop in balanced_splits(len(pairs), workers)
         ]
@@ -198,6 +259,8 @@ def multiprocess_join(
                 scheme_kind,
                 record_matches,
                 collect=bool(collector),
+                self_join=self_join,
+                memo_capacity=memo_capacity,
             )
             for start, stop in balanced_splits(len(left), workers)
         ]
@@ -235,11 +298,10 @@ def parallel_match_strings(
     candidate generator and the multiprocess backend; prefer
     :func:`repro.join`, which can also pick an index-backed plan.
     """
-    warnings.warn(
+    warn_once(
+        "parallel.pool.parallel_match_strings",
         "parallel_match_strings() is deprecated; use repro.join(left, right, "
         "method, backend='multiprocess') or repro.core.plan.JoinPlanner",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from repro.core.plan import JoinPlanner
 

@@ -294,34 +294,90 @@ class TestFunnel:
 
 
 class TestDeprecatedShims:
+    """Each shim warns DeprecationWarning exactly once per process."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_registry(self):
+        # The shims warn once per process; reset so each test observes
+        # its own first (and only) warning regardless of suite order.
+        from repro._compat import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        yield
+        reset_deprecation_warnings()
+
     def test_match_strings_warns(self, ssn_pair):
         from repro.core.join import match_strings
         from repro.core.matchers import build_matcher
 
         matcher = build_matcher("FPDL", k=1, scheme="numeric")
-        with pytest.warns(DeprecationWarning, match="repro.join"):
+        with pytest.warns(DeprecationWarning, match="repro.join") as caught:
             r = match_strings(ssn_pair.clean, ssn_pair.error, matcher)
         assert r.match_count > 0
+        assert (
+            sum(1 for w in caught if w.category is DeprecationWarning) == 1
+        )
+        assert "match_strings() is deprecated" in str(caught[0].message)
+
+    def test_match_strings_warns_only_once(self, ssn_pair):
+        import warnings
+
+        from repro.core.join import match_strings
+        from repro.core.matchers import build_matcher
+
+        matcher = build_matcher("FPDL", k=1, scheme="numeric")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            match_strings(ssn_pair.clean, ssn_pair.error, matcher)
+            match_strings(ssn_pair.clean, ssn_pair.error, matcher)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
 
     def test_parallel_match_strings_warns(self, ssn_pair):
         from repro.parallel.pool import parallel_match_strings
 
-        with pytest.warns(DeprecationWarning, match="repro.join"):
+        with pytest.warns(DeprecationWarning, match="repro.join") as caught:
             r = parallel_match_strings(
                 ssn_pair.clean, ssn_pair.error, "FPDL", k=1,
                 scheme_kind="numeric", workers=1,
             )
         assert r.backend == "multiprocess"
+        assert (
+            sum(1 for w in caught if w.category is DeprecationWarning) == 1
+        )
+        assert "parallel_match_strings() is deprecated" in str(
+            caught[0].message
+        )
 
     def test_chunked_join_warns(self, ssn_pair):
         from repro.parallel.chunked import ChunkedJoin, VectorEngine
 
-        with pytest.warns(DeprecationWarning, match="VectorEngine"):
+        with pytest.warns(DeprecationWarning, match="VectorEngine") as caught:
             engine = ChunkedJoin(
                 ssn_pair.clean, ssn_pair.error, k=1, scheme_kind="numeric"
             )
         assert isinstance(engine, VectorEngine)
         assert engine.run("FPDL").match_count > 0
+        assert (
+            sum(1 for w in caught if w.category is DeprecationWarning) == 1
+        )
+        assert "ChunkedJoin is deprecated" in str(caught[0].message)
+
+    def test_chunked_join_warns_only_once(self, ssn_pair):
+        import warnings
+
+        from repro.parallel.chunked import ChunkedJoin
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ChunkedJoin(ssn_pair.clean, ssn_pair.error, k=1, scheme_kind="numeric")
+            ChunkedJoin(ssn_pair.clean, ssn_pair.error, k=1, scheme_kind="numeric")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
 
     def test_names_stay_exported(self):
         assert set(GENERATOR_NAMES) == {

@@ -66,6 +66,59 @@ def test_safe_plans_match_reference(method, left, right):
             assert c.matched == ref.match_count
 
 
+dup_strings = st.lists(
+    st.sampled_from(["", "a1", "a2", "ab", "ba1", "b2", "abab"]),
+    min_size=0,
+    max_size=12,
+)
+
+
+@pytest.mark.parametrize("method", ["DL", "FPDL", "Wink", "LFBF", "SDX"])
+@settings(max_examples=10)
+@given(left=dup_strings, right=dup_strings)
+def test_collapsed_plans_match_reference(method, left, right):
+    """collapse='on' is pure execution strategy: identical matches and
+    identical weighted funnel accounting, in original-pair units."""
+    ref = JoinPlanner(
+        left, right, k=1, record_matches=True,
+        collapse="off", self_join=False, memo="off",
+    ).run(method, generator="all-pairs", backend="scalar")
+    for backend in ("scalar", "vectorized"):
+        c = StatsCollector(f"collapse/{backend}")
+        r = JoinPlanner(
+            left, right, k=1, record_matches=True, collapse="on",
+        ).run(method, backend=backend, collector=c)
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.match_count == ref.match_count
+        assert r.diagonal_matches == ref.diagonal_matches
+        assert c.pairs_considered == len(left) * len(right)
+        assert c.conserved, f"{method} collapsed/{backend} leaked pairs"
+        assert c.matched == ref.match_count
+
+
+@pytest.mark.parametrize("method", ["DL", "FPDL", "Wink", "LFBF", "SDX"])
+@settings(max_examples=10)
+@given(data=dup_strings)
+def test_self_join_plans_match_reference(method, data):
+    """Triangular self-join enumeration equals the full n x n product."""
+    ref = JoinPlanner(
+        data, list(data), k=1, record_matches=True,
+        collapse="off", self_join=False, memo="off",
+    ).run(method, generator="all-pairs", backend="scalar")
+    for collapse in ("on", "off"):
+        c = StatsCollector(f"self-join/{collapse}")
+        r = JoinPlanner(
+            data, data, k=1, record_matches=True,
+            collapse=collapse, self_join=True,
+        ).run(method, backend="scalar", collector=c)
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.match_count == ref.match_count
+        assert r.diagonal_matches == ref.diagonal_matches
+        assert c.pairs_considered == len(data) ** 2
+        assert c.conserved, f"{method} self-join/{collapse} leaked pairs"
+        assert c.matched == ref.match_count
+
+
 class TestMultiprocessEquivalence:
     """Fixed-input equivalence for the pool backend (too slow for the
     hypothesis loop: each example would fork a pool)."""
@@ -95,3 +148,34 @@ class TestMultiprocessEquivalence:
             workers=2, record_matches=True,
         ).run("FPDL", generator="fbf-index", backend="multiprocess")
         assert sorted(par.matches) == sorted(ref.matches)
+
+    def test_collapsed_pool_matches_reference(self):
+        # Heavy duplication so collapse engages; the pool backend must
+        # ship weights to workers and come back bit-identical.
+        names = ["SMITH", "SMYTH", "JONES", "JONAS", "LEE"]
+        left = [names[i % len(names)] for i in range(30)]
+        right = [names[(i * 2) % len(names)] for i in range(24)]
+        ref = JoinPlanner(
+            left, right, k=1, record_matches=True,
+            collapse="off", memo="off",
+        ).run("FPDL", generator="all-pairs", backend="scalar")
+        par = JoinPlanner(
+            left, right, k=1, workers=2, record_matches=True, collapse="on",
+        ).run("FPDL", backend="multiprocess")
+        assert sorted(par.matches) == sorted(ref.matches)
+        assert par.match_count == ref.match_count
+        assert par.diagonal_matches == ref.diagonal_matches
+
+    def test_collapsed_self_join_pool_matches_reference(self):
+        names = ["SMITH", "SMYTH", "JONES"]
+        data = [names[i % len(names)] for i in range(24)]
+        ref = JoinPlanner(
+            data, list(data), k=1, record_matches=True,
+            collapse="off", self_join=False, memo="off",
+        ).run("FPDL", generator="all-pairs", backend="scalar")
+        par = JoinPlanner(
+            data, data, k=1, workers=2, record_matches=True,
+        ).run("FPDL", backend="multiprocess")
+        assert sorted(par.matches) == sorted(ref.matches)
+        assert par.match_count == ref.match_count
+        assert par.diagonal_matches == ref.diagonal_matches

