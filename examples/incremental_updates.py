@@ -3,42 +3,28 @@
 The paper's department re-links its whole population every night (8
 hours; 40 with plain DL).  The batch join is quadratic, but a *daily
 delta* only needs each new record matched against the existing
-population — a one-to-many problem the FBF signature index answers in
-sub-linear time per record.
+population — exactly what the serve layer keeps resident.
 
-This example builds a population, then streams daily batches of new
-records (some genuinely new people, some updated/typo-ed returns of
-existing clients) through an incremental
-:class:`repro.linkage.resolution.EntityResolver`, and reports per-batch
-latency and resolution quality.
+This example drives a :class:`repro.serve.MatchService` through a few
+days of clinic traffic: each day's arrivals are micro-batched through
+``query_batch`` (one vectorized sweep instead of per-record scalar
+search), returning clients hit the result cache on re-keys, departures
+are ``remove``-d (tombstones, compacting automatically), and the day
+ends with a snapshot a warm restart can load without the O(n) rebuild.
 
 Run:  python examples/incremental_updates.py [population] [days]
 """
 
 import random
 import sys
+import tempfile
 import time
+from pathlib import Path
 
-from repro.core.index import FBFIndex
-from repro.data.ssn import build_ssn_pool
-from repro.linkage.records import RecordCorruptor, generate_records
-from repro.linkage.resolution import EntityResolver
-
-
-def index_demo(n: int, rng: random.Random) -> None:
-    """One-to-many search latency on a string index."""
-    pool = build_ssn_pool(n, rng)
-    index = FBFIndex(pool, scheme="numeric", verifier="osa-bitparallel")
-    index.search(pool[0], 1)  # pack
-    start = time.perf_counter()
-    queries = pool[:500]
-    for q in queries:
-        index.search(q, 1)
-    per_query = (time.perf_counter() - start) / len(queries) * 1e3
-    print(
-        f"FBF index over {n:,} SSNs: {per_query:.3f} ms/query "
-        f"(vs ~{n/1000:.0f}k pairwise comparisons for a scan)"
-    )
+from repro.data.errors import inject_error
+from repro.data.names import build_last_name_pool
+from repro.obs import StatsCollector
+from repro.serve import MatchService
 
 
 def main() -> None:
@@ -46,55 +32,86 @@ def main() -> None:
     days = int(sys.argv[2]) if len(sys.argv) > 2 else 5
     rng = random.Random(23)
 
-    index_demo(max(2000, population_n * 4), rng)
-    print()
+    pool = build_last_name_pool(population_n * 2, rng)
+    population, reserve = pool[:population_n], pool[population_n:]
 
+    obs = StatsCollector("serve")
     print(f"building initial population of {population_n} clients ...")
-    population = generate_records(population_n, rng)
-    resolver = EntityResolver()
     start = time.perf_counter()
-    resolver.add_all(population)
+    service = MatchService(
+        population, k=1, scheme="alpha", collector=obs, compact_ratio=0.2
+    )
     print(
-        f"initial load: {time.perf_counter() - start:.2f}s, "
-        f"{resolver.entity_count()} entities\n"
+        f"initial load: {(time.perf_counter() - start) * 1e3:.1f} ms, "
+        f"{len(service)} entries\n"
     )
 
-    corruptor = RecordCorruptor()
-    new_people = generate_records(days * 20, rng)
-    new_cursor = 0
+    reserve_cursor = 0
     returns_expected = 0
-    returns_merged = 0
+    returns_matched = 0
+    batch_size = max(10, population_n // 10)
     for day in range(1, days + 1):
-        batch = []
+        # The day's arrivals: half returning clients re-keyed with a
+        # typo, half genuinely new people.
+        arrivals = []
         truth = []
-        for _ in range(40):
-            if rng.random() < 0.5:
-                # A returning client, re-keyed with a typo.
-                rid = rng.randrange(population_n)
-                batch.append(corruptor.corrupt(population[rid], rng))
-                truth.append(rid)
+        for _ in range(batch_size):
+            if rng.random() < 0.5 and len(service):
+                sid = rng.choice([i for i, _ in service.items()])
+                arrivals.append(inject_error(service.get(sid), rng))
+                truth.append(sid)
             else:
-                batch.append(new_people[new_cursor])
-                new_cursor += 1
+                arrivals.append(reserve[reserve_cursor % len(reserve)])
+                reserve_cursor += 1
                 truth.append(None)
+
         start = time.perf_counter()
-        for record, rid in zip(batch, truth):
-            new_id = len(resolver)
-            resolver.add(record)
-            if rid is not None:
-                returns_expected += 1
-                if resolver.entity_of(new_id) == resolver.entity_of(rid):
-                    returns_merged += 1
+        results = service.query_batch(arrivals)
         elapsed = time.perf_counter() - start
+        new_clients = 0
+        for res, sid in zip(results, truth):
+            if sid is not None:
+                returns_expected += 1
+                if sid in res.ids:
+                    returns_matched += 1
+            if not res.ids:  # nobody close enough: register as new
+                service.add(res.value)
+                new_clients += 1
+
+        # A few clients move away; removal tombstones their rows and
+        # compaction kicks in once 20% of the index is dead.
+        for _ in range(batch_size // 8):
+            sid = rng.choice([i for i, _ in service.items()])
+            service.remove(sid)
+
         print(
-            f"day {day}: {len(batch)} records in {elapsed*1e3:6.1f} ms "
-            f"({elapsed/len(batch)*1e3:.2f} ms/record), "
-            f"{resolver.entity_count()} entities"
+            f"day {day}: {len(arrivals)} arrivals in {elapsed * 1e3:6.1f} ms "
+            f"({elapsed / len(arrivals) * 1e3:.2f} ms/record), "
+            f"{new_clients} new, {len(service)} live entries"
         )
+
     print(
-        f"\nreturning clients correctly merged: "
-        f"{returns_merged}/{returns_expected}"
+        f"\nreturning clients matched to their record: "
+        f"{returns_matched}/{returns_expected}"
     )
+    cache = service.cache.stats()
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+        f"compactions: {service.index.compactions}"
+    )
+
+    # End of week: snapshot, then prove a warm restart skips the rebuild.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = service.save(Path(tmp) / "population.npz")
+        start = time.perf_counter()
+        warm = MatchService.load(path)
+        load_ms = (time.perf_counter() - start) * 1e3
+        probe = next(s for _, s in warm.items())
+        assert warm.query(probe).ids == service.query(probe).ids
+        print(
+            f"snapshot -> warm restart of {len(warm)} entries in "
+            f"{load_ms:.1f} ms (no re-indexing)"
+        )
 
 
 if __name__ == "__main__":

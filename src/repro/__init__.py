@@ -40,6 +40,9 @@ Package map (details in DESIGN.md):
   multiprocessing pool).
 * :mod:`repro.eval` — the paper's experiments, timing protocols and
   table rendering.
+* :mod:`repro.serve` — online match serving: mutable indexes with
+  stable ids, query micro-batching, result caching and snapshots
+  (``repro-fbf serve``).
 * :mod:`repro.obs` — observability: filter-funnel counters, wall-time
   spans, exporters and the ``repro.*`` logger hierarchy.
 """
@@ -73,8 +76,9 @@ from repro.distance import (
 )
 from repro.obs import StatsCollector, render_funnel
 from repro.parallel.chunked import ChunkedJoin, VectorEngine
+from repro.serve import MatchService, MutableIndex, QueryResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ChunkedJoin",
@@ -85,7 +89,10 @@ __all__ = [
     "JoinResult",
     "LengthFilter",
     "METHOD_NAMES",
+    "MatchService",
+    "MutableIndex",
     "PairWeighter",
+    "QueryResult",
     "SignatureScheme",
     "StatsCollector",
     "VectorEngine",

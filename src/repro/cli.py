@@ -8,11 +8,20 @@ Three subcommands cover the workflows the paper motivates:
 * ``experiment`` — run one of the paper's string experiments and print
   its table (``--family SSN --n 500 --k 1``).
 
+The serve layer adds two more:
+
+* ``serve`` — keep a population resident and answer JSON-lines
+  requests on stdin/stdout (see :mod:`repro.serve.server` for ops).
+* ``query`` — one-shot approximate-match queries against a file or a
+  snapshot, printed as TSV (or ``--json``).
+
 Examples::
 
     repro-fbf match clean.txt dirty.txt --k 1 --method FPDL
     repro-fbf dedupe roster.txt --k 1 --stats
     repro-fbf experiment --family LN --n 400 --k 1 --stats-json funnel.json
+    repro-fbf query --data roster.txt SMITH JONES --k 1
+    echo '{"op": "query", "value": "SMITH"}' | repro-fbf serve --data roster.txt
 
 ``match`` and ``dedupe`` run through the join planner: a cost model
 picks the candidate generator and execution backend from dataset size,
@@ -135,6 +144,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _stats_args(link)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve match queries over JSON lines on stdin/stdout",
+    )
+    _serve_source_args(serve)
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="result-cache bound (0 disables caching)",
+    )
+    serve.add_argument(
+        "--compact-ratio",
+        type=float,
+        default=0.25,
+        help="tombstone fraction triggering compaction (0 disables)",
+    )
+    _stats_args(serve)
+
+    query = sub.add_parser(
+        "query", help="one-shot approximate-match queries"
+    )
+    _serve_source_args(query)
+    query.add_argument("values", nargs="+", help="query strings")
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per query instead of TSV",
+    )
+    _stats_args(query)
+
     report = sub.add_parser(
         "report", help="assemble REPORT.md from saved benchmark results"
     )
@@ -197,6 +237,36 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
         help="print the chosen plan to stderr before running",
     )
     _stats_args(sub)
+
+
+def _serve_source_args(sub: argparse.ArgumentParser) -> None:
+    """Population source + index options shared by serve/query."""
+    source = sub.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--data",
+        type=Path,
+        default=None,
+        help="newline-delimited strings to index",
+    )
+    source.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        help="warm-start from a snapshot written by the snapshot op",
+    )
+    sub.add_argument("--k", type=int, default=1, help="edit threshold")
+    sub.add_argument(
+        "--scheme",
+        default=None,
+        choices=[None, "numeric", "alpha", "alnum"],
+        help="FBF signature kind (auto-detected by default)",
+    )
+    sub.add_argument(
+        "--method",
+        default="osa",
+        choices=["osa", "osa-bitparallel", "myers"],
+        help="query verifier (also the index default)",
+    )
 
 
 def _stats_args(sub: argparse.ArgumentParser) -> None:
@@ -380,6 +450,80 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_service(args: argparse.Namespace, collector):
+    """Build the MatchService from --data or --snapshot."""
+    from repro.serve import MatchService
+
+    cache_size = getattr(args, "cache_size", 1024)
+    if args.snapshot is not None:
+        try:
+            return MatchService.load(
+                args.snapshot, cache_size=cache_size, collector=collector
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"error: cannot load snapshot {args.snapshot}: {exc}"
+            ) from exc
+    ratio = getattr(args, "compact_ratio", 0.25)
+    return MatchService(
+        _read_lines(args.data),
+        k=args.k,
+        scheme=args.scheme,
+        verifier=args.method,
+        cache_size=cache_size,
+        compact_ratio=ratio if ratio else None,
+        collector=collector,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_lines
+
+    collector = _collector_for(args)
+    service = _serve_service(args, collector)
+    _log.info(
+        "serving %d strings (k=%d, scheme=%s)",
+        len(service),
+        service.k,
+        service.index.scheme.name,
+    )
+    served = serve_lines(service, sys.stdin, sys.stdout)
+    cache = service.cache.stats()
+    print(
+        f"# served {served} requests over {len(service)} strings "
+        f"(cache hit rate {cache['hit_rate']:.2f}, "
+        f"{service.index.compactions} compactions)",
+        file=sys.stderr,
+    )
+    _emit_stats(args, collector)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.server import query_payload
+
+    collector = _collector_for(args)
+    service = _serve_service(args, collector)
+    results = service.query_batch(args.values, k=args.k, method=args.method)
+    total = 0
+    for res in results:
+        total += len(res.ids)
+        if args.json:
+            print(_json.dumps(query_payload(res)))
+        else:
+            for sid, matched in zip(res.ids, res.matches):
+                print(f"{res.value}\t{sid}\t{matched}")
+    print(
+        f"# {total} matches for {len(args.values)} queries "
+        f"(k={args.k}, method={args.method}, n={len(service)})",
+        file=sys.stderr,
+    )
+    _emit_stats(args, collector)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(-1 if args.log_quiet else args.verbose)
@@ -391,6 +535,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "link":
         return _cmd_link(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "report":
         from repro.eval.report import build_report
 

@@ -57,6 +57,7 @@ from repro.core.signatures import (
     find_diff_bits,
     num_signature,
     scheme_for,
+    scheme_from_name,
 )
 
 __all__ = [
@@ -90,4 +91,5 @@ __all__ = [
     "popcount_table8",
     "popcount_table16",
     "scheme_for",
+    "scheme_from_name",
 ]

@@ -97,6 +97,7 @@ class FBFIndex:
         self._buckets: dict[int, _Bucket] = defaultdict(
             lambda: _Bucket(self.scheme.width)
         )
+        self._generation = 0
         if strings:
             self.extend(strings)
 
@@ -107,6 +108,7 @@ class FBFIndex:
         sid = len(self._strings)
         self._strings.append(s)
         self._buckets[len(s)].pending.append(sid)
+        self._generation += 1
         return sid
 
     def extend(self, strings: Sequence[str]) -> None:
@@ -114,8 +116,50 @@ class FBFIndex:
         for s in strings:
             self.add(s)
 
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumped once per :meth:`add`.
+
+        Anything derived from the index contents — a result cache, a
+        prepared query engine — is valid exactly as long as the
+        generation it was built under; comparing generations is the
+        cheap staleness test the serve layer keys its caches on.
+        """
+        return self._generation
+
+    @property
+    def dirty(self) -> bool:
+        """True while any added string awaits folding into the packed
+        arrays.
+
+        Packing is lazy: :meth:`search` folds only the buckets a query
+        touches, so after :meth:`add` the first search in each affected
+        length window quietly pays the packing cost.  This flag (and
+        the explicit :meth:`pack`) makes that state observable, so
+        latency-sensitive callers can pack eagerly and tests can pin
+        when packing happens.
+        """
+        return any(b.pending for b in self._buckets.values())
+
+    def pack(self) -> None:
+        """Eagerly fold every pending add into the packed arrays."""
+        for bucket in self._buckets.values():
+            self._pack(bucket)
+
     def __len__(self) -> int:
         return len(self._strings)
+
+    @property
+    def strings(self) -> list[str]:
+        """The indexed strings, id-ordered.
+
+        This is the live internal list, not a copy — callers that
+        prepare a :class:`~repro.parallel.chunked.VectorEngine` over the
+        index pass it as the engine's right side so ``share_right``'s
+        identity check can recognise the dataset.  Do not mutate it;
+        use :meth:`add` / :meth:`extend`.
+        """
+        return self._strings
 
     def __getitem__(self, sid: int) -> str:
         return self._strings[sid]
@@ -147,11 +191,19 @@ class FBFIndex:
 
     # -- search ------------------------------------------------------------
 
-    def search(self, query: str, k: int = 1, *, collector=None) -> list[int]:
+    def search(
+        self,
+        query: str,
+        k: int = 1,
+        *,
+        collector=None,
+        verifier: str | None = None,
+    ) -> list[int]:
         """Ids of every indexed string within ``k`` edits of ``query``.
 
         Exact with respect to the configured verifier's metric (OSA by
-        default); results are sorted by id.  Following the paper's PDL
+        default); ``verifier`` overrides the configured one for this
+        query.  Results are sorted by id.  Following the paper's PDL
         semantics, empty strings — as query or as indexed entries —
         never match anything.
 
@@ -163,6 +215,12 @@ class FBFIndex:
         holds per search and accumulates across searches.
         """
         validate_threshold(k)
+        if verifier is None:
+            verifier = self.verifier
+        elif verifier not in self.VERIFIERS:
+            raise ValueError(
+                f"verifier must be one of {self.VERIFIERS}, got {verifier!r}"
+            )
         obs = collector if collector else NULL_COLLECTOR
         n = len(self._strings)
         obs.add_pairs(n)
@@ -189,7 +247,7 @@ class FBFIndex:
             survivors += int(cand.size)
             if cand.size == 0:
                 continue
-            ok = self._verify(query, bucket, cand, k)
+            ok = self._verify(query, bucket, cand, k, verifier)
             found = bucket.ids[cand[ok]]
             matched += len(found)
             hits.append(found)
@@ -273,17 +331,24 @@ class FBFIndex:
         obs.add_stage("fbf", window, emitted)
 
     def _verify(
-        self, query: str, bucket: _Bucket, cand: np.ndarray, k: int
+        self,
+        query: str,
+        bucket: _Bucket,
+        cand: np.ndarray,
+        k: int,
+        verifier: str | None = None,
     ) -> np.ndarray:
+        if verifier is None:
+            verifier = self.verifier
         # All strings in a bucket share one length; recover it from the
         # strings rather than trusting the padded matrix width.
         real_len = len(self._strings[int(bucket.ids[0])])
         lengths = np.full(len(bucket.ids), real_len, dtype=np.int64)
         fits_word = 0 < len(query) <= MAX_PATTERN
-        if self.verifier == "myers" and fits_word:
+        if verifier == "myers" and fits_word:
             dists = myers_batch(query, bucket.codes[cand], lengths[cand])
             return dists <= k
-        if self.verifier == "osa-bitparallel" and fits_word:
+        if verifier == "osa-bitparallel" and fits_word:
             dists = osa_bitparallel_batch(query, bucket.codes[cand], lengths[cand])
             return dists <= k
         qcodes, qlen = encode_raw([query])
@@ -295,3 +360,59 @@ class FBFIndex:
     def search_strings(self, query: str, k: int = 1) -> list[str]:
         """Like :meth:`search` but returning the matched strings."""
         return [self._strings[sid] for sid in self.search(query, k)]
+
+    # -- packed-state export / import --------------------------------------
+
+    def packed_buckets(self):
+        """Yield every bucket's packed state: ``(length, ids, sigs, codes)``.
+
+        Packs pending adds first, so the yielded arrays cover the whole
+        index.  The arrays are the live internals (not copies) — callers
+        persisting them (the serve layer's snapshots) must not mutate
+        them.  Empty buckets are skipped.
+        """
+        self.pack()
+        for length in sorted(self._buckets):
+            bucket = self._buckets[length]
+            if len(bucket.ids):
+                yield length, bucket.ids, bucket.sigs, bucket.codes
+
+    @classmethod
+    def from_packed(
+        cls,
+        strings: Sequence[str],
+        buckets,
+        *,
+        scheme: SignatureScheme | str,
+        verifier: str = "osa",
+    ) -> "FBFIndex":
+        """Rebuild an index from previously packed state without
+        recomputing signatures or codes — the warm-start path behind
+        :mod:`repro.serve` snapshots.
+
+        ``buckets`` is an iterable of ``(length, ids, sigs, codes)``
+        tuples as produced by :meth:`packed_buckets`; every string id
+        must appear in exactly one bucket.
+        """
+        index = cls((), scheme=scheme, verifier=verifier)
+        index._strings = list(strings)
+        covered = 0
+        for length, ids, sigs, codes in buckets:
+            bucket = index._buckets[int(length)]
+            bucket.ids = np.asarray(ids, dtype=np.int64)
+            bucket.sigs = np.asarray(sigs, dtype=np.uint32)
+            bucket.codes = np.asarray(codes, dtype=np.uint8)
+            if bucket.sigs.shape != (len(bucket.ids), index.scheme.width):
+                raise ValueError(
+                    f"bucket {length}: signature matrix shape "
+                    f"{bucket.sigs.shape} does not fit {len(bucket.ids)} "
+                    f"ids under scheme {index.scheme.name!r}"
+                )
+            covered += len(bucket.ids)
+        if covered != len(index._strings):
+            raise ValueError(
+                f"packed buckets cover {covered} ids for "
+                f"{len(index._strings)} strings"
+            )
+        index._generation = len(index._strings)
+        return index

@@ -139,15 +139,23 @@ POPCOUNT_KERNELS = {
 
 _NP_TABLE8 = np.array(_TABLE8, dtype=np.uint8)
 
+#: NumPy >= 2.0 ships a native popcount ufunc (vectorized POPCNT);
+#: it is an order of magnitude faster than the byte-table walk, which
+#: remains as the fallback for older NumPy.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 
 def popcount_batch_u32(arr: np.ndarray) -> np.ndarray:
     """Per-element popcount of a ``uint32`` array, any shape.
 
-    Views the array as bytes and sums byte-table lookups along the byte
-    axis.  Output dtype is ``uint8`` reshaped to the input shape (a
-    uint32 has at most 32 set bits).
+    Uses ``np.bitwise_count`` when available; otherwise views the array
+    as bytes and sums byte-table lookups along the byte axis.  Output
+    dtype is ``uint8`` in the input shape (a uint32 has at most 32 set
+    bits).
     """
     a = np.ascontiguousarray(arr, dtype=np.uint32)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(a)
     by = a.view(np.uint8).reshape(a.shape + (4,))
     return _NP_TABLE8[by].sum(axis=-1, dtype=np.uint8)
 
@@ -155,5 +163,7 @@ def popcount_batch_u32(arr: np.ndarray) -> np.ndarray:
 def popcount_batch_u64(arr: np.ndarray) -> np.ndarray:
     """Per-element popcount of a ``uint64`` array, any shape."""
     a = np.ascontiguousarray(arr, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(a)
     by = a.view(np.uint8).reshape(a.shape + (8,))
     return _NP_TABLE8[by].sum(axis=-1, dtype=np.uint8)

@@ -49,6 +49,7 @@ __all__ = [
     "diff_bits",
     "SignatureScheme",
     "scheme_for",
+    "scheme_from_name",
     "detect_kind",
     "ALPHA_OVERFLOW_BIT",
     "ALPHA_DOUBLED_BIT",
@@ -268,6 +269,29 @@ def scheme_for(kind: str, levels: int = 2, *, extended: bool = False) -> Signatu
     if kind == "alnum":
         return _alnum_scheme(levels, extended)
     raise ValueError(f"unknown signature kind {kind!r}")
+
+
+def scheme_from_name(name: str) -> SignatureScheme:
+    """Reconstruct a stock scheme from its :attr:`SignatureScheme.name`.
+
+    The inverse of :func:`scheme_for` for every scheme it can produce
+    (``"numeric"``, ``"alpha2"``, ``"alnum2x"``, ...) — the hook
+    snapshot loaders use to revive a persisted index.  Custom schemes
+    have no parseable name and raise ``ValueError``.
+
+    >>> scheme_from_name("alnum2x").name
+    'alnum2x'
+    """
+    if name == "numeric":
+        return _NUMERIC_SCHEME
+    for prefix in ("alpha", "alnum"):
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            extended = suffix.endswith("x")
+            digits = suffix[:-1] if extended else suffix
+            if digits.isdigit() and int(digits) >= 1:
+                return scheme_for(prefix, int(digits), extended=extended)
+    raise ValueError(f"not a stock scheme name: {name!r}")
 
 
 def detect_kind(strings: Iterable[str], sample: int = 256) -> str:

@@ -93,15 +93,39 @@ def _funnel_lines(c: StatsCollector, *, include_spans: bool) -> list[str]:
     if any(vc.values()):
         tallies = ", ".join(f"{k} {v:,}" for k, v in vc.items() if v)
         summary.append(f"verifier shortcuts: {tallies}")
+    if c.counters:
+        tallies = ", ".join(f"{k} {v:,}" for k, v in c.counters.items())
+        summary.append(f"counters: {tallies}")
     lines.extend(summary)
 
     if include_spans and c.tracer.spans:
         span_rows = [
-            [s.path, f"{s.calls:,}", f"{s.total_ms:,.2f}"]
+            [
+                s.path,
+                f"{s.calls:,}",
+                f"{s.total_ms:,.2f}",
+                f"{s.mean_ms:,.3f}",
+                f"{s.p50_ms:,.3f}",
+                f"{s.p95_ms:,.3f}",
+                f"{s.p99_ms:,.3f}",
+            ]
             for s in c.tracer.spans.values()
         ]
         lines.append("")
-        lines.append(_format_table(["span", "calls", "total ms"], span_rows))
+        lines.append(
+            _format_table(
+                [
+                    "span",
+                    "calls",
+                    "total ms",
+                    "mean ms",
+                    "p50 ms",
+                    "p95 ms",
+                    "p99 ms",
+                ],
+                span_rows,
+            )
+        )
     return lines
 
 

@@ -106,6 +106,11 @@ class StatsCollector:
             "memo_hits": 0,
             "memo_misses": 0,
         }
+        #: free-form named tallies for producers outside the funnel
+        #: proper — the serve layer's cache hits/misses, compactions,
+        #: queries served, ... — rendered by the exporters alongside the
+        #: verifier shortcuts
+        self.counters: dict[str, int] = {}
         self.children: dict[str, "StatsCollector"] = {}
         #: free-form context (method name, k, dataset sizes, ...)
         self.meta: dict[str, object] = {}
@@ -146,6 +151,10 @@ class StatsCollector:
     def add_matched(self, n: int = 1) -> None:
         self.matched += n
 
+    def add_counter(self, name: str, n: int = 1) -> None:
+        """Bump a free-form named counter (created on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
     def span(self, name: str):
         """Time a pipeline stage: ``with collector.span("fbf.filter"):``."""
         return self.tracer.span(name)
@@ -167,6 +176,8 @@ class StatsCollector:
             self.add_stage(name, stat.tested, stat.passed)
         for key, n in other.verifier_counters.items():
             self.verifier_counters[key] = self.verifier_counters.get(key, 0) + n
+        for key, n in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + n
         self.tracer.merge(other.tracer)
         for name, sub in other.children.items():
             self.child(name).merge(sub)
@@ -202,6 +213,7 @@ class StatsCollector:
             "verified": self.verified,
             "matched": self.matched,
             "verifier": dict(self.verifier_counters),
+            "counters": dict(self.counters),
             "conserved": self.conserved,
             "spans": self.tracer.as_dict(),
             "meta": dict(self.meta),
@@ -242,6 +254,9 @@ class NullStatsCollector:
     def add_matched(self, n: int = 1) -> None:
         pass
 
+    def add_counter(self, name: str, n: int = 1) -> None:
+        pass
+
     def span(self, name: str):
         return NULL_SPAN
 
@@ -258,6 +273,10 @@ class NullStatsCollector:
     @property
     def verifier_counters(self) -> dict[str, int]:
         return {}
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {}  # fresh throwaway: writes vanish
 
 
 #: shared no-op instance for unconditional call sites

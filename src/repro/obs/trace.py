@@ -36,7 +36,8 @@ Nested spans key under their full path with ``/`` separators, e.g.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from math import ceil
 from time import perf_counter_ns
 from typing import Iterator
 
@@ -47,16 +48,30 @@ __all__ = [
     "trace",
     "use_tracer",
     "current_tracer",
+    "SAMPLE_WINDOW",
 ]
+
+#: per-path cap on retained per-call durations; percentiles are computed
+#: over this sliding window of the most recent calls (mean/total stay
+#: exact over *all* calls)
+SAMPLE_WINDOW = 1024
 
 
 @dataclass
 class SpanStat:
-    """Accumulated timing for one span path."""
+    """Accumulated timing for one span path.
+
+    ``calls`` and ``total_ns`` cover every call ever recorded;
+    ``samples`` is a bounded ring of the most recent per-call durations
+    (at most :data:`SAMPLE_WINDOW`) from which the latency percentiles
+    are computed — a serving loop wants "p95 over recent traffic", and
+    a bounded window keeps a long-lived tracer's memory flat.
+    """
 
     path: str
     calls: int = 0
     total_ns: int = 0
+    samples: list[int] = field(default_factory=list)
 
     @property
     def total_ms(self) -> float:
@@ -65,6 +80,49 @@ class SpanStat:
     @property
     def mean_ns(self) -> float:
         return self.total_ns / self.calls if self.calls else 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_ns / 1e6
+
+    def record(self, elapsed_ns: int) -> None:
+        """Fold one call's duration in (ring-buffer semantics)."""
+        if len(self.samples) < SAMPLE_WINDOW:
+            self.samples.append(elapsed_ns)
+        else:
+            self.samples[self.calls % SAMPLE_WINDOW] = elapsed_ns
+        self.calls += 1
+        self.total_ns += elapsed_ns
+
+    def percentile_ns(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in 0-100) over the sample window."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, ceil(q / 100.0 * len(ordered)))
+        return float(ordered[min(rank, len(ordered)) - 1])
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ns(50) / 1e6
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ns(95) / 1e6
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ns(99) / 1e6
+
+    def summary(self) -> dict[str, float]:
+        """Latency summary: count / mean / p50 / p95 / p99 (ms)."""
+        return {
+            "count": self.calls,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
 
 
 class _Span:
@@ -89,8 +147,7 @@ class _Span:
         stat = tracer.spans.get(path)
         if stat is None:
             stat = tracer.spans[path] = SpanStat(path)
-        stat.calls += 1
-        stat.total_ns += elapsed
+        stat.record(elapsed)
         return False
 
 
@@ -128,11 +185,20 @@ class Tracer:
                 mine = self.spans[path] = SpanStat(path)
             mine.calls += stat.calls
             mine.total_ns += stat.total_ns
+            # Keep at most SAMPLE_WINDOW of the combined recent samples.
+            mine.samples = (mine.samples + stat.samples)[-SAMPLE_WINDOW:]
 
     def as_dict(self) -> dict[str, dict[str, float]]:
-        """JSON-ready view: path -> {calls, total_ms}."""
+        """JSON-ready view: path -> {calls, total_ms, latency summary}."""
         return {
-            path: {"calls": s.calls, "total_ms": s.total_ms}
+            path: {
+                "calls": s.calls,
+                "total_ms": s.total_ms,
+                "mean_ms": s.mean_ms,
+                "p50_ms": s.p50_ms,
+                "p95_ms": s.p95_ms,
+                "p99_ms": s.p99_ms,
+            }
             for path, s in self.spans.items()
         }
 

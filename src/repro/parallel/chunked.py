@@ -39,7 +39,7 @@ from repro._compat import warn_once
 from repro.core.join import JoinResult
 from repro.core.matchers import method_registry
 from repro.core.popcount import popcount_batch_u32
-from repro.core.signatures import detect_kind, scheme_for
+from repro.core.signatures import SignatureScheme, detect_kind, scheme_for
 from repro.core.vectorized import (
     fbf_candidates,
     signatures_for_scheme,
@@ -132,6 +132,13 @@ class VectorEngine:
         A :class:`repro.obs.StatsCollector` receiving signature-"Gen"
         spans at construction and the funnel counters of every
         :meth:`run` (unless the run supplies its own).
+    share_right:
+        Another engine over the *same* ``right`` dataset whose prepared
+        right-side state (codes, lengths, signatures, scheme) this one
+        reuses instead of recomputing — construction then costs only the
+        left-side "Gen" work.  This is the serve layer's micro-batching
+        hook: one prepared engine per index generation, one cheap
+        per-batch engine over the queries.
     """
 
     def __init__(
@@ -141,16 +148,21 @@ class VectorEngine:
         *,
         k: int = 1,
         theta: float = 0.8,
-        scheme_kind: str | None = None,
+        scheme_kind: SignatureScheme | str | None = None,
         levels: int = 2,
         chunk: int = 1 << 12,
         filter_chunk: int = 1 << 20,
         variant: str = "paper",
         record_matches: bool = False,
         collector=None,
+        share_right: "VectorEngine | None" = None,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        if share_right is not None and share_right.right is not right:
+            raise ValueError(
+                "share_right must wrap the identical right dataset object"
+            )
         self.left = left
         self.right = right
         self.k = k
@@ -164,12 +176,26 @@ class VectorEngine:
         self._obs = NULL_COLLECTOR  # run-scoped; set by run()
         with obs.span("gen.encode"):
             self.codes_l, self.len_l = encode_raw(left)
-            self.codes_r, self.len_r = encode_raw(right)
-        kind = scheme_kind or detect_kind(list(left[:128]) + list(right[:128]))
-        self.scheme = scheme_for(kind, levels)
+            if share_right is not None:
+                self.codes_r, self.len_r = share_right.codes_r, share_right.len_r
+            else:
+                self.codes_r, self.len_r = encode_raw(right)
+        if share_right is not None:
+            self.scheme = share_right.scheme
+        elif isinstance(scheme_kind, SignatureScheme):
+            self.scheme = scheme_kind
+        else:
+            kind = scheme_kind or detect_kind(
+                list(left[:128]) + list(right[:128])
+            )
+            self.scheme = scheme_for(kind, levels)
         with obs.span("gen.signatures"):
             self.sigs_l = signatures_for_scheme(left, self.scheme)
-            self.sigs_r = signatures_for_scheme(right, self.scheme)
+            self.sigs_r = (
+                share_right.sigs_r
+                if share_right is not None
+                else signatures_for_scheme(right, self.scheme)
+            )
         if self.sigs_l.ndim == 1:
             self.sigs_l = self.sigs_l[:, None]
         if self.sigs_r.ndim == 1:

@@ -1,0 +1,36 @@
+"""Online match serving: mutable indexes, caching, snapshots.
+
+The batch layers answer "join these two datasets once"; this package
+answers "keep a population resident and answer approximate-match
+queries as they arrive".  The pieces:
+
+* :class:`~repro.serve.mutable.MutableIndex` — add/remove with stable
+  ids over the append-only :class:`~repro.core.index.FBFIndex`
+  (tombstones + threshold-triggered compaction);
+* :class:`~repro.serve.service.MatchService` — the facade: cache-aware
+  :meth:`query` / vectorized micro-batching :meth:`query_batch`,
+  mutation counters and latency spans;
+* :mod:`~repro.serve.snapshot` — one-file persistence so a restarted
+  service skips the O(n) rebuild;
+* :mod:`~repro.serve.server` — the JSON-lines protocol behind
+  ``repro-fbf serve``.
+"""
+
+from repro.serve.cache import MISS, ResultCache
+from repro.serve.mutable import MutableIndex
+from repro.serve.server import handle, serve_lines
+from repro.serve.service import MatchService, QueryResult
+from repro.serve.snapshot import load_index, read_header, save_index
+
+__all__ = [
+    "MISS",
+    "MatchService",
+    "MutableIndex",
+    "QueryResult",
+    "ResultCache",
+    "handle",
+    "load_index",
+    "read_header",
+    "save_index",
+    "serve_lines",
+]

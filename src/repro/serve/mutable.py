@@ -1,0 +1,222 @@
+"""A long-lived, mutable view over the FBF signature index.
+
+:class:`repro.core.index.FBFIndex` is append-only: ids are insertion
+positions and nothing ever leaves the packed arrays.  That is the right
+shape for a batch join, but an online service must also *forget* —
+clients move away, records get merged, bad loads get rolled back.
+:class:`MutableIndex` adds removal without giving up the index's packed
+vectorized search path:
+
+* **stable handles** — every added string gets a monotonically
+  increasing external id that survives compaction (the wrapped index's
+  positional ids are an internal detail);
+* **tombstones** — :meth:`remove` only marks the internal row dead;
+  searches filter tombstoned rows out of the wrapped index's answers,
+  so removal is O(1);
+* **threshold-triggered compaction** — once the dead fraction passes
+  ``compact_ratio`` the wrapped index is rebuilt from the live strings,
+  restoring the no-wasted-work guarantee.  Compaction bumps
+  :attr:`generation` like any other mutation, so anything cached
+  against the index invalidates.
+
+The correctness contract — property-tested by the stateful suite in
+``tests/serve/test_mutable_equivalence.py`` — is *rebuild equivalence*:
+after any interleaving of adds, removes, compactions and snapshot
+round-trips, every query answers exactly like a fresh index built from
+the live entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.index import FBFIndex
+from repro.core.signatures import SignatureScheme
+
+__all__ = ["MutableIndex"]
+
+
+class MutableIndex:
+    """An FBF index supporting add/extend/remove with stable ids.
+
+    Parameters
+    ----------
+    strings:
+        Initial contents; they receive ids ``0..n-1``.
+    scheme, verifier:
+        Passed through to the wrapped :class:`FBFIndex`.
+    compact_ratio:
+        Tombstone fraction above which a mutation triggers an automatic
+        :meth:`compact` (``None`` disables auto-compaction; explicit
+        calls still work).
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str] = (),
+        *,
+        scheme: SignatureScheme | str | None = None,
+        verifier: str = "osa",
+        compact_ratio: float | None = 0.25,
+    ):
+        if compact_ratio is not None and not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        self._fbf = FBFIndex(strings, scheme=scheme, verifier=verifier)
+        n = len(self._fbf)
+        #: internal position -> external id (monotone, so mapped search
+        #: results stay sorted)
+        self._ext_ids: list[int] = list(range(n))
+        #: live external id -> internal position
+        self._live: dict[int, int] = {i: i for i in range(n)}
+        #: tombstoned internal positions
+        self._dead: set[int] = set()
+        self._next_id = n
+        self.compact_ratio = compact_ratio
+        #: bumped by every mutation (add/remove/compact); caches keyed
+        #: on it invalidate automatically
+        self.generation = 0
+        #: total compactions performed (auto + explicit)
+        self.compactions = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def scheme(self) -> SignatureScheme:
+        return self._fbf.scheme
+
+    @property
+    def verifier(self) -> str:
+        return self._fbf.verifier
+
+    @property
+    def index(self) -> FBFIndex:
+        """The wrapped (append-only) index — read-only: it still holds
+        tombstoned rows, and its ids are internal positions, not the
+        stable external ids this class hands out."""
+        return self._fbf
+
+    @property
+    def tombstones(self) -> int:
+        """Number of tombstoned (removed but not yet compacted) rows."""
+        return len(self._dead)
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Dead fraction of the wrapped index's rows."""
+        total = len(self._fbf)
+        return len(self._dead) / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._live
+
+    def get(self, sid: int) -> str:
+        """The live string behind an external id (KeyError if removed)."""
+        return self._fbf[self._live[sid]]
+
+    def items(self) -> Iterator[tuple[int, str]]:
+        """Live ``(id, string)`` pairs in id order."""
+        for sid in sorted(self._live):
+            yield sid, self._fbf[self._live[sid]]
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, s: str) -> int:
+        """Index one string; returns its stable external id."""
+        internal = self._fbf.add(s)
+        sid = self._next_id
+        self._next_id += 1
+        self._ext_ids.append(sid)
+        self._live[sid] = internal
+        self.generation += 1
+        return sid
+
+    def extend(self, strings: Sequence[str]) -> list[int]:
+        """Index a batch; returns the assigned external ids."""
+        return [self.add(s) for s in strings]
+
+    def remove(self, sid: int) -> None:
+        """Tombstone one entry by external id.
+
+        Raises ``KeyError`` for unknown or already-removed ids.  May
+        trigger an automatic :meth:`compact` (see ``compact_ratio``).
+        """
+        try:
+            internal = self._live.pop(sid)
+        except KeyError:
+            raise KeyError(f"no live entry with id {sid}") from None
+        self._dead.add(internal)
+        self.generation += 1
+        if (
+            self.compact_ratio is not None
+            and self.tombstone_ratio >= self.compact_ratio
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Rebuild the wrapped index from the live entries.
+
+        Returns the number of tombstoned rows reclaimed.  External ids
+        are preserved; internal positions are reassigned in id order.
+        """
+        reclaimed = len(self._dead)
+        live = sorted(self._live)
+        strings = [self._fbf[self._live[sid]] for sid in live]
+        self._fbf = FBFIndex(
+            strings, scheme=self._fbf.scheme, verifier=self._fbf.verifier
+        )
+        self._ext_ids = live
+        self._live = {sid: pos for pos, sid in enumerate(live)}
+        self._dead.clear()
+        self.compactions += 1
+        self.generation += 1
+        return reclaimed
+
+    # -- search -------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        k: int = 1,
+        *,
+        collector=None,
+        verifier: str | None = None,
+    ) -> list[int]:
+        """External ids of live entries within ``k`` edits of ``query``.
+
+        Same metric contract as :meth:`FBFIndex.search`; tombstoned
+        entries never appear.  Funnel counters (when a collector is
+        passed) describe the wrapped index's physical work, which
+        includes scanning not-yet-compacted tombstoned rows.
+        """
+        raw = self._fbf.search(query, k, collector=collector, verifier=verifier)
+        dead = self._dead
+        ext = self._ext_ids
+        return [ext[i] for i in raw if i not in dead]
+
+    def search_strings(self, query: str, k: int = 1) -> list[str]:
+        """Like :meth:`search` but returning the matched strings."""
+        return [self._fbf[self._live[sid]] for sid in self.search(query, k)]
+
+    # -- vectorized-path helpers (used by MatchService) ---------------------
+
+    def external_ids(self, internal: np.ndarray) -> np.ndarray:
+        """Map an array of internal positions to external ids."""
+        return np.asarray(self._ext_ids, dtype=np.int64)[internal]
+
+    def live_mask(self, internal: np.ndarray) -> np.ndarray:
+        """Boolean mask of internal positions that are not tombstoned."""
+        if not self._dead:
+            return np.ones(len(internal), dtype=bool)
+        dead = self._dead
+        return np.fromiter(
+            (int(i) not in dead for i in internal),
+            dtype=bool,
+            count=len(internal),
+        )

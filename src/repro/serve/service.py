@@ -1,0 +1,414 @@
+"""The online match-serving facade.
+
+:class:`MatchService` ties the serve layer together: a
+:class:`~repro.serve.mutable.MutableIndex` for storage, a
+generation-keyed :class:`~repro.serve.cache.ResultCache` in front of
+it, and a micro-batching query path that routes :meth:`query_batch`
+through the vectorized :meth:`VectorEngine.run_candidates
+<repro.parallel.chunked.VectorEngine.run_candidates>` verifier instead
+of per-query scalar DP.
+
+Batching matters for the same reason the join layer is vectorized: one
+query against an FBF index spends most of its time in Python dispatch
+(signature, bucket walk, small DP calls), while a batch amortises that
+into a handful of NumPy sweeps over packed arrays.  The right-side
+engine state (codes, signatures) depends only on the index contents, so
+it is prepared once per index *generation* and shared across batches
+via the engine's ``share_right`` hook.
+
+Observability plugs into the same :class:`~repro.obs.stats
+.StatsCollector` funnel the batch joins use: every query is a
+considered-pairs row, cache traffic and compactions land in the
+collector's counters, and per-call latency lands in the tracer's
+span summaries.  The funnel conservation invariant
+(``pairs == rejected + survivors``) holds for served traffic exactly
+as it does for batch joins — the batched path follows the planner's
+generator-accounting pattern so candidates are never double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.signatures import SignatureScheme
+from repro.obs.stats import NULL_COLLECTOR
+from repro.parallel.chunked import VectorEngine
+from repro.serve.cache import MISS, ResultCache
+from repro.serve.mutable import MutableIndex
+from repro.serve.snapshot import load_index, save_index
+
+__all__ = ["MatchService", "QueryResult"]
+
+#: verifiers sharing the OSA metric with the vectorized FPDL stack;
+#: only these may take the batched path (``"myers"`` is Levenshtein —
+#: a different metric — so it always verifies per query).
+OSA_METRIC = ("osa", "osa-bitparallel")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query.
+
+    ``ids`` are the index's stable external ids (sorted ascending) and
+    ``matches`` the corresponding strings; ``cached`` tells whether the
+    answer came from the result cache, and ``generation`` pins the
+    index state it is valid for.
+    """
+
+    value: str
+    method: str
+    k: int
+    ids: tuple[int, ...]
+    matches: tuple[str, ...]
+    cached: bool
+    generation: int
+
+
+class MatchService:
+    """Online approximate-match serving over a mutable FBF index.
+
+    Parameters
+    ----------
+    strings:
+        Initial population (external ids ``0..n-1``).
+    k:
+        Default edit-distance threshold for queries.
+    scheme, verifier:
+        Index configuration (see :class:`~repro.core.index.FBFIndex`);
+        ``verifier`` is also the default query method.
+    cache_size:
+        Result-cache bound (``0`` disables caching).
+    compact_ratio:
+        Tombstone fraction triggering automatic compaction (``None``
+        disables it).
+    collector:
+        Optional :class:`~repro.obs.stats.StatsCollector` receiving the
+        filter funnel, cache/compaction counters and latency spans.
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str] = (),
+        *,
+        k: int = 1,
+        scheme: SignatureScheme | str | None = None,
+        verifier: str = "osa",
+        cache_size: int = 1024,
+        compact_ratio: float | None = 0.25,
+        collector=None,
+    ):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.k = k
+        self._index = MutableIndex(
+            strings,
+            scheme=scheme,
+            verifier=verifier,
+            compact_ratio=compact_ratio,
+        )
+        self._cache = ResultCache(cache_size)
+        self._obs = collector if collector else NULL_COLLECTOR
+        # Prepared right-side engine, valid for exactly one generation.
+        self._base_engine: VectorEngine | None = None
+        self._base_generation = -1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def index(self) -> MutableIndex:
+        """The underlying mutable index (mutating it directly works —
+        the cache is generation-keyed — but prefer the service methods,
+        which also maintain the counters)."""
+        return self._index
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def generation(self) -> int:
+        return self._index.generation
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._index
+
+    def get(self, sid: int) -> str:
+        """The live string behind an id (KeyError if removed)."""
+        return self._index.get(sid)
+
+    def items(self):
+        """Live ``(id, string)`` pairs in id order."""
+        return self._index.items()
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, s: str) -> int:
+        """Index one string; returns its stable id."""
+        with self._obs.span("serve.add"):
+            before = self._index.compactions
+            sid = self._index.add(s)
+            self._count_compactions(before)
+        return sid
+
+    def add_batch(self, strings: Sequence[str]) -> list[int]:
+        """Index a batch; returns the assigned ids."""
+        with self._obs.span("serve.add"):
+            before = self._index.compactions
+            sids = self._index.extend(strings)
+            self._count_compactions(before)
+        return sids
+
+    def remove(self, sid: int) -> None:
+        """Remove one entry by id (KeyError if unknown/already gone)."""
+        with self._obs.span("serve.remove"):
+            before = self._index.compactions
+            self._index.remove(sid)
+            self._count_compactions(before)
+
+    def compact(self) -> int:
+        """Force a compaction; returns the tombstones reclaimed."""
+        with self._obs.span("serve.compact"):
+            before = self._index.compactions
+            reclaimed = self._index.compact()
+            self._count_compactions(before)
+        return reclaimed
+
+    def _count_compactions(self, before: int) -> None:
+        delta = self._index.compactions - before
+        if delta:
+            self._obs.add_counter("compactions", delta)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self, value: str, k: int | None = None, method: str | None = None
+    ) -> QueryResult:
+        """Answer one query (cache-aware, scalar index search)."""
+        k, method = self._resolve(k, method)
+        with self._obs.span("serve.query"):
+            hit = self._lookup(value, k, method)
+            if hit is not None:
+                return hit
+            return self._answer_scalar(value, k, method)
+
+    def query_batch(
+        self,
+        values: Sequence[str],
+        k: int | None = None,
+        method: str | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of queries, one result per input (in order).
+
+        Duplicate values are answered once; cached values skip the
+        index entirely.  The remaining *pending* values go through the
+        vectorized candidate/verify path when ``method`` shares the
+        FPDL stack's OSA metric, and fall back to per-query scalar
+        search otherwise (``"myers"`` is a different metric).
+        """
+        k, method = self._resolve(k, method)
+        with self._obs.span("serve.query_batch"):
+            answered: dict[str, QueryResult] = {}
+            pending: list[str] = []
+            seen: set[str] = set()
+            for value in values:
+                if value in answered or value in seen:
+                    continue
+                hit = self._lookup(value, k, method)
+                if hit is not None:
+                    answered[value] = hit
+                else:
+                    seen.add(value)
+                    pending.append(value)
+            if pending:
+                if method in OSA_METRIC and len(self._index.index):
+                    for res in self._answer_batched(pending, k, method):
+                        answered[res.value] = res
+                else:
+                    for value in pending:
+                        answered[value] = self._answer_scalar(
+                            value, k, method
+                        )
+        return [answered[v] for v in values]
+
+    def _resolve(
+        self, k: int | None, method: str | None
+    ) -> tuple[int, str]:
+        k = self.k if k is None else k
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        method = self._index.verifier if method is None else method
+        if method not in self._index.index.VERIFIERS:
+            raise ValueError(
+                f"method must be one of {self._index.index.VERIFIERS}, "
+                f"got {method!r}"
+            )
+        return k, method
+
+    def _lookup(
+        self, value: str, k: int, method: str
+    ) -> QueryResult | None:
+        key = (value, method, k, self._index.generation)
+        hit = self._cache.get(key)
+        if hit is MISS:
+            self._obs.add_counter("cache_misses")
+            return None
+        self._obs.add_counter("cache_hits")
+        return replace(hit, cached=True)
+
+    def _store(
+        self, value: str, k: int, method: str, ids: Sequence[int]
+    ) -> QueryResult:
+        result = QueryResult(
+            value=value,
+            method=method,
+            k=k,
+            ids=tuple(ids),
+            matches=tuple(self._index.get(sid) for sid in ids),
+            cached=False,
+            generation=self._index.generation,
+        )
+        self._cache.put((value, method, k, result.generation), result)
+        return result
+
+    def _answer_scalar(self, value: str, k: int, method: str) -> QueryResult:
+        ids = self._index.search(
+            value, k, collector=self._obs if self._obs else None,
+            verifier=method,
+        )
+        return self._store(value, k, method, ids)
+
+    # -- the batched path ---------------------------------------------------
+
+    def _engine_for(self, queries: list[str], k: int) -> VectorEngine:
+        """A per-batch engine sharing the per-generation right side."""
+        gen = self._index.generation
+        fbf = self._index.index
+        if self._base_engine is None or self._base_generation != gen:
+            with self._obs.span("serve.prepare_engine"):
+                self._base_engine = VectorEngine(
+                    [], fbf.strings, k=k, scheme_kind=fbf.scheme
+                )
+                self._base_generation = gen
+                self._obs.add_counter("engine_rebuilds")
+        return VectorEngine(
+            queries,
+            fbf.strings,
+            k=k,
+            share_right=self._base_engine,
+            record_matches=True,
+        )
+
+    def _answer_batched(
+        self, pending: list[str], k: int, method: str
+    ) -> Iterator[QueryResult]:
+        """Verify a batch of uncached queries in one vectorized pass.
+
+        Follows the planner's generator-accounting pattern: the index's
+        ``candidate_blocks`` generator runs *without* the collector (the
+        backend counts every emitted candidate as a considered pair),
+        then the generator stage is credited with the full product and
+        the pairs it skipped — so the funnel conservation invariant
+        holds with no double counting.
+        """
+        obs = self._obs
+        fbf = self._index.index
+        engine = self._engine_for(pending, k)
+        product = len(pending) * len(fbf)
+        emitted = 0
+
+        def counted() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            nonlocal emitted
+            for qi, ids in fbf.candidate_blocks(pending, k):
+                emitted += len(qi)
+                yield qi, ids
+
+        if obs:
+            obs.stage("fbf-index")
+        result = engine.run_candidates(
+            "FPDL", counted(), collector=obs if obs else None
+        )
+        if obs:
+            obs.add_stage("fbf-index", product, emitted)
+            obs.add_pairs(product - emitted)
+        per_query: dict[int, list[int]] = {
+            qi: [] for qi in range(len(pending))
+        }
+        if result.matches:
+            ii = np.fromiter(
+                (m[0] for m in result.matches),
+                dtype=np.int64,
+                count=len(result.matches),
+            )
+            jj = np.fromiter(
+                (m[1] for m in result.matches),
+                dtype=np.int64,
+                count=len(result.matches),
+            )
+            keep = self._index.live_mask(jj)
+            ii, jj = ii[keep], jj[keep]
+            ext = self._index.external_ids(jj)
+            for qi, sid in zip(ii.tolist(), ext.tolist()):
+                per_query[qi].append(sid)
+        for qi, value in enumerate(pending):
+            yield self._store(value, k, method, sorted(per_query[qi]))
+
+    # -- stats and snapshots ------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """JSON-ready service state snapshot (size, cache, counters)."""
+        index = self._index
+        return {
+            "size": len(index),
+            "rows": len(index.index),
+            "tombstones": index.tombstones,
+            "generation": index.generation,
+            "compactions": index.compactions,
+            "k": self.k,
+            "scheme": index.scheme.name,
+            "verifier": index.verifier,
+            "cache": self._cache.stats(),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Snapshot the index (plus service config) to one file."""
+        with self._obs.span("serve.snapshot"):
+            return save_index(
+                self._index,
+                path,
+                meta={"k": self.k, "cache_size": self._cache.maxsize},
+            )
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        cache_size: int | None = None,
+        collector=None,
+    ) -> "MatchService":
+        """Rebuild a warm service from a snapshot (no re-indexing).
+
+        ``cache_size`` overrides the saved setting; the cache itself
+        always starts empty.
+        """
+        index, header = load_index(path)
+        meta = header.get("meta", {})
+        svc = cls.__new__(cls)
+        svc.k = int(meta.get("k", 1))
+        svc._index = index
+        svc._cache = ResultCache(
+            int(meta.get("cache_size", 1024))
+            if cache_size is None
+            else cache_size
+        )
+        svc._obs = collector if collector else NULL_COLLECTOR
+        svc._base_engine = None
+        svc._base_generation = -1
+        return svc

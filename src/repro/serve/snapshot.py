@@ -1,0 +1,161 @@
+"""Index snapshots: persist a mutable index, reload it warm.
+
+The paper's deployment rebuilds its index from the full population
+every night; a serving process should not have to.  A snapshot captures
+everything the index derived from its O(n) build — the strings, the
+*packed* per-bucket signature and code matrices, the id mapping and the
+tombstones — so :func:`load_index` reconstructs a query-ready
+:class:`~repro.serve.mutable.MutableIndex` with no signature
+generation, no encoding and no packing.
+
+Format (one ``.npz`` file, ``allow_pickle=False`` end to end):
+
+* ``__header__`` — a JSON document (stored as a zero-dim string array)
+  with ``format`` / ``version`` markers, the scheme and verifier names,
+  the generation counters and any caller metadata.  Loaders reject
+  versions newer than they understand.
+* ``strings``, ``ext_ids``, ``tombstones`` — the wrapped index's row
+  strings, their stable external ids, and the tombstoned rows.
+* ``bucket_{L}_ids`` / ``_sigs`` / ``_codes`` — each length bucket's
+  packed arrays, exactly as :meth:`FBFIndex.packed_buckets` yields
+  them.
+
+Only stock (named) signature schemes round-trip — a custom scheme's
+generate function cannot be serialized, so :func:`save_index` refuses
+it up front rather than producing a snapshot that cannot load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.index import FBFIndex
+from repro.core.signatures import scheme_from_name
+from repro.serve.mutable import MutableIndex
+
+__all__ = ["FORMAT", "FORMAT_VERSION", "save_index", "load_index"]
+
+FORMAT = "repro-serve-snapshot"
+FORMAT_VERSION = 1
+
+
+def save_index(
+    index: MutableIndex,
+    path: str | Path,
+    *,
+    meta: dict[str, object] | None = None,
+) -> Path:
+    """Write one snapshot file; returns the path written.
+
+    ``meta`` is stored verbatim in the header's ``"meta"`` field (the
+    service puts its own configuration there) and must be
+    JSON-serializable.
+    """
+    path = Path(path)
+    scheme = index.scheme
+    try:
+        scheme_from_name(scheme.name)
+    except ValueError:
+        raise ValueError(
+            f"scheme {scheme.name!r} is not a stock scheme; custom "
+            "schemes cannot be snapshotted"
+        ) from None
+    fbf = index.index
+    strings = [fbf[i] for i in range(len(fbf))]
+    arrays: dict[str, np.ndarray] = {
+        "strings": np.asarray(strings, dtype=np.str_)
+        if strings
+        else np.empty(0, dtype="<U1"),
+        "ext_ids": np.asarray(index._ext_ids, dtype=np.int64),
+        "tombstones": np.asarray(sorted(index._dead), dtype=np.int64),
+    }
+    for length, ids, sigs, codes in fbf.packed_buckets():
+        arrays[f"bucket_{length}_ids"] = ids
+        arrays[f"bucket_{length}_sigs"] = sigs
+        arrays[f"bucket_{length}_codes"] = codes
+    header = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "scheme": scheme.name,
+        "verifier": index.verifier,
+        "generation": index.generation,
+        "compactions": index.compactions,
+        "compact_ratio": index.compact_ratio,
+        "next_id": index._next_id,
+        "n_rows": len(strings),
+        "n_live": len(index),
+        "meta": dict(meta or {}),
+    }
+    arrays["__header__"] = np.asarray(json.dumps(header))
+    with path.open("wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def read_header(path: str | Path) -> dict[str, object]:
+    """The snapshot's JSON header, validated for format and version."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        return _header(npz)
+
+
+def _header(npz) -> dict[str, object]:
+    if "__header__" not in npz:
+        raise ValueError("not a repro serve snapshot: missing header")
+    header = json.loads(str(npz["__header__"][()]))
+    if header.get("format") != FORMAT:
+        raise ValueError(
+            f"not a repro serve snapshot: format {header.get('format')!r}"
+        )
+    if int(header["version"]) > FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot format version {header['version']} is newer than "
+            f"this reader (supports <= {FORMAT_VERSION})"
+        )
+    return header
+
+
+def load_index(path: str | Path) -> tuple[MutableIndex, dict[str, object]]:
+    """Reconstruct ``(index, header)`` from a snapshot file.
+
+    The returned index is fully packed (no pending adds, nothing
+    recomputed); ``header`` carries the saved metadata, including the
+    caller's ``meta`` dict.
+    """
+    with np.load(Path(path), allow_pickle=False) as npz:
+        header = _header(npz)
+        strings = [str(s) for s in npz["strings"]]
+        ext_ids = npz["ext_ids"].astype(np.int64)
+        dead = {int(i) for i in npz["tombstones"]}
+        buckets = []
+        for key in npz.files:
+            if key.startswith("bucket_") and key.endswith("_ids"):
+                length = int(key[len("bucket_") : -len("_ids")])
+                buckets.append(
+                    (
+                        length,
+                        npz[key],
+                        npz[f"bucket_{length}_sigs"],
+                        npz[f"bucket_{length}_codes"],
+                    )
+                )
+        fbf = FBFIndex.from_packed(
+            strings,
+            buckets,
+            scheme=scheme_from_name(str(header["scheme"])),
+            verifier=str(header["verifier"]),
+        )
+    index = MutableIndex.__new__(MutableIndex)
+    index._fbf = fbf
+    index._ext_ids = [int(i) for i in ext_ids]
+    index._live = {
+        int(ext): pos for pos, ext in enumerate(ext_ids) if pos not in dead
+    }
+    index._dead = dead
+    index._next_id = int(header["next_id"])
+    index.compact_ratio = header.get("compact_ratio")
+    index.generation = int(header["generation"])
+    index.compactions = int(header.get("compactions", 0))
+    return index, header

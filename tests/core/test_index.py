@@ -245,3 +245,87 @@ class TestCandidateBlocks:
         )
         assert c.stages["fbf"].passed == emitted
         assert c.stages["length"].tested == len(pool) * len(pool)
+
+
+class TestGenerationAndPacking:
+    def test_generation_counts_adds(self):
+        idx = FBFIndex(scheme="numeric")
+        assert idx.generation == 0
+        idx.add("123")
+        idx.extend(["456", "789"])
+        assert idx.generation == 3
+
+    def test_construction_batch_counts(self):
+        idx = FBFIndex(["123", "456"], scheme="numeric")
+        assert idx.generation == 2
+
+    def test_dirty_until_packed(self):
+        idx = FBFIndex(scheme="numeric")
+        idx.add("12345")
+        assert idx.dirty
+        idx.pack()
+        assert not idx.dirty
+
+    def test_search_packs_only_touched_buckets(self):
+        idx = FBFIndex(scheme="numeric")
+        idx.add("12345")
+        idx.add("9999999999")
+        idx.search("12346", 1)
+        assert idx.dirty  # the length-10 bucket is still pending
+        idx.pack()
+        assert not idx.dirty
+
+    def test_search_does_not_bump_generation(self):
+        idx = FBFIndex(["12345"], scheme="numeric")
+        gen = idx.generation
+        idx.search("12345", 1)
+        idx.pack()
+        assert idx.generation == gen
+
+    def test_verifier_override_per_query(self):
+        idx = FBFIndex(["13245"], scheme="numeric", verifier="osa")
+        # One transposition: OSA says 1 edit, Levenshtein (myers) says 2.
+        assert idx.search("12345", 1) == [0]
+        assert idx.search("12345", 1, verifier="myers") == []
+        assert idx.search("12345", 1) == [0]  # configured default intact
+
+    def test_verifier_override_validated(self):
+        idx = FBFIndex(["12345"], scheme="numeric")
+        with pytest.raises(ValueError, match="verifier"):
+            idx.search("12345", 1, verifier="bogus")
+
+
+class TestPackedRoundtrip:
+    def test_from_packed_answers_identically(self):
+        rng = random.Random(5)
+        pool = build_ssn_pool(60, rng)
+        idx = FBFIndex(pool, scheme="numeric")
+        idx.add("123450000")
+        clone = FBFIndex.from_packed(
+            list(pool) + ["123450000"],
+            idx.packed_buckets(),
+            scheme=idx.scheme,
+            verifier=idx.verifier,
+        )
+        assert not clone.dirty
+        for q in pool[:10] + ["123450000", ""]:
+            assert clone.search(q, 1) == idx.search(q, 1)
+
+    def test_from_packed_rejects_partial_coverage(self):
+        idx = FBFIndex(["123", "4567"], scheme="numeric")
+        buckets = [b for b in idx.packed_buckets() if b[0] == 3]
+        with pytest.raises(ValueError, match="cover"):
+            FBFIndex.from_packed(
+                ["123", "4567"], buckets, scheme=idx.scheme
+            )
+
+    def test_from_packed_rejects_wrong_scheme_width(self):
+        from repro.core.signatures import scheme_for
+
+        idx = FBFIndex(["abc"], scheme="alpha")
+        with pytest.raises(ValueError, match="scheme"):
+            FBFIndex.from_packed(
+                ["abc"],
+                idx.packed_buckets(),
+                scheme=scheme_for("numeric"),
+            )

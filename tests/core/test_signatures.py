@@ -227,3 +227,31 @@ class TestDetectKind:
 
     def test_empty_input(self):
         assert detect_kind([]) == "alnum"
+
+
+class TestSchemeFromName:
+    def test_roundtrips_stock_schemes(self):
+        from repro.core.signatures import scheme_for, scheme_from_name
+
+        for kind, levels, extended in [
+            ("numeric", 2, False),
+            ("alpha", 1, False),
+            ("alpha", 2, True),
+            ("alnum", 2, False),
+            ("alnum", 3, True),
+        ]:
+            scheme = scheme_for(kind, levels, extended=extended)
+            revived = scheme_from_name(scheme.name)
+            assert revived.name == scheme.name
+            assert revived.width == scheme.width
+            assert revived.slack == scheme.slack
+            assert revived.signature("a1b2") == scheme.signature("a1b2")
+
+    def test_rejects_unknown_names(self):
+        import pytest
+
+        from repro.core.signatures import scheme_from_name
+
+        for bad in ("", "alpha", "alphax", "alpha0", "custom", "alnum-2"):
+            with pytest.raises(ValueError):
+                scheme_from_name(bad)

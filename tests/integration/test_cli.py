@@ -176,3 +176,127 @@ class TestLoggingFlags:
         left, right = string_files
         main(["match", str(left), str(right), "--quiet"])
         assert "INFO repro" not in capsys.readouterr().err
+
+
+@pytest.fixture
+def roster_file(tmp_path):
+    roster = tmp_path / "roster.txt"
+    roster.write_text("SMITH\nSMYTH\nJONES\nJONSE\nBROWN\n")
+    return roster
+
+
+class TestQueryCommand:
+    def test_tsv_output(self, roster_file, capsys):
+        assert main(["query", "--data", str(roster_file), "SMITH"]) == 0
+        captured = capsys.readouterr()
+        assert "SMITH\t0\tSMITH" in captured.out
+        assert "SMITH\t1\tSMYTH" in captured.out
+        assert "2 matches for 1 queries" in captured.err
+
+    def test_json_output(self, roster_file, capsys):
+        import json
+
+        main(["query", "--data", str(roster_file), "--json", "SMITH", "NOPE"])
+        lines = capsys.readouterr().out.splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["ids"] == [0, 1]
+        assert payloads[1]["ids"] == []
+
+    def test_method_and_k_flags(self, roster_file, capsys):
+        main(
+            ["query", "--data", str(roster_file), "--k", "0",
+             "--method", "myers", "SMITH"]
+        )
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["SMITH\t0\tSMITH"]
+
+    def test_requires_a_source(self, roster_file):
+        with pytest.raises(SystemExit):
+            main(["query", "SMITH"])
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--data", str(roster_file),
+                 "--snapshot", "x.npz", "SMITH"]
+            )
+
+    def test_stats_funnel_conserved(self, roster_file, capsys):
+        assert main(
+            ["query", "--data", str(roster_file), "--stats", "SMITH", "JONES"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "conserved: yes" in err
+        assert "fbf-index" in err
+
+
+class TestServeCommand:
+    def run_serve(self, monkeypatch, capsys, argv, requests):
+        import io
+        import json
+
+        lines = [json.dumps(r) for r in requests]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(lines) + "\n")
+        )
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line) for line in captured.out.splitlines()
+        ]
+        return responses, captured.err
+
+    def test_round_trip(self, roster_file, monkeypatch, capsys):
+        responses, err = self.run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "--data", str(roster_file)],
+            [
+                {"op": "query", "value": "SMITH"},
+                {"op": "add", "value": "SMITT"},
+                {"op": "query", "value": "SMITH"},
+                {"op": "stats"},
+            ],
+        )
+        assert responses[0]["ids"] == [0, 1]
+        assert responses[2]["ids"] == [0, 1, 5]
+        assert responses[3]["stats"]["size"] == 6
+        assert "served 4 requests" in err
+
+    def test_snapshot_then_warm_start(
+        self, roster_file, tmp_path, monkeypatch, capsys
+    ):
+        snap = tmp_path / "warm.npz"
+        self.run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "--data", str(roster_file)],
+            [
+                {"op": "add", "value": "SMITT"},
+                {"op": "snapshot", "path": str(snap)},
+            ],
+        )
+        responses, _ = self.run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "--snapshot", str(snap)],
+            [{"op": "query", "value": "SMITH"}],
+        )
+        assert responses[0]["ids"] == [0, 1, 5]
+
+    def test_serve_stats_json_conserved(
+        self, roster_file, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        out = tmp_path / "serve.json"
+        self.run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "--data", str(roster_file), "--stats-json", str(out)],
+            [
+                {"op": "query_batch", "values": ["SMITH", "JONES"]},
+                {"op": "query", "value": "SMITH"},
+            ],
+        )
+        d = json.loads(out.read_text())
+        assert d["conserved"] is True
+        assert d["counters"]["cache_hits"] == 1

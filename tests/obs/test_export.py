@@ -14,6 +14,8 @@ def _populated() -> StatsCollector:
     c.add_verified(8)
     c.add_matched(5)
     c.verifier_counters["early_exit"] += 2
+    c.add_counter("cache_hits", 3)
+    c.add_counter("cache_misses", 7)
     with c.span("fbf.filter"):
         pass
     return c
@@ -40,6 +42,15 @@ class TestRenderFunnel:
         assert "fbf.filter" in render_funnel(c)
         assert "fbf.filter" not in render_funnel(c, include_spans=False)
 
+    def test_span_table_has_latency_columns(self):
+        text = render_funnel(_populated())
+        for col in ("mean ms", "p50 ms", "p95 ms", "p99 ms"):
+            assert col in text
+
+    def test_counters_rendered(self):
+        text = render_funnel(_populated())
+        assert "counters: cache_hits 3, cache_misses 7" in text
+
     def test_children_rendered_indented(self):
         c = StatsCollector("experiment")
         child = c.child("FPDL")
@@ -64,4 +75,8 @@ class TestJsonExport:
         assert d["conserved"] is True
         assert d["stages"][0]["name"] == "fbf"
         assert d["verifier"]["early_exit"] == 2
+        assert d["counters"] == {"cache_hits": 3, "cache_misses": 7}
         assert "fbf.filter" in d["spans"]
+        span = d["spans"]["fbf.filter"]
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in span

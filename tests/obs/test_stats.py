@@ -60,6 +60,7 @@ class TestStatsCollector:
             c.add_verified(4)
             c.add_matched(2)
             c.verifier_counters["early_exit"] += 3
+            c.add_counter("cache_hits", 2)
         b.meta["method"] = "FPDL"
         b.child("inner").add_matched(1)
         a.merge(b)
@@ -68,6 +69,7 @@ class TestStatsCollector:
         assert a.survivors == a.verified == 8
         assert a.matched == 4
         assert a.verifier_counters["early_exit"] == 6
+        assert a.counters["cache_hits"] == 4
         assert a.meta["method"] == "FPDL"
         assert a.child("inner").matched == 1
         assert a.conserved
@@ -104,8 +106,8 @@ class TestNullCollector:
         must exist on the null twin, so unconditional call sites work."""
         for name in (
             "stage", "add_pairs", "add_stage", "add_survivors",
-            "add_verified", "add_matched", "span", "child", "merge",
-            "meta", "verifier_counters", "enabled",
+            "add_verified", "add_matched", "add_counter", "span", "child",
+            "merge", "meta", "verifier_counters", "counters", "enabled",
         ):
             assert hasattr(NULL_COLLECTOR, name), name
 
@@ -113,8 +115,10 @@ class TestNullCollector:
         n = NullStatsCollector()
         n.add_pairs(5)
         n.add_stage("fbf", 5, 2)
+        n.add_counter("cache_hits")
         n.meta["method"] = "FPDL"
         assert n.meta == {}
+        assert n.counters == {}
         assert n.child("x") is n
         with n.span("anything"):
             pass

@@ -1,6 +1,7 @@
 """Unit tests for the nested-span tracer."""
 
 from repro.obs import NULL_SPAN, Tracer, current_tracer, trace, use_tracer
+from repro.obs.trace import SAMPLE_WINDOW, SpanStat
 
 
 class TestTracer:
@@ -55,6 +56,51 @@ class TestTracer:
         d = t.as_dict()
         assert d["x"]["calls"] == 1
         assert d["x"]["total_ms"] >= 0.0
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert d["x"][key] >= 0.0
+
+
+class TestLatencySummaries:
+    def test_percentiles_over_known_samples(self):
+        stat = SpanStat("q")
+        for ns in [1_000_000 * v for v in range(1, 101)]:  # 1..100 ms
+            stat.record(ns)
+        assert stat.calls == 100
+        assert stat.p50_ms == 50.0
+        assert stat.p95_ms == 95.0
+        assert stat.p99_ms == 99.0
+        assert stat.mean_ms == 50.5
+        summary = stat.summary()
+        assert summary["count"] == 100
+        assert summary["p95_ms"] == 95.0
+
+    def test_empty_stat_reports_zeroes(self):
+        stat = SpanStat("q")
+        assert stat.summary() == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+            "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_sample_window_is_bounded_and_recent(self):
+        stat = SpanStat("q")
+        for ns in range(2 * SAMPLE_WINDOW):
+            stat.record(ns)
+        assert len(stat.samples) == SAMPLE_WINDOW
+        assert stat.calls == 2 * SAMPLE_WINDOW
+        # Only the most recent window remains: minimum sample is from it.
+        assert min(stat.samples) >= SAMPLE_WINDOW
+
+    def test_merge_combines_samples_bounded(self):
+        a, b = Tracer(), Tracer()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        a.merge(b)
+        stat = a.spans["x"]
+        assert stat.calls == 2
+        assert len(stat.samples) == 2
+        assert stat.total_ns == sum(stat.samples)
 
 
 class TestModuleLevelTrace:

@@ -5,7 +5,7 @@ import pytest
 from repro.core.join import match_strings
 from repro.core.matchers import build_matcher
 from repro.data.datasets import dataset_for_family
-from repro.parallel.chunked import ChunkedJoin, _group_by_value
+from repro.parallel.chunked import ChunkedJoin, VectorEngine, _group_by_value
 
 import numpy as np
 
@@ -115,3 +115,40 @@ class TestLengthBucketing:
         matcher = build_matcher("LFPDL", k=0, scheme="alnum")
         ref = match_strings(ad_pair.clean, ad_pair.error, matcher)
         assert res.match_count == ref.match_count
+
+
+class TestShareRight:
+    def test_reuses_right_arrays_and_scheme(self):
+        right = ["123456789", "555443333", "999887777"]
+        base = VectorEngine([], right, k=1, scheme_kind="numeric")
+        eng = VectorEngine(["123456780"], right, k=1, share_right=base)
+        assert eng.sigs_r is base.sigs_r
+        assert eng.codes_r is base.codes_r
+        assert eng.scheme is base.scheme
+        result = eng.run("FPDL")
+        assert result.match_count == 1
+
+    def test_share_right_matches_fresh_engine(self):
+        right = ["smith", "smyth", "jones", "jonse"]
+        queries = ["smith", "jnoes"]
+        base = VectorEngine([], right, k=1, scheme_kind="alpha")
+        shared = VectorEngine(queries, right, k=1, share_right=base)
+        fresh = VectorEngine(queries, right, k=1, scheme_kind="alpha")
+        for method in ("FPDL", "LFPDL", "DL"):
+            assert (
+                shared.run(method).match_count
+                == fresh.run(method).match_count
+            )
+
+    def test_rejects_different_right_object(self):
+        base = VectorEngine([], ["123"], k=1, scheme_kind="numeric")
+        with pytest.raises(ValueError, match="share_right"):
+            VectorEngine(["123"], ["123"], k=1, share_right=base)
+
+    def test_scheme_instance_accepted(self):
+        from repro.core.signatures import scheme_for
+
+        scheme = scheme_for("alnum", 3)
+        eng = VectorEngine(["a1"], ["a1"], k=1, scheme_kind=scheme)
+        assert eng.scheme is scheme
+        assert eng.run("FPDL").match_count == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the bounded LRU result cache."""
+
+import pytest
+
+from repro.serve.cache import MISS, ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is MISS
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_miss_sentinel_distinct_from_cached_none(self):
+        cache = ResultCache(4)
+        cache.put("a", None)
+        assert cache.get("a") is None
+        assert cache.get("b") is MISS
+
+    def test_contains_and_len(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            ResultCache(-1)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert cache.get("a") == 10 and "b" not in cache
+
+    def test_zero_size_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is MISS
+        assert cache.evictions == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == 0.5
+
+    def test_stats_dict(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["maxsize"] == 4
+        assert stats["hits"] == 1
+        assert stats["hit_rate"] == 1.0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the JSON-lines request loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve.server import handle, serve_lines
+from repro.serve.service import MatchService
+
+NAMES = ["SMITH", "SMYTH", "JONES", "JONSE", "BROWN"]
+
+
+@pytest.fixture
+def svc():
+    return MatchService(NAMES, k=1)
+
+
+class TestHandle:
+    def test_query(self, svc):
+        res = handle(svc, {"op": "query", "value": "SMITH"})
+        assert res["ok"] and res["ids"] == [0, 1]
+        assert res["matches"] == ["SMITH", "SMYTH"]
+
+    def test_query_batch(self, svc):
+        res = handle(svc, {"op": "query_batch", "values": ["SMITH", "NOPE"]})
+        assert res["ok"]
+        assert [r["ids"] for r in res["results"]] == [[0, 1], []]
+
+    def test_query_overrides(self, svc):
+        res = handle(svc, {"op": "query", "value": "SMITH", "k": 0})
+        assert res["ids"] == [0]
+
+    def test_add_and_remove(self, svc):
+        res = handle(svc, {"op": "add", "value": "SMITT"})
+        assert res["ok"] and res["id"] == 5
+        assert handle(svc, {"op": "remove", "id": 5})["ok"]
+        assert not handle(svc, {"op": "remove", "id": 5})["ok"]
+
+    def test_add_batch(self, svc):
+        res = handle(svc, {"op": "add", "values": ["AA", "BB"]})
+        assert res["ids"] == [5, 6]
+
+    def test_compact_and_stats(self, svc):
+        svc.index.compact_ratio = None
+        handle(svc, {"op": "remove", "id": 0})
+        res = handle(svc, {"op": "compact"})
+        assert res["ok"] and res["reclaimed"] == 1
+        stats = handle(svc, {"op": "stats"})
+        assert stats["stats"]["size"] == len(NAMES) - 1
+
+    def test_snapshot_op(self, svc, tmp_path):
+        path = tmp_path / "snap.npz"
+        res = handle(svc, {"op": "snapshot", "path": str(path)})
+        assert res["ok"] and path.exists()
+        warm = MatchService.load(path)
+        assert warm.query("SMITH").ids == (0, 1)
+
+    def test_unknown_op(self, svc):
+        res = handle(svc, {"op": "frobnicate"})
+        assert not res["ok"] and "unknown op" in res["error"]
+
+    def test_missing_field(self, svc):
+        res = handle(svc, {"op": "query"})
+        assert not res["ok"] and "missing field" in res["error"]
+
+    def test_bad_method_reported(self, svc):
+        res = handle(svc, {"op": "query", "value": "X", "method": "nope"})
+        assert not res["ok"] and "method" in res["error"]
+
+
+class TestServeLines:
+    def run(self, svc, requests):
+        out = io.StringIO()
+        lines = [
+            r if isinstance(r, str) else json.dumps(r) for r in requests
+        ]
+        served = serve_lines(svc, lines, out)
+        return served, [json.loads(x) for x in out.getvalue().splitlines()]
+
+    def test_round_trip(self, svc):
+        served, responses = self.run(
+            svc,
+            [
+                {"op": "query", "value": "SMITH"},
+                {"op": "add", "value": "SMITT"},
+                {"op": "query", "value": "SMITH"},
+            ],
+        )
+        assert served == 3
+        assert responses[0]["ids"] == [0, 1]
+        assert responses[2]["ids"] == [0, 1, 5]
+
+    def test_blank_lines_skipped(self, svc):
+        served, responses = self.run(
+            svc, ["", "  ", {"op": "stats"}]
+        )
+        assert served == 1 and responses[0]["ok"]
+
+    def test_bad_json_keeps_serving(self, svc):
+        served, responses = self.run(
+            svc, ["{not json", {"op": "stats"}]
+        )
+        assert served == 2
+        assert not responses[0]["ok"] and "bad json" in responses[0]["error"]
+        assert responses[1]["ok"]
+
+    def test_non_object_rejected(self, svc):
+        _, responses = self.run(svc, ["[1, 2]"])
+        assert not responses[0]["ok"]
+
+    def test_shutdown_stops_loop(self, svc):
+        served, responses = self.run(
+            svc,
+            [
+                {"op": "shutdown"},
+                {"op": "query", "value": "SMITH"},
+            ],
+        )
+        assert served == 1
+        assert responses[-1]["shutdown"] is True
