@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-paper report examples clean
+.PHONY: install test bench bench-quick bench-json bench-paper report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ bench:
 # CI smoke: the multiplicity ablation at reduced scale, timings off.
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/test_ablation_collapse.py -q --benchmark-disable
+
+# Machine-readable backend trajectory: writes
+# benchmarks/results/BENCH_hybrid.json (+ the .txt table).  The
+# committed artifact was produced with REPRO_HYBRID_N=10000.
+bench-json:
+	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py -q -s --benchmark-disable
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

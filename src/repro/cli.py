@@ -223,6 +223,17 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
         help="execution backend (auto: cost model)",
     )
     sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the multiprocess/hybrid backends "
+            "(with N > 1 the cost model may auto-pick hybrid for "
+            "large products)"
+        ),
+    )
+    sub.add_argument(
         "--collapse",
         default="auto",
         choices=["auto", "on", "off"],
@@ -267,6 +278,13 @@ def _serve_source_args(sub: argparse.ArgumentParser) -> None:
         choices=["osa", "osa-bitparallel", "myers"],
         help="query verifier (also the index default)",
     )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan batched queries out to N shared-memory pool workers",
+    )
 
 
 def _stats_args(sub: argparse.ArgumentParser) -> None:
@@ -309,6 +327,7 @@ def _planned_join(args: argparse.Namespace, left, right, collector):
             collector=collector,
             collapse=args.collapse,
             self_join=True if getattr(args, "self_join", False) else None,
+            workers=getattr(args, "workers", None),
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -455,10 +474,14 @@ def _serve_service(args: argparse.Namespace, collector):
     from repro.serve import MatchService
 
     cache_size = getattr(args, "cache_size", 1024)
+    workers = getattr(args, "workers", None)
     if args.snapshot is not None:
         try:
             return MatchService.load(
-                args.snapshot, cache_size=cache_size, collector=collector
+                args.snapshot,
+                cache_size=cache_size,
+                collector=collector,
+                workers=workers,
             )
         except (OSError, ValueError, KeyError) as exc:
             raise SystemExit(
@@ -473,6 +496,7 @@ def _serve_service(args: argparse.Namespace, collector):
         cache_size=cache_size,
         compact_ratio=ratio if ratio else None,
         collector=collector,
+        workers=workers,
     )
 
 

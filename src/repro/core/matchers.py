@@ -35,10 +35,11 @@ from typing import Callable, Sequence
 
 from repro.core.filters import FBFFilter, FilterChain, LengthFilter, PairFilter
 from repro.core.signatures import SignatureScheme
+from repro.distance.bitparallel import MAX_PATTERN, osa_bitparallel_bounded
 from repro.distance.damerau import damerau_levenshtein
 from repro.distance.hamming import hamming_matcher
 from repro.distance.jaro import jaro_matcher, jaro_winkler_matcher
-from repro.distance.pruned import pdl_matcher
+from repro.distance.pruned import pdl, pdl_matcher
 from repro.distance.soundex import soundex_matcher
 
 __all__ = [
@@ -251,6 +252,20 @@ def _make_verifier(
 
         return dl_verify
     if kind == "pdl":
+        if counters is None:
+            # Fast path: one-word bit-parallel OSA for patterns that fit
+            # a machine word, banded DP beyond.  Only taken when nobody
+            # asked for the DP's pruning tallies — observed runs keep
+            # the banded DP so length_pruned/early_exit stay populated.
+            def pdl_verify(s: str, t: str, _k: int = k) -> bool:
+                if not s or not t:
+                    return False
+                if len(s) > MAX_PATTERN:
+                    return pdl(s, t, _k)
+                return osa_bitparallel_bounded(s, t, _k) is not None
+
+            pdl_verify.__name__ = f"pdl_bitparallel_k{k}"
+            return pdl_verify
         return pdl_matcher(k, counters=counters)
     if kind == "jaro":
         return jaro_matcher(theta)

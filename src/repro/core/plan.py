@@ -15,8 +15,10 @@ py_stringsimjoin) decouples:
   :class:`BlockingKeyGenerator` (traditional key blocking — *lossy*,
   never auto-picked);
 * an :class:`ExecutionBackend` decides *how to verify them* —
-  ``scalar`` (the reference loop), ``vectorized`` (NumPy chunks), or
-  ``multiprocess`` (process pool);
+  ``scalar`` (the reference loop), ``vectorized`` (NumPy chunks),
+  ``multiprocess`` (scalar loop over a process pool), or ``hybrid``
+  (vectorized chunk kernels over a shared-memory worker pool — see
+  :mod:`repro.parallel.shm`);
 * :class:`JoinPlanner` composes one of each from dataset size, the
   method spec and ``k`` via a small cost model, with explicit overrides
   for benchmarks, and runs the plan to a unified
@@ -95,6 +97,7 @@ __all__ = [
     "FBFIndexGenerator",
     "BlockingKeyGenerator",
     "ExecutionBackend",
+    "HybridBackend",
     "JoinPlan",
     "JoinPlanner",
     "join",
@@ -110,7 +113,7 @@ _log = get_logger("core.plan")
 EDIT_BOUNDED = frozenset({"dl", "pdl", "ham"})
 
 GENERATOR_NAMES = ("all-pairs", "length-bucket", "fbf-index", "blocking")
-BACKEND_NAMES = ("scalar", "vectorized", "multiprocess")
+BACKEND_NAMES = ("scalar", "vectorized", "multiprocess", "hybrid")
 
 Block = tuple[np.ndarray, np.ndarray]
 
@@ -395,6 +398,44 @@ class MultiprocessBackend(ExecutionBackend):
         return result
 
 
+class HybridBackend(ExecutionBackend):
+    """Shared-memory worker pool running the vectorized chunk kernels.
+
+    Both sides are published once per planner (cached
+    :class:`repro.parallel.shm.SharedDatasets`), then every run fans
+    out over the process-wide warm pool — workers × SIMD, with the
+    datasets crossing the process boundary at most once per pool
+    lifetime.  Decisions and funnel counters are identical to the
+    scalar reference (per-worker collectors merge into the parent's).
+    """
+
+    name = "hybrid"
+
+    def run(self, planner, method, blocks, *, collector, record_matches):
+        from repro.parallel import shm
+
+        spec = method_registry()[method]
+        datasets = planner.shared_datasets(need_sdx=spec.verifier == "sdx")
+        pool = shm.shared_pool(planner.workers)
+        result = shm.run_hybrid(
+            pool,
+            datasets.left,
+            datasets.right,
+            method,
+            blocks,
+            scheme=datasets.scheme,
+            k=planner.k,
+            theta=planner.theta,
+            self_join=planner.content_equal,
+            collector=collector,
+            record_matches=record_matches,
+            weighter=planner.weighter,
+            shared_source=datasets,
+        )
+        result.backend = self.name
+        return result
+
+
 # ---------------------------------------------------------------------------
 # The planner
 # ---------------------------------------------------------------------------
@@ -458,6 +499,7 @@ class JoinPlanner:
         block_pairs: int = 1 << 20,
         scalar_max_pairs: int = 1 << 14,
         index_min_pairs: int = 1 << 20,
+        hybrid_min_pairs: int = 1 << 22,
         max_index_k: int = 4,
         collapse: str = "auto",
         self_join: bool | None = None,
@@ -502,6 +544,7 @@ class JoinPlanner:
         self.block_pairs = block_pairs
         self.scalar_max_pairs = scalar_max_pairs
         self.index_min_pairs = index_min_pairs
+        self.hybrid_min_pairs = hybrid_min_pairs
         self.max_index_k = max_index_k
         self.collapse = collapse
         self.memo = memo
@@ -519,6 +562,7 @@ class JoinPlanner:
         self._scheme = None
         self._engine: VectorEngine | None = None
         self._index = None
+        self._shm_datasets = None
         self._len_groups: tuple[dict, dict] | None = None
         self._generators = {
             g.name: g
@@ -530,7 +574,12 @@ class JoinPlanner:
         }
         self._backends = {
             b.name: b
-            for b in (ScalarBackend(), VectorizedBackend(), MultiprocessBackend())
+            for b in (
+                ScalarBackend(),
+                VectorizedBackend(),
+                MultiprocessBackend(),
+                HybridBackend(),
+            )
         }
 
     # -- cached prepared state ---------------------------------------------
@@ -570,6 +619,28 @@ class JoinPlanner:
             self._index = FBFIndex(self.right, scheme=self.scheme())
         return self._index
 
+    def shared_datasets(self, *, need_sdx: bool = False):
+        """Both sides published through shared memory (hybrid backend).
+
+        Built lazily and cached, like the engine and the index: repeated
+        hybrid runs over one planner attach to the same segments, so the
+        datasets cross the process boundary once.  Soundex codes are
+        published on the first method that needs them.
+        """
+        from repro.parallel import shm
+
+        if self._shm_datasets is None:
+            self._shm_datasets = shm.SharedDatasets(
+                self.left,
+                self.right,
+                scheme=self.scheme(),
+                self_join=self.content_equal,
+                need_sdx=need_sdx,
+            )
+        elif need_sdx and not self._shm_datasets.has_sdx:
+            self._shm_datasets.add_sdx(self.left, self.right)
+        return self._shm_datasets
+
     def length_groups(self) -> tuple[dict, dict]:
         if self._len_groups is None:
             len_l = np.fromiter(
@@ -586,6 +657,11 @@ class JoinPlanner:
         with the pre-planner drivers, which prepared outside the clock)."""
         if backend == "vectorized":
             self.engine()
+        elif backend == "hybrid":
+            self.shared_datasets()
+            from repro.parallel import shm
+
+            shm.shared_pool(self.workers).ensure()
 
     # -- multiplicity layer --------------------------------------------------
 
@@ -688,6 +764,7 @@ class JoinPlanner:
                 block_pairs=self.block_pairs,
                 scalar_max_pairs=self.scalar_max_pairs,
                 index_min_pairs=self.index_min_pairs,
+                hybrid_min_pairs=self.hybrid_min_pairs,
                 max_index_k=self.max_index_k,
                 collapse="off",
                 self_join=False,
@@ -745,6 +822,19 @@ class JoinPlanner:
             return self._backends["scalar"], (
                 f"product {product:,} <= {self.scalar_max_pairs:,}: "
                 "NumPy setup would dominate"
+            )
+        # The hybrid pool is only auto-picked when the caller opted into
+        # parallelism (workers > 1) and the product amortizes the first
+        # publish + spawn; single-worker hybrid is strictly vectorized
+        # plus IPC overhead.
+        if (
+            self.workers
+            and self.workers > 1
+            and product >= self.hybrid_min_pairs
+        ):
+            return self._backends["hybrid"], (
+                f"workers={self.workers} and product {product:,} >= "
+                f"{self.hybrid_min_pairs:,}: shared-memory pool amortizes"
             )
         return self._backends["vectorized"], (
             f"product {product:,} > {self.scalar_max_pairs:,}"

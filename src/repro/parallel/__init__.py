@@ -17,8 +17,13 @@ call per pair:
   worker processes, for the scalar matchers (reference engine at
   scale) and as the distributed-RL skeleton the paper's conclusion
   sketches; the plan layer's ``multiprocess`` backend.
+* :mod:`repro.parallel.shm` — the zero-copy hybrid: encodings are
+  published once through ``multiprocessing.shared_memory`` and a
+  persistent :class:`WorkerPool` (reused across joins and serve
+  batches) runs the vectorized chunk kernels inside each worker; the
+  plan layer's ``hybrid`` backend.
 
-Both are composed with candidate generators by
+All are composed with candidate generators by
 :class:`repro.core.plan.JoinPlanner`; ``ChunkedJoin`` and
 ``parallel_match_strings`` remain as deprecated aliases.
 """
@@ -26,14 +31,36 @@ Both are composed with candidate generators by
 from repro.parallel.chunked import ChunkedJoin, VectorEngine, VJoinResult
 from repro.parallel.partition import balanced_splits, iter_pair_blocks, row_blocks
 from repro.parallel.pool import multiprocess_join, parallel_match_strings
+from repro.parallel.shm import (
+    SharedDatasets,
+    SharedSide,
+    SideArrays,
+    WorkerPool,
+    close_shared_pools,
+    hybrid_join,
+    inline_side,
+    pack_signatures,
+    run_hybrid,
+    shared_pool,
+)
 
 __all__ = [
     "ChunkedJoin",
+    "SharedDatasets",
+    "SharedSide",
+    "SideArrays",
     "VJoinResult",
     "VectorEngine",
+    "WorkerPool",
     "balanced_splits",
+    "close_shared_pools",
+    "hybrid_join",
+    "inline_side",
     "iter_pair_blocks",
     "multiprocess_join",
+    "pack_signatures",
     "parallel_match_strings",
     "row_blocks",
+    "run_hybrid",
+    "shared_pool",
 ]

@@ -22,6 +22,11 @@ slice under a private collector which comes back with the counters and
 is merged into the parent's, so the funnel-conservation invariant holds
 for the multiprocess path exactly as for the single-process ones.
 
+Slices run on the process-wide persistent
+:func:`repro.parallel.shm.shared_pool` rather than a throwaway
+``ProcessPoolExecutor``, so back-to-back joins reuse warm workers (the
+pool is cleaned up at interpreter exit).
+
 :func:`parallel_match_strings` remains as a deprecated shim over the
 planner.
 """
@@ -29,7 +34,6 @@ planner.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -39,6 +43,7 @@ from repro.core.matchers import build_matcher
 from repro.core.multiplicity import PairWeighter, VerificationMemo
 from repro.obs.stats import StatsCollector
 from repro.parallel.partition import balanced_splits
+from repro.parallel.shm import shared_pool
 
 __all__ = ["multiprocess_join", "parallel_match_strings"]
 
@@ -267,15 +272,19 @@ def multiprocess_join(
         # Every slice joins its rows against all of `right`, so the
         # iterated pair counts sum to the full product.
         result.pairs_compared = len(left) * len(right)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for count, diagonal, verified, matches, wc in pool.map(_run_slice, tasks):
-            result.match_count += count
-            result.diagonal_matches += diagonal
-            result.verified_pairs += verified
-            if record_matches:
-                result.matches.extend(matches)
-            if collector and wc is not None:
-                collector.merge(wc)
+    # One warm pool per process (atexit-cleaned): repeated joins reuse
+    # the workers instead of paying executor spawn + reseed every call.
+    pool = shared_pool(workers)
+    for count, diagonal, verified, matches, wc in pool.run_tasks(
+        [(_run_slice, task) for task in tasks]
+    ):
+        result.match_count += count
+        result.diagonal_matches += diagonal
+        result.verified_pairs += verified
+        if record_matches:
+            result.matches.extend(matches)
+        if collector and wc is not None:
+            collector.merge(wc)
     if record_matches:
         result.matches.sort()
     return result

@@ -1,0 +1,1188 @@
+"""Zero-copy shared-memory hybrid backend.
+
+The ``pool`` backend scales the *scalar* reference loop: every call
+spawns a fresh executor, pickles both datasets into each worker, and
+verifies pairs one Python call at a time.  The ``vectorized`` backend
+runs NumPy chunk kernels but on one core.  This module combines the two
+multipliers — workers × SIMD — with none of the per-call seeding cost:
+
+* each side is encoded **once** in the parent (uint8 code matrix,
+  lengths, FBF signatures packed into ``uint64`` words) and published
+  through :mod:`multiprocessing.shared_memory`; workers attach to the
+  segments zero-copy, so datasets cross the process boundary at most
+  once per pool lifetime (and as bytes-in-a-segment, never as pickles);
+* a persistent :class:`WorkerPool` (lazy spawn, reused across joins and
+  serve batches, explicit ``close()``/context manager, automatic
+  respawn of dead workers) executes :class:`~repro.parallel.chunked
+  .VectorEngine`-equivalent chunk kernels inside each worker — the
+  packed XOR+popcount filter sweep plus the vectorized banded-OSA
+  verify — instead of scalar per-pair Python;
+* scheduling is dynamic: work is cut into many more tasks than workers
+  (sized by estimated cost — ``rows × n_right`` for dense filter
+  sweeps, candidate count × DP band width for verify tasks) and fed
+  through one queue, so a straggling block never serializes the join;
+* every worker runs its tasks under a private
+  :class:`~repro.obs.stats.StatsCollector` that is merged into the
+  parent's, so the funnel conservation invariant holds for hybrid runs
+  exactly as for the single-process backends.
+
+The decisions are bit-identical to the scalar reference (asserted by
+``tests/parallel/test_shm_equivalence.py``); only the wall time
+changes.  Surfaced as ``backend="hybrid"`` in
+:class:`repro.core.plan.JoinPlanner` / :func:`repro.join`, and used by
+:meth:`repro.serve.service.MatchService.query_batch` to fan a batch out
+across the per-generation roster segments.
+
+Observability counters (free-form, under ``collector.counters``):
+
+``shm_tasks_dispatched``
+    tasks queued for this run.
+``shm_tasks_stolen``
+    tasks a worker executed beyond its even share — the dynamic-queue
+    rebalancing that static row splits cannot do.
+``shm_bytes_shared`` / ``shm_bytes_pickled``
+    bytes published as shared segments (counted once per publication)
+    vs. bytes pickled through the task queue (task metadata only once
+    the datasets are shared).
+``shm_pool_reuse_hits`` / ``shm_workers_respawned``
+    warm-pool reuse and crash-recovery respawns.
+``shm_worker_busy_ns`` / ``shm_run_wall_ns``
+    summed in-worker kernel time vs. parent wall time; utilization is
+    ``busy / (wall × workers)``.
+
+Platform note: on Linux the pool forks, so workers inherit the module
+state cheaply; on macOS/Windows the spawn start method is used and
+workers re-import the package.  Segments are unlinked by the parent
+(``close()`` or garbage collection) — see the user guide's
+"Choosing a backend" section for the spawn lifetime caveats.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import queue
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.join import JoinResult
+from repro.core.matchers import method_registry
+from repro.core.multiplicity import PairWeighter
+from repro.core.popcount import popcount_batch_u64
+from repro.core.vectorized import signatures_for_scheme, value_identity_codes
+from repro.distance.codec import encode_raw
+from repro.distance.soundex import soundex
+from repro.distance.vectorized import (
+    hamming_pairs,
+    jaro_pairs,
+    jaro_winkler_pairs,
+    osa_pairs,
+    osa_within_k_pairs,
+)
+from repro.obs.log import get_logger
+from repro.obs.stats import NULL_COLLECTOR, StatsCollector
+from repro.parallel.partition import balanced_splits
+
+__all__ = [
+    "SideArrays",
+    "SharedSide",
+    "SharedDatasets",
+    "WorkerPool",
+    "shared_pool",
+    "close_shared_pools",
+    "run_hybrid",
+    "hybrid_join",
+    "pack_signatures",
+    "inline_side",
+]
+
+_log = get_logger("parallel.shm")
+
+#: dense filter sweeps process this many pairs per chunk (matches the
+#: VectorEngine's ``filter_chunk``)
+_FILTER_CHUNK = 1 << 20
+#: banded-OSA verify chunk (matches the VectorEngine's ``chunk``)
+_VERIFY_CHUNK = 1 << 12
+#: cut work into ~this many tasks per worker so the queue can rebalance
+_TASKS_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# Array publication
+# ---------------------------------------------------------------------------
+#
+# A *ref* is the picklable handle to one ndarray:
+#   ("shm", name, shape, dtype_str)  — attach to a shared segment
+#   ("inline", ndarray)              — small per-run data, shipped in the task
+
+
+def pack_signatures(sigs: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, w)`` uint32 signature matrix into uint64 words.
+
+    Halves the XOR+popcount sweeps per pair; odd widths are padded with
+    a zero column (XOR of equal zeros contributes no diff bits, so the
+    FBF distance is unchanged).
+    """
+    sigs = np.ascontiguousarray(sigs, dtype=np.uint32)
+    if sigs.ndim == 1:
+        sigs = sigs[:, None]
+    n, w = sigs.shape
+    if w == 0:
+        return np.zeros((n, 1), dtype=np.uint64)
+    if w % 2:
+        padded = np.zeros((n, w + 1), dtype=np.uint32)
+        padded[:, :w] = sigs
+        sigs = padded
+    return sigs.view(np.uint64)
+
+
+@dataclass(frozen=True)
+class SideArrays:
+    """Picklable handles to one dataset's encoded arrays.
+
+    ``codes``/``lengths`` feed the vectorized DP kernels, ``sigs`` is
+    the packed-uint64 signature matrix for the FBF filter; ``sdx``
+    (soundex code ids) and ``vid`` (value-identity codes for self-join
+    diagonals) are published only when a method needs them.
+    """
+
+    n: int
+    codes: tuple
+    lengths: tuple
+    sigs: tuple
+    sdx: tuple | None = None
+    vid: tuple | None = None
+
+
+class _Segment:
+    """One ndarray copied into a freshly created shared segment."""
+
+    __slots__ = ("shm", "ref", "nbytes")
+
+    def __init__(self, arr: np.ndarray):
+        arr = np.ascontiguousarray(arr)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(1, arr.nbytes)
+        )
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self.shm.buf)
+        view[...] = arr
+        self.ref = ("shm", self.shm.name, arr.shape, arr.dtype.str)
+        self.nbytes = int(arr.nbytes)
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except Exception:
+            pass
+        try:
+            self.shm.unlink()
+        except Exception:
+            pass  # already unlinked (or the platform beat us to it)
+
+
+def _close_segments(segments: list[_Segment]) -> None:
+    for seg in segments:
+        seg.close()
+    segments.clear()
+
+
+class _SegmentOwner:
+    """Owns published segments; unlinks them on close or collection."""
+
+    def __init__(self):
+        self._segments: list[_Segment] = []
+        # The finalizer holds the list itself, so segments published
+        # later (add_sdx) are still cleaned up.
+        self._finalizer = weakref.finalize(
+            self, _close_segments, self._segments
+        )
+        #: has a collector been credited with these bytes yet?
+        self.accounted = False
+
+    def _seg(self, arr: np.ndarray) -> tuple:
+        seg = _Segment(arr)
+        self._segments.append(seg)
+        return seg.ref
+
+    @property
+    def bytes_shared(self) -> int:
+        return sum(seg.nbytes for seg in self._segments)
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        self._finalizer()
+
+
+def _side_encodings(strings: Sequence[str], scheme) -> dict[str, np.ndarray]:
+    strings = list(strings)
+    codes, lengths = encode_raw(strings)
+    return {
+        "codes": codes,
+        "lengths": lengths,
+        "sigs": pack_signatures(signatures_for_scheme(strings, scheme)),
+    }
+
+
+def inline_side(strings: Sequence[str], *, scheme) -> SideArrays:
+    """Encode one (small) side as inline refs — the serve layer's
+    per-batch query side, where publication would cost more than the
+    pickle."""
+    enc = _side_encodings(strings, scheme)
+    return SideArrays(
+        n=len(strings),
+        codes=("inline", enc["codes"]),
+        lengths=("inline", enc["lengths"]),
+        sigs=("inline", enc["sigs"]),
+    )
+
+
+class SharedSide(_SegmentOwner):
+    """One dataset published through shared memory (the serve layer's
+    per-generation roster)."""
+
+    def __init__(self, strings: Sequence[str], *, scheme):
+        super().__init__()
+        self.scheme = scheme
+        self.n = len(strings)
+        enc = _side_encodings(strings, scheme)
+        self.arrays = SideArrays(
+            n=self.n,
+            codes=self._seg(enc["codes"]),
+            lengths=self._seg(enc["lengths"]),
+            sigs=self._seg(enc["sigs"]),
+        )
+
+
+class SharedDatasets(_SegmentOwner):
+    """Both sides of one join published once through shared memory.
+
+    ``self_join=True`` additionally publishes value-identity codes so
+    workers can count the value-identity diagonal without ever seeing
+    the strings; ``need_sdx`` (or a later :meth:`add_sdx`) publishes
+    soundex code ids for the SDX method.  When ``right is left`` the
+    segments are shared between the sides.
+    """
+
+    def __init__(
+        self,
+        left: Sequence[str],
+        right: Sequence[str],
+        *,
+        scheme,
+        self_join: bool = False,
+        need_sdx: bool = False,
+    ):
+        super().__init__()
+        self.scheme = scheme
+        self.self_join = bool(self_join)
+        self.has_sdx = False
+        same = right is left
+        vid_l = vid_r = None
+        if self.self_join:
+            vid_l, vid_r = value_identity_codes(list(left), list(right))
+        self.left = self._publish_side(left, vid_l)
+        self.right = (
+            self.left if same else self._publish_side(right, vid_r)
+        )
+        if need_sdx:
+            self.add_sdx(left, right)
+
+    def _publish_side(self, strings, vid) -> SideArrays:
+        enc = _side_encodings(strings, self.scheme)
+        return SideArrays(
+            n=len(strings),
+            codes=self._seg(enc["codes"]),
+            lengths=self._seg(enc["lengths"]),
+            sigs=self._seg(enc["sigs"]),
+            vid=None if vid is None else self._seg(vid),
+        )
+
+    def add_sdx(self, left: Sequence[str], right: Sequence[str]) -> None:
+        """Publish soundex code ids (idempotent; shared string table so
+        cross-side codes compare by id, empty code id 0 never matches)."""
+        if self.has_sdx:
+            return
+        table: dict[str, int] = {"": 0}
+
+        def enc(values: Sequence[str]) -> np.ndarray:
+            out = np.empty(len(values), dtype=np.int64)
+            for idx, v in enumerate(values):
+                out[idx] = table.setdefault(soundex(v), len(table))
+            return out
+
+        sl = enc(list(left))
+        sr = sl if right is left else enc(list(right))
+        shared_side = self.right is self.left
+        self.left = replace(self.left, sdx=self._seg(sl))
+        self.right = (
+            self.left if shared_side else replace(self.right, sdx=self._seg(sr))
+        )
+        self.has_sdx = True
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attachment
+# ---------------------------------------------------------------------------
+
+#: per-worker LRU of attached segments; joins reuse attachments across
+#: tasks and runs, dropped segments age out
+_SEG_CACHE: OrderedDict[str, tuple] = OrderedDict()
+_SEG_CACHE_MAX = 64
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    The parent owns the segment, so a worker must not register it: a
+    spawn worker's tracker would unlink it on worker exit, and a fork
+    worker (which shares the parent's tracker) would corrupt the
+    parent's registration.  Python >= 3.13 has ``track=False`` for
+    exactly this; earlier versions get the classic bpo-38119
+    workaround — suppress ``register`` for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13 has no track= parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _resolve_ref(ref) -> np.ndarray | None:
+    if ref is None:
+        return None
+    if ref[0] == "inline":
+        return ref[1]
+    _, name, shape, dtype = ref
+    entry = _SEG_CACHE.get(name)
+    if entry is None:
+        seg = _attach(name)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        _SEG_CACHE[name] = entry = (seg, arr)
+        while len(_SEG_CACHE) > _SEG_CACHE_MAX:
+            _, (old, _arr) = _SEG_CACHE.popitem(last=False)
+            try:
+                old.close()
+            except Exception:
+                pass
+    else:
+        _SEG_CACHE.move_to_end(name)
+    return entry[1]
+
+
+class _Side:
+    __slots__ = ("n", "codes", "lengths", "sigs", "sdx", "vid")
+
+
+def _resolve_side(side: SideArrays) -> _Side:
+    out = _Side()
+    out.n = side.n
+    out.codes = _resolve_ref(side.codes)
+    out.lengths = _resolve_ref(side.lengths)
+    out.sigs = _resolve_ref(side.sigs)
+    out.sdx = _resolve_ref(side.sdx)
+    out.vid = _resolve_ref(side.vid)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The hybrid chunk kernels (worker side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _HybridTask:
+    """One unit of hybrid work: a dense row range or a candidate slice."""
+
+    left: SideArrays
+    right: SideArrays
+    method: str
+    k: int
+    theta: float
+    variant: str
+    fbf_bound: int
+    self_join: bool
+    collect: bool
+    record: bool
+    #: ("rows", r0, r1) — dense sweep of left rows r0:r1 × all of right;
+    #: ("pairs", ii_ref, jj_ref, start, stop) — candidate index slice
+    work: tuple
+    w_left: tuple | None = None
+    w_right: tuple | None = None
+    symmetric: bool = False
+
+
+class _Kernels:
+    """The VectorEngine chunk kernels over attached shared arrays.
+
+    Accounting is deliberately identical to
+    :class:`~repro.parallel.chunked.VectorEngine` — per-block sums merge
+    to the single-process reference counters, which is what the funnel
+    conservation tests pin.
+    """
+
+    def __init__(self, task: _HybridTask):
+        self.L = _resolve_side(task.left)
+        self.R = _resolve_side(task.right)
+        self.k = task.k
+        self.theta = task.theta
+        self.variant = task.variant
+        self.fbf_bound = task.fbf_bound
+        self.self_join = task.self_join
+        self.record = task.record
+        self.weighter = None
+        w_left = _resolve_ref(task.w_left)
+        if w_left is not None:
+            self.weighter = PairWeighter(
+                w_left, _resolve_ref(task.w_right), symmetric=task.symmetric
+            )
+
+    # -- pair predicates -----------------------------------------------------
+
+    def _diag(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        if self.self_join:
+            return self.L.vid[ii] == self.R.vid[jj]
+        return ii == jj
+
+    def _verifier(self, kind: str | None):
+        L, R = self.L, self.R
+        if kind is None:
+            return None
+        if kind == "dl":
+            return lambda ii, jj: (
+                osa_pairs(L.codes, L.lengths, R.codes, R.lengths, ii, jj)
+                <= self.k
+            )
+        if kind == "pdl":
+            return lambda ii, jj: osa_within_k_pairs(
+                L.codes, L.lengths, R.codes, R.lengths, ii, jj, self.k
+            )
+        if kind == "ham":
+            return lambda ii, jj: (
+                hamming_pairs(L.codes, L.lengths, R.codes, R.lengths, ii, jj)
+                <= self.k
+            )
+        if kind == "jaro":
+            return lambda ii, jj: (
+                jaro_pairs(
+                    L.codes, L.lengths, R.codes, R.lengths, ii, jj,
+                    self.variant,
+                )
+                >= self.theta
+            )
+        if kind == "wink":
+            return lambda ii, jj: (
+                jaro_winkler_pairs(
+                    L.codes, L.lengths, R.codes, R.lengths, ii, jj,
+                    0.1, self.variant,
+                )
+                >= self.theta
+            )
+        if kind == "sdx":
+            sl, sr = L.sdx, R.sdx
+            if sl is None or sr is None:
+                raise RuntimeError(
+                    "soundex codes were not published for this join"
+                )
+            return lambda ii, jj: (sl[ii] == sr[jj]) & (sl[ii] != 0)
+        raise ValueError(f"unknown verifier kind {kind!r}")
+
+    def _verify_chunk(self, kind: str | None) -> int:
+        if kind in ("jaro", "wink"):
+            return _VERIFY_CHUNK * 2
+        if kind in ("ham", "sdx"):  # a couple of bytes of per-pair state
+            return _FILTER_CHUNK
+        return _VERIFY_CHUNK
+
+    # -- dense filters -------------------------------------------------------
+
+    def _dense_length(self, c0: int, c1: int) -> np.ndarray:
+        return (
+            np.abs(self.L.lengths[c0:c1, None] - self.R.lengths[None, :])
+            <= self.k
+        )
+
+    def _dense_fbf(self, c0: int, c1: int) -> np.ndarray:
+        pl, pr = self.L.sigs, self.R.sigs
+        words = pl.shape[1]
+        acc = None
+        for w in range(words):
+            pc = popcount_batch_u64(pl[c0:c1, w][:, None] ^ pr[:, w][None, :])
+            if words == 1:
+                return pc <= self.fbf_bound
+            if acc is None:
+                acc = pc.astype(np.uint16)
+            else:
+                acc += pc
+        return acc <= self.fbf_bound
+
+    def _pair_filter(
+        self, name: str, ii: np.ndarray, jj: np.ndarray
+    ) -> np.ndarray:
+        if name == "length":
+            return np.abs(self.L.lengths[ii] - self.R.lengths[jj]) <= self.k
+        if name == "fbf":
+            pl, pr = self.L.sigs, self.R.sigs
+            db = np.zeros(len(ii), dtype=np.uint16)
+            for w in range(pl.shape[1]):
+                db += popcount_batch_u64(pl[ii, w] ^ pr[jj, w])
+            return db <= self.fbf_bound
+        raise ValueError(f"unknown filter {name!r}")
+
+    # -- execution paths -----------------------------------------------------
+
+    @staticmethod
+    def _fresh() -> dict:
+        return {
+            "match_count": 0,
+            "diagonal": 0,
+            "verified": 0,
+            "compared": 0,
+            "mi": [],
+            "mj": [],
+        }
+
+    def run_rows(self, spec, r0: int, r1: int, obs) -> dict:
+        """Dense sweep of left rows ``r0:r1`` against all of right.
+
+        Global row indices throughout, so the positional diagonal and
+        recorded matches need no rebasing in the parent.
+        """
+        res = self._fresh()
+        nr = self.R.n
+        if nr == 0 or r1 <= r0:
+            return res
+        verifier = self._verifier(spec.verifier)
+        vchunk = self._verify_chunk(spec.verifier)
+        rows_per = max(1, _FILTER_CHUNK // nr)
+        for c0 in range(r0, r1, rows_per):
+            c1 = min(r1, c0 + rows_per)
+            block = (c1 - c0) * nr
+            res["compared"] += block
+            obs.add_pairs(block)
+            mask = None
+            tested = block
+            for fname in spec.filters:
+                fm = (
+                    self._dense_length(c0, c1)
+                    if fname == "length"
+                    else self._dense_fbf(c0, c1)
+                )
+                mask = fm if mask is None else (mask & fm)
+                passed = int(np.count_nonzero(mask))
+                obs.add_stage(fname, tested, passed)
+                tested = passed
+            if mask is None:
+                ii = np.repeat(np.arange(c0, c1, dtype=np.int64), nr)
+                jj = np.tile(np.arange(nr, dtype=np.int64), c1 - c0)
+            else:
+                # flatnonzero over the raveled *bool* mask is ~10x a 2-D
+                # nonzero — the survivor extraction is the sweep's
+                # second-biggest cost after the popcount itself.
+                idx = np.flatnonzero(mask.ravel())
+                ii = idx // nr + c0
+                jj = idx % nr
+            obs.add_survivors(len(ii))
+            if len(ii) == 0:
+                continue
+            if verifier is None:
+                res["match_count"] += len(ii)
+                res["diagonal"] += int(self._diag(ii, jj).sum())
+                if self.record:
+                    res["mi"].append(ii)
+                    res["mj"].append(jj)
+                obs.add_matched(len(ii))
+                continue
+            res["verified"] += len(ii)
+            obs.add_verified(len(ii))
+            for v0 in range(0, len(ii), vchunk):
+                bi = ii[v0 : v0 + vchunk]
+                bj = jj[v0 : v0 + vchunk]
+                hits = verifier(bi, bj)
+                n_hits = int(hits.sum())
+                res["match_count"] += n_hits
+                res["diagonal"] += int((hits & self._diag(bi, bj)).sum())
+                if self.record and n_hits:
+                    res["mi"].append(bi[hits])
+                    res["mj"].append(bj[hits])
+                obs.add_matched(n_hits)
+        return res
+
+    def run_pairs(self, spec, ii: np.ndarray, jj: np.ndarray, obs) -> dict:
+        """One candidate slice — mirrors ``VectorEngine.run_candidates``
+        including the weighted (original-pair-units) accounting."""
+        res = self._fresh()
+        ii = np.asarray(ii, dtype=np.int64)
+        jj = np.asarray(jj, dtype=np.int64)
+        res["compared"] = len(ii)
+        ww = None if self.weighter is None else self.weighter.block(ii, jj)
+        obs.add_pairs(len(ii) if ww is None else int(ww.sum()))
+        for fname in spec.filters:
+            tested = len(ii) if ww is None else int(ww.sum())
+            mask = self._pair_filter(fname, ii, jj)
+            ii, jj = ii[mask], jj[mask]
+            if ww is not None:
+                ww = ww[mask]
+            obs.add_stage(
+                fname, tested, len(ii) if ww is None else int(ww.sum())
+            )
+        surviving = len(ii) if ww is None else int(ww.sum())
+        obs.add_survivors(surviving)
+        if len(ii) == 0:
+            return res
+        verifier = self._verifier(spec.verifier)
+        if verifier is None:
+            dm = self._diag(ii, jj)
+            res["match_count"] += surviving
+            res["diagonal"] += (
+                int(dm.sum()) if ww is None else int(ww[dm].sum())
+            )
+            if self.record:
+                res["mi"].append(ii)
+                res["mj"].append(jj)
+            obs.add_matched(surviving)
+            return res
+        res["verified"] += len(ii)
+        obs.add_verified(surviving)
+        vchunk = self._verify_chunk(spec.verifier)
+        for c0 in range(0, len(ii), vchunk):
+            bi = ii[c0 : c0 + vchunk]
+            bj = jj[c0 : c0 + vchunk]
+            bw = None if ww is None else ww[c0 : c0 + vchunk]
+            hits = verifier(bi, bj)
+            dm = self._diag(bi, bj)
+            if bw is None:
+                n_hits = int(hits.sum())
+                res["diagonal"] += int((hits & dm).sum())
+            else:
+                n_hits = int(bw[hits].sum())
+                res["diagonal"] += int(bw[hits & dm].sum())
+            res["match_count"] += n_hits
+            if self.record:
+                res["mi"].append(bi[hits])
+                res["mj"].append(bj[hits])
+            obs.add_matched(n_hits)
+        return res
+
+
+def _exec_hybrid(task: _HybridTask) -> dict:
+    """Worker entry point for one hybrid task."""
+    spec = method_registry()[task.method]
+    kernels = _Kernels(task)
+    wc = StatsCollector("shm-worker") if task.collect else None
+    obs = wc if wc is not None else NULL_COLLECTOR
+    if task.work[0] == "rows":
+        out = kernels.run_rows(spec, task.work[1], task.work[2], obs)
+    else:
+        _, ii_ref, jj_ref, start, stop = task.work
+        ii = _resolve_ref(ii_ref)[start:stop]
+        jj = _resolve_ref(jj_ref)[start:stop]
+        out = kernels.run_pairs(spec, ii, jj, obs)
+    out["wc"] = wc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The persistent worker pool
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(task_q, result_q) -> None:
+    """Worker loop: pull ``(run_id, task_id, blob)``, push
+    ``(run_id, task_id, pid, busy_ns, error, result)``.  ``None`` is the
+    shutdown sentinel."""
+    pid = os.getpid()
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        run_id, task_id, blob = item
+        try:
+            fn, payload = pickle.loads(blob)
+            t0 = time.perf_counter_ns()
+            out = fn(payload)
+            busy = time.perf_counter_ns() - t0
+            result_q.put((run_id, task_id, pid, busy, None, out))
+        except Exception as exc:
+            import traceback
+
+            err = f"{exc!r}\n{traceback.format_exc()}"
+            try:
+                result_q.put((run_id, task_id, pid, 0, err, None))
+            except Exception:
+                os._exit(1)
+
+
+def _default_context():
+    # fork is both the cheap option and the one that keeps the imported
+    # package state; spawn is the portable fallback (macOS/Windows).
+    methods = get_all_start_methods()
+    return get_context("fork" if "fork" in methods else "spawn")
+
+
+class WorkerPool:
+    """A persistent multiprocessing pool with one shared task queue.
+
+    Unlike ``ProcessPoolExecutor`` as the legacy driver used it, the
+    pool is *reused*: workers are spawned lazily on the first
+    :meth:`run_tasks` and then serve every subsequent join or serve
+    batch, so repeated runs pay neither process startup nor dataset
+    reseeding.  Tasks are pre-pickled in the parent (which is also what
+    makes the ``bytes_pickled`` accounting exact), results are deduped
+    by task id, and workers that die mid-run are respawned with their
+    incomplete tasks re-enqueued — a crashed worker costs its in-flight
+    task's work, never the join.
+
+    Use as a context manager or call :meth:`close`; module-level warm
+    pools (:func:`shared_pool`) are closed at interpreter exit.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        context=None,
+        timeout: float | None = None,
+    ):
+        self.workers = max(1, int(workers or os.cpu_count() or 1))
+        self.timeout = timeout
+        self._ctx = context or _default_context()
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._closed = False
+        self._owner_pid = os.getpid()
+        self._run_seq = 0
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0
+        self.tasks_stolen = 0
+        self.bytes_pickled = 0
+        self.respawns = 0
+        self.reuse_hits = 0
+        self._unreported_reuse = 0
+        self.busy_ns = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._task_q is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._procs if p.is_alive())
+
+    def ensure(self) -> None:
+        """Spawn (or respawn) workers up to the configured count."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._task_q is None:
+            self._task_q = self._ctx.Queue()
+            self._result_q = self._ctx.Queue()
+        alive = [p for p in self._procs if p.is_alive()]
+        died = len(self._procs) - len(alive)
+        if died:
+            self.respawns += died
+            _log.warning("respawning %d dead worker(s)", died)
+        self._procs = alive
+        while len(self._procs) < self.workers:
+            p = self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_q, self._result_q),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+
+    def close(self) -> None:
+        """Shut the workers down and drop the queues (idempotent).
+
+        A forked child that inherited this object must never tear it
+        down — only the creating process owns the workers.
+        """
+        if self._closed or os.getpid() != self._owner_pid:
+            self._closed = True
+            return
+        self._closed = True
+        if self._task_q is not None:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except Exception:
+                    break
+            for p in self._procs:
+                p.join(timeout=2)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1)
+            for q in (self._task_q, self._result_q):
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except Exception:
+                    pass
+        self._procs = []
+        self._task_q = self._result_q = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def consume_reuse_hits(self) -> int:
+        """Warm-pool acquisitions since the last report (run-delta
+        counter feed)."""
+        n = self._unreported_reuse
+        self._unreported_reuse = 0
+        return n
+
+    # -- execution -----------------------------------------------------------
+
+    def run_tasks(
+        self,
+        calls: Sequence[tuple],
+        *,
+        timeout: float | None = None,
+    ) -> list:
+        """Execute ``(fn, payload)`` pairs; results in submission order.
+
+        Tasks drain from one shared queue, so a fast worker picks up a
+        slow worker's share (dynamic scheduling).  A worker crash
+        triggers respawn + re-enqueue of incomplete tasks (results are
+        deduped by task id, so double execution is harmless); a task
+        that *raises* re-raises here with the worker traceback, leaving
+        the pool reusable.
+        """
+        if not calls:
+            return []
+        self.ensure()
+        timeout = self.timeout if timeout is None else timeout
+        self._run_seq += 1
+        run_id = self._run_seq
+        blobs = [
+            pickle.dumps(call, protocol=pickle.HIGHEST_PROTOCOL)
+            for call in calls
+        ]
+        for task_id, blob in enumerate(blobs):
+            self._task_q.put((run_id, task_id, blob))
+            self.bytes_pickled += len(blob)
+        self.tasks_dispatched += len(blobs)
+        results: dict[int, object] = {}
+        executed_by: dict[int, int] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        respawn_budget = 3 * self.workers
+        while len(results) < len(blobs):
+            try:
+                rid, task_id, pid, busy, err, out = self._result_q.get(
+                    timeout=0.1
+                )
+            except queue.Empty:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"pool run timed out after {timeout}s with "
+                        f"{len(blobs) - len(results)} task(s) outstanding"
+                    )
+                if self.alive_workers() < self.workers:
+                    if respawn_budget <= 0:
+                        raise RuntimeError(
+                            "workers keep dying faster than the respawn "
+                            "budget; giving up on this run"
+                        )
+                    respawn_budget -= self.workers - self.alive_workers()
+                    self.ensure()
+                    # Re-enqueue everything not yet answered; completed
+                    # duplicates are discarded by the task-id dedup.
+                    for task_id, blob in enumerate(blobs):
+                        if task_id not in results:
+                            self._task_q.put((run_id, task_id, blob))
+                continue
+            if rid != run_id or task_id in results:
+                continue  # stale result from a past run or a re-enqueue
+            if err is not None:
+                raise RuntimeError(f"worker task failed:\n{err}")
+            results[task_id] = out
+            executed_by[pid] = executed_by.get(pid, 0) + 1
+            self.busy_ns += busy
+            self.tasks_completed += 1
+        # "Stolen" = executed beyond the even per-worker share; with a
+        # static split this is zero by construction.
+        fair = -(-len(blobs) // max(1, len(executed_by)))
+        self.tasks_stolen += sum(
+            max(0, n - fair) for n in executed_by.values()
+        )
+        return [results[task_id] for task_id in range(len(blobs))]
+
+
+#: process-wide warm pools, keyed by worker count
+_SHARED_POOLS: dict[int, WorkerPool] = {}
+_ATEXIT_REGISTERED = False
+
+
+def shared_pool(workers: int | None = None) -> WorkerPool:
+    """The process-wide warm :class:`WorkerPool` for ``workers``.
+
+    Created on first use, reused (and counted as a reuse hit) after;
+    closed automatically at interpreter exit.
+    """
+    global _ATEXIT_REGISTERED
+    n = max(1, int(workers or os.cpu_count() or 1))
+    pool = _SHARED_POOLS.get(n)
+    if pool is not None and not pool.closed and pool._owner_pid == os.getpid():
+        pool.reuse_hits += 1
+        pool._unreported_reuse += 1
+        return pool
+    pool = WorkerPool(n)
+    _SHARED_POOLS[n] = pool
+    if not _ATEXIT_REGISTERED:
+        atexit.register(close_shared_pools)
+        _ATEXIT_REGISTERED = True
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Close every warm pool (atexit hook; also handy in tests)."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.close()
+    _SHARED_POOLS.clear()
+
+
+# ---------------------------------------------------------------------------
+# The parent-side driver
+# ---------------------------------------------------------------------------
+
+
+def _task_span(total_cost: int, workers: int, lo: int, hi: int) -> int:
+    per_task = total_cost // max(1, workers * _TASKS_PER_WORKER)
+    return int(min(hi, max(lo, per_task)))
+
+
+def run_hybrid(
+    pool: WorkerPool,
+    left: SideArrays,
+    right: SideArrays,
+    method: str,
+    blocks: Iterable[tuple[np.ndarray, np.ndarray]] | None = None,
+    *,
+    scheme,
+    k: int = 1,
+    theta: float = 0.8,
+    variant: str = "paper",
+    self_join: bool = False,
+    collector=None,
+    record_matches: bool = False,
+    weighter: PairWeighter | None = None,
+    shared_source=None,
+    task_pairs: int | None = None,
+) -> JoinResult:
+    """One hybrid join over already-published sides.
+
+    ``blocks=None`` runs the dense full product (row-range tasks);
+    otherwise the candidate stream is drained, published as two index
+    segments and cut into verify tasks.  ``shared_source`` (a
+    :class:`SharedDatasets`/:class:`SharedSide`) credits its published
+    bytes to the collector exactly once over its lifetime — which is the
+    "datasets cross the boundary at most once" evidence.  ``weighter``
+    requires an explicit candidate stream, as in
+    :func:`repro.parallel.pool.multiprocess_join`.
+    """
+    spec = method_registry().get(method)
+    if spec is None:
+        raise ValueError(f"unknown method {method!r}")
+    if weighter is not None and blocks is None:
+        raise ValueError(
+            "run_hybrid with a weighter requires an explicit candidate "
+            "stream (dense row tasks cannot reproduce symmetric weights)"
+        )
+    obs = collector if collector else NULL_COLLECTOR
+    n_left, n_right = left.n, right.n
+    if obs:
+        obs.meta.setdefault("method", method)
+        obs.meta.setdefault("k", k)
+        obs.meta["n_left"] = n_left
+        obs.meta["n_right"] = n_right
+    w_left_ref = w_right_ref = None
+    symmetric = False
+    if weighter is not None:
+        w_left_ref = ("inline", np.asarray(weighter.w_left, dtype=np.int64))
+        w_right_ref = ("inline", np.asarray(weighter.w_right, dtype=np.int64))
+        symmetric = weighter.symmetric
+    run_segments: list[_Segment] = []
+    works: list[tuple] = []
+    if blocks is None:
+        # Dense-path task cost is the filter sweep itself: rows x n_right.
+        if n_right:
+            target = task_pairs or _task_span(
+                n_left * n_right, pool.workers, 1 << 16, 1 << 24
+            )
+            rows = max(1, target // n_right)
+            for r0 in range(0, n_left, rows):
+                works.append(("rows", r0, min(n_left, r0 + rows)))
+    else:
+        parts_i: list[np.ndarray] = []
+        parts_j: list[np.ndarray] = []
+        for bi, bj in blocks:  # drained fully (generator accounting)
+            if len(bi):
+                parts_i.append(np.asarray(bi, dtype=np.int64))
+                parts_j.append(np.asarray(bj, dtype=np.int64))
+        total = sum(len(p) for p in parts_i)
+        if total:
+            ii = parts_i[0] if len(parts_i) == 1 else np.concatenate(parts_i)
+            jj = parts_j[0] if len(parts_j) == 1 else np.concatenate(parts_j)
+            # Candidate tasks are verify-bound: estimated cost is the
+            # candidate count x the banded-DP width (2k+1), so they are
+            # cut ~an order of magnitude finer than dense sweeps.
+            band = 2 * k + 1
+            target = task_pairs or max(
+                1,
+                _task_span(total * band, pool.workers, 1 << 14, 1 << 22)
+                // band,
+            )
+            seg_i, seg_j = _Segment(ii), _Segment(jj)
+            run_segments = [seg_i, seg_j]
+            n_tasks = max(1, -(-total // target))
+            for start, stop in balanced_splits(total, n_tasks):
+                works.append(("pairs", seg_i.ref, seg_j.ref, start, stop))
+    calls = [
+        (
+            _exec_hybrid,
+            _HybridTask(
+                left=left,
+                right=right,
+                method=method,
+                k=k,
+                theta=theta,
+                variant=variant,
+                fbf_bound=scheme.safe_threshold(k),
+                self_join=self_join,
+                collect=bool(collector),
+                record=record_matches,
+                work=work,
+                w_left=w_left_ref,
+                w_right=w_right_ref,
+                symmetric=symmetric,
+            ),
+        )
+        for work in works
+    ]
+    before_pickled = pool.bytes_pickled
+    before_stolen = pool.tasks_stolen
+    before_respawns = pool.respawns
+    before_busy = pool.busy_ns
+    t0 = time.perf_counter_ns()
+    try:
+        with obs.span(f"run.{method}.hybrid"):
+            outs = pool.run_tasks(calls)
+    finally:
+        for seg in run_segments:
+            seg.close()
+    wall = time.perf_counter_ns() - t0
+    result = JoinResult(method, n_left, n_right, backend="hybrid")
+    mi_parts: list[np.ndarray] = []
+    mj_parts: list[np.ndarray] = []
+    for out in outs:
+        result.match_count += out["match_count"]
+        result.diagonal_matches += out["diagonal"]
+        result.verified_pairs += out["verified"]
+        result.pairs_compared += out["compared"]
+        mi_parts.extend(out["mi"])
+        mj_parts.extend(out["mj"])
+        wc = out.get("wc")
+        if collector and wc is not None:
+            collector.merge(wc)
+    if record_matches and mi_parts:
+        mi = np.concatenate(mi_parts)
+        mj = np.concatenate(mj_parts)
+        result.matches = sorted(zip(mi.tolist(), mj.tolist()))
+    if collector:
+        collector.add_counter("shm_tasks_dispatched", len(calls))
+        collector.add_counter(
+            "shm_tasks_stolen", pool.tasks_stolen - before_stolen
+        )
+        collector.add_counter(
+            "shm_bytes_pickled", pool.bytes_pickled - before_pickled
+        )
+        shared_bytes = sum(seg.nbytes for seg in run_segments)
+        if shared_source is not None and not shared_source.accounted:
+            shared_bytes += shared_source.bytes_shared
+            shared_source.accounted = True
+        collector.add_counter("shm_bytes_shared", shared_bytes)
+        collector.add_counter(
+            "shm_workers_respawned", pool.respawns - before_respawns
+        )
+        collector.add_counter(
+            "shm_pool_reuse_hits", pool.consume_reuse_hits()
+        )
+        collector.add_counter(
+            "shm_worker_busy_ns", pool.busy_ns - before_busy
+        )
+        collector.add_counter("shm_run_wall_ns", wall)
+    return result
+
+
+def hybrid_join(
+    left: Sequence[str],
+    right: Sequence[str],
+    method: str,
+    *,
+    k: int = 1,
+    theta: float = 0.8,
+    scheme=None,
+    workers: int | None = None,
+    record_matches: bool = False,
+    collector=None,
+) -> JoinResult:
+    """Convenience one-shot: publish, run on the warm pool, unlink.
+
+    For repeated joins hold a :class:`SharedDatasets` (or use the
+    planner, which caches one) so publication happens once.
+    """
+    from repro.core.signatures import detect_kind, scheme_for
+
+    if scheme is None or isinstance(scheme, str):
+        kind = scheme or detect_kind(list(left[:128]) + list(right[:128]))
+        scheme = scheme_for(kind, 2)
+    spec = method_registry().get(method)
+    if spec is None:
+        raise ValueError(f"unknown method {method!r}")
+    self_join = right is left or (
+        len(left) == len(right) and list(left) == list(right)
+    )
+    datasets = SharedDatasets(
+        left,
+        right,
+        scheme=scheme,
+        self_join=self_join,
+        need_sdx=spec.verifier == "sdx",
+    )
+    try:
+        return run_hybrid(
+            shared_pool(workers),
+            datasets.left,
+            datasets.right,
+            method,
+            scheme=scheme,
+            k=k,
+            theta=theta,
+            self_join=self_join,
+            collector=collector,
+            record_matches=record_matches,
+            shared_source=datasets,
+        )
+    finally:
+        datasets.close()

@@ -88,6 +88,13 @@ class MatchService:
     collector:
         Optional :class:`~repro.obs.stats.StatsCollector` receiving the
         filter funnel, cache/compaction counters and latency spans.
+    workers:
+        With ``workers > 1``, batched OSA queries fan out to the
+        process-wide shared-memory pool
+        (:func:`repro.parallel.shm.shared_pool`): the roster encodings
+        are published once per index generation and each batch ships
+        only its query-side arrays.  Answers are identical to the
+        single-process path.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class MatchService:
         cache_size: int = 1024,
         compact_ratio: float | None = 0.25,
         collector=None,
+        workers: int | None = None,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -115,6 +123,10 @@ class MatchService:
         # Prepared right-side engine, valid for exactly one generation.
         self._base_engine: VectorEngine | None = None
         self._base_generation = -1
+        self._workers = workers
+        # Shared-memory roster, also valid for exactly one generation.
+        self._shm_roster = None
+        self._shm_generation = -1
 
     # -- introspection ------------------------------------------------------
 
@@ -305,6 +317,47 @@ class MatchService:
             record_matches=True,
         )
 
+    def _roster_side(self):
+        """The shared-memory roster for the current generation,
+        publishing (and retiring the stale copy) on generation change."""
+        from repro.parallel import shm
+
+        gen = self._index.generation
+        fbf = self._index.index
+        if self._shm_roster is None or self._shm_generation != gen:
+            with self._obs.span("serve.publish_roster"):
+                if self._shm_roster is not None:
+                    self._shm_roster.close()
+                self._shm_roster = shm.SharedSide(
+                    fbf.strings, scheme=fbf.scheme
+                )
+                self._shm_generation = gen
+                self._obs.add_counter("shm_roster_publishes")
+        return self._shm_roster
+
+    def _run_pooled(self, pending: list[str], k: int, blocks):
+        """Fan one batch out to the shared worker pool: roster arrays
+        come from the per-generation shared segments, the (small) query
+        side ships inline with the tasks."""
+        from repro.parallel import shm
+
+        roster = self._roster_side()
+        queries = shm.inline_side(pending, scheme=roster.scheme)
+        pool = shm.shared_pool(self._workers)
+        return shm.run_hybrid(
+            pool,
+            queries,
+            roster.arrays,
+            "FPDL",
+            blocks,
+            scheme=roster.scheme,
+            k=k,
+            self_join=False,
+            collector=self._obs if self._obs else None,
+            record_matches=True,
+            shared_source=roster,
+        )
+
     def _answer_batched(
         self, pending: list[str], k: int, method: str
     ) -> Iterator[QueryResult]:
@@ -319,7 +372,6 @@ class MatchService:
         """
         obs = self._obs
         fbf = self._index.index
-        engine = self._engine_for(pending, k)
         product = len(pending) * len(fbf)
         emitted = 0
 
@@ -331,9 +383,13 @@ class MatchService:
 
         if obs:
             obs.stage("fbf-index")
-        result = engine.run_candidates(
-            "FPDL", counted(), collector=obs if obs else None
-        )
+        if self._workers and self._workers > 1:
+            result = self._run_pooled(pending, k, counted())
+        else:
+            engine = self._engine_for(pending, k)
+            result = engine.run_candidates(
+                "FPDL", counted(), collector=obs if obs else None
+            )
         if obs:
             obs.add_stage("fbf-index", product, emitted)
             obs.add_pairs(product - emitted)
@@ -392,6 +448,7 @@ class MatchService:
         *,
         cache_size: int | None = None,
         collector=None,
+        workers: int | None = None,
     ) -> "MatchService":
         """Rebuild a warm service from a snapshot (no re-indexing).
 
@@ -411,4 +468,7 @@ class MatchService:
         svc._obs = collector if collector else NULL_COLLECTOR
         svc._base_engine = None
         svc._base_generation = -1
+        svc._workers = workers
+        svc._shm_roster = None
+        svc._shm_generation = -1
         return svc

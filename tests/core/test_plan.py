@@ -383,4 +383,6 @@ class TestDeprecatedShims:
         assert set(GENERATOR_NAMES) == {
             "all-pairs", "length-bucket", "fbf-index", "blocking",
         }
-        assert set(BACKEND_NAMES) == {"scalar", "vectorized", "multiprocess"}
+        assert set(BACKEND_NAMES) == {
+            "scalar", "vectorized", "multiprocess", "hybrid",
+        }

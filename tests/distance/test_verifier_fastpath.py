@@ -1,0 +1,59 @@
+"""The scalar PDL verifier's bit-parallel fast path.
+
+Unobserved matchers (no collector) verify edit-bounded pairs through
+``osa_bitparallel_bounded`` for word-sized patterns instead of the
+banded DP.  These tests pin the decision equality against the paper's
+Algorithm 2 (`pdl`) — including the >64-char DP fallback, empty-string
+semantics, and transposition-heavy inputs — and that observed matchers
+still take the DP so the pruning tallies keep flowing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matchers import build_matcher
+from repro.distance.bitparallel import MAX_PATTERN
+from repro.distance.pruned import pdl
+from repro.obs.stats import StatsCollector
+
+binary = st.text(alphabet="AB", max_size=12)
+long_binary = st.text(alphabet="AB", min_size=MAX_PATTERN - 2, max_size=MAX_PATTERN + 8)
+ks = st.integers(min_value=0, max_value=3)
+
+
+class TestFastPathEquality:
+    @given(binary, binary, ks)
+    @settings(max_examples=300)
+    def test_matches_algorithm_2(self, s, t, k):
+        verify = build_matcher("PDL", k=k).verifier
+        assert verify(s, t) == pdl(s, t, k)
+
+    @given(long_binary, long_binary, ks)
+    @settings(max_examples=60)
+    def test_dp_fallback_beyond_word_limit(self, s, t, k):
+        verify = build_matcher("PDL", k=k).verifier
+        assert verify(s, t) == pdl(s, t, k)
+
+    @given(st.text(alphabet="AB", max_size=8), ks)
+    def test_empty_side_never_matches(self, t, k):
+        verify = build_matcher("PDL", k=k).verifier
+        assert verify("", t) is False
+        assert verify(t, "") is False
+
+    def test_transpositions_count_once(self):
+        verify = build_matcher("PDL", k=1).verifier
+        assert verify("SMITH", "SMIHT")
+        assert not build_matcher("PDL", k=0).verifier("SMITH", "SMIHT")
+
+
+class TestPathSelection:
+    def test_unobserved_matcher_uses_bitparallel(self):
+        verify = build_matcher("FPDL", k=2).verifier
+        assert verify.__name__ == "pdl_bitparallel_k2"
+
+    def test_observed_matcher_keeps_banded_dp(self):
+        collector = StatsCollector("test")
+        verify = build_matcher("PDL", k=1, collector=collector).verifier
+        assert verify.__name__ == "pdl_k1"
+        assert not verify("ABCD", "DCBA")
+        assert collector.verifier_counters["length_pruned"] == 0

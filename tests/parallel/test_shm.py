@@ -1,0 +1,180 @@
+"""Unit tests for the shared-memory worker pool and published sides.
+
+The pool's lifecycle contract: lazy spawn, reuse across runs, automatic
+respawn after a worker dies mid-task (with the dead worker's tasks
+re-executed), idempotent close, and task exceptions surfacing in the
+parent with the worker traceback attached.  The publication contract:
+arrays round-trip through shared segments bit-exactly and the owner
+tracks (and releases) every byte it published.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import scheme_for
+from repro.core.vectorized import signatures_for_scheme
+from repro.distance.codec import encode_raw
+from repro.parallel.shm import (
+    SharedDatasets,
+    SharedSide,
+    WorkerPool,
+    _resolve_ref,
+    close_shared_pools,
+    inline_side,
+    pack_signatures,
+    shared_pool,
+)
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _kill_once(flag_path):
+    """SIGKILL the worker the first time only (the flag file survives
+    the corpse, so the re-executed task completes)."""
+    if not os.path.exists(flag_path):
+        open(flag_path, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "survived"
+
+
+class TestWorkerPool:
+    def test_runs_tasks_in_order(self):
+        with WorkerPool(workers=2) as pool:
+            out = pool.run_tasks([(_double, i) for i in range(20)])
+            assert out == [i * 2 for i in range(20)]
+            assert pool.tasks_dispatched == 20
+            assert pool.tasks_completed == 20
+
+    def test_pool_reused_across_runs(self):
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_double, 1)])
+            pids = {p.pid for p in pool._procs}
+            pool.run_tasks([(_double, 2)])
+            assert {p.pid for p in pool._procs} == pids
+            assert pool.respawns == 0
+
+    def test_crash_respawns_and_reruns(self, tmp_path):
+        flag = str(tmp_path / "boom.flag")
+        with WorkerPool(workers=2) as pool:
+            out = pool.run_tasks(
+                [(_kill_once, flag), (_double, 21), (_double, 22)]
+            )
+            assert out == ["survived", 42, 44]
+            assert pool.respawns >= 1
+            # Respawned workers keep serving.
+            assert pool.run_tasks([(_double, 5)]) == [10]
+
+    def test_task_exception_raises_with_traceback(self):
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(RuntimeError, match="boom on 7"):
+                pool.run_tasks([(_boom, 7)])
+            # The pool survives a failing task.
+            assert pool.run_tasks([(_double, 3)]) == [6]
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(workers=2)
+        pool.run_tasks([(_double, 1)])
+        pool.close()
+        assert pool.closed
+        assert pool.alive_workers() == 0
+        pool.close()
+
+    def test_bytes_pickled_counted(self):
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_double, "x" * 1000)])
+            assert pool.bytes_pickled >= 1000
+
+
+class TestSharedPool:
+    def test_process_wide_reuse(self):
+        a = shared_pool(2)
+        a.run_tasks([(_double, 1)])
+        hits = a.reuse_hits
+        b = shared_pool(2)
+        assert b is a
+        assert a.reuse_hits == hits + 1
+
+    def test_closed_pool_replaced(self):
+        a = shared_pool(2)
+        a.close()
+        b = shared_pool(2)
+        assert b is not a
+        assert b.run_tasks([(_double, 4)]) == [8]
+
+
+NAMES = ["SMITH", "SMYTH", "", "JONES", "VERYLONGLASTNAME", "JONSE", "SMITH"]
+
+
+class TestPublication:
+    def test_pack_signatures_round_width(self):
+        sigs = np.arange(18, dtype=np.uint32).reshape(6, 3)
+        packed = pack_signatures(sigs)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (6, 2)
+        # Odd widths are zero-padded, so the unpacked view's first
+        # three columns equal the original words.
+        back = packed.view(np.uint32).reshape(6, 4)[:, :3]
+        assert np.array_equal(back, sigs)
+
+    def test_shared_side_round_trips(self):
+        scheme = scheme_for("alpha", 2)
+        side = SharedSide(NAMES, scheme=scheme)
+        try:
+            assert side.n == len(NAMES)
+            assert side.bytes_shared > 0
+            codes, lengths = encode_raw(NAMES)
+            assert np.array_equal(_resolve_ref(side.arrays.codes), codes)
+            assert np.array_equal(_resolve_ref(side.arrays.lengths), lengths)
+            expect = pack_signatures(signatures_for_scheme(NAMES, scheme))
+            assert np.array_equal(_resolve_ref(side.arrays.sigs), expect)
+        finally:
+            side.close()
+
+    def test_inline_side_matches_shared(self):
+        scheme = scheme_for("alpha", 2)
+        side = SharedSide(NAMES, scheme=scheme)
+        try:
+            inline = inline_side(NAMES, scheme=scheme)
+            assert np.array_equal(
+                _resolve_ref(inline.codes), _resolve_ref(side.arrays.codes)
+            )
+            assert inline.codes[0] == "inline"
+        finally:
+            side.close()
+
+    def test_shared_datasets_self_join_publishes_vid(self):
+        scheme = scheme_for("alpha", 2)
+        ds = SharedDatasets(NAMES, list(NAMES), scheme=scheme, self_join=True)
+        try:
+            assert ds.left.vid is not None
+            vid = _resolve_ref(ds.left.vid)
+            # Value identity, not position: the two JON* rows differ,
+            # equal strings share an id.
+            assert vid[0] != vid[1]
+            assert vid[0] == vid[6]
+            assert len(set(vid.tolist())) == len(set(NAMES))
+        finally:
+            ds.close()
+
+    def test_close_releases_segments(self):
+        scheme = scheme_for("alpha", 2)
+        side = SharedSide(NAMES, scheme=scheme)
+        name = side.arrays.codes[1]
+        side.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def teardown_module(module):
+    close_shared_pools()

@@ -1,0 +1,123 @@
+"""Property test: the hybrid backend equals the all-pairs scalar reference.
+
+Same guarantee the plan-equivalence suite pins for the single-process
+backends, restated for the shared-memory pool: for every method stack
+and every generator that is safe for it, ``backend="hybrid"`` returns
+the identical match set, identical funnel counters and a conserved
+funnel — including the collapsed/weighted and self-join variants, where
+per-worker collectors must merge back into original-pair units.
+
+The reference runs with ``self_join=False, collapse="off", memo="off"``
+so it walks the full product with value-identity diagonal semantics —
+exactly what a dense hybrid run over published sides computes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matchers import METHOD_NAMES, method_registry
+from repro.core.plan import (
+    FBFIndexGenerator,
+    JoinPlanner,
+    LengthBucketGenerator,
+)
+from repro.obs import StatsCollector
+from repro.parallel.shm import close_shared_pools
+
+REGISTRY = method_registry()
+
+strings = st.lists(
+    st.text(alphabet="ab12", max_size=6), min_size=0, max_size=12
+)
+
+
+def _safe_generators(method: str) -> list[str]:
+    spec = REGISTRY[method]
+    names = ["all-pairs"]
+    if LengthBucketGenerator().is_safe_for(spec):
+        names.append("length-bucket")
+    if FBFIndexGenerator().is_safe_for(spec):
+        names.append("fbf-index")
+    return names
+
+
+def _reference(left, right, method):
+    return JoinPlanner(
+        left, right, k=1, record_matches=True,
+        self_join=False, collapse="off", memo="off",
+    ).run(method, generator="all-pairs", backend="scalar")
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+@settings(max_examples=10, deadline=None)
+@given(left=strings, right=strings)
+def test_hybrid_matches_reference(method, left, right):
+    ref = _reference(left, right, method)
+    expected = sorted(ref.matches)
+    for generator in _safe_generators(method):
+        c = StatsCollector(f"hybrid/{generator}")
+        planner = JoinPlanner(
+            left, right, k=1, record_matches=True, workers=2,
+            self_join=False, collapse="off", memo="off", collector=c,
+        )
+        r = planner.run(method, generator=generator, backend="hybrid")
+        assert r.backend == "hybrid"
+        assert sorted(r.matches) == expected, (
+            f"{method} under hybrid/{generator} diverged"
+        )
+        assert r.match_count == ref.match_count
+        assert r.diagonal_matches == ref.diagonal_matches
+        assert c.pairs_considered == len(left) * len(right)
+        assert c.conserved, f"{method} hybrid/{generator} leaked pairs"
+        assert c.matched == ref.match_count
+
+
+dup_strings = st.lists(
+    st.sampled_from(["", "a1", "a2", "ab", "ba1", "b2", "abab"]),
+    min_size=0,
+    max_size=12,
+)
+
+
+@pytest.mark.parametrize("method", ["DL", "FPDL", "Wink", "SDX"])
+@settings(max_examples=6, deadline=None)
+@given(left=dup_strings, right=dup_strings)
+def test_collapsed_hybrid_matches_reference(method, left, right):
+    """collapse='on' over the hybrid backend: per-worker funnels come
+    back in weighted units and still reconcile with the uncollapsed
+    scalar reference."""
+    ref = _reference(left, right, method)
+    c = StatsCollector("hybrid-collapsed")
+    planner = JoinPlanner(
+        left, right, k=1, record_matches=True, workers=2,
+        collapse="on", collector=c,
+    )
+    r = planner.run(method, generator="all-pairs", backend="hybrid")
+    assert sorted(r.matches) == sorted(ref.matches)
+    assert r.match_count == ref.match_count
+    assert c.pairs_considered == len(left) * len(right)
+    assert c.conserved
+    assert c.matched == ref.match_count
+
+
+@pytest.mark.parametrize("method", ["DL", "FPDL", "Jaro"])
+@settings(max_examples=6, deadline=None)
+@given(values=dup_strings)
+def test_self_join_hybrid_matches_reference(method, values):
+    """Content-equal sides: the hybrid run uses published value-identity
+    codes for the diagonal, matching the scalar reference exactly."""
+    ref = _reference(values, list(values), method)
+    c = StatsCollector("hybrid-self")
+    planner = JoinPlanner(
+        values, list(values), k=1, record_matches=True, workers=2,
+        self_join=False, collapse="off", memo="off", collector=c,
+    )
+    r = planner.run(method, generator="all-pairs", backend="hybrid")
+    assert sorted(r.matches) == sorted(ref.matches)
+    assert r.diagonal_matches == ref.diagonal_matches
+    assert c.conserved
+
+
+def teardown_module(module):
+    close_shared_pools()

@@ -1,0 +1,69 @@
+"""The pooled batched-query path answers exactly like the in-process one.
+
+`MatchService(workers=N)` fans `query_batch` out to the shared-memory
+worker pool; these tests pin identical answers, identical funnel
+counters, and the once-per-generation roster publication.
+"""
+
+import pytest
+
+from repro.data.datasets import dataset_for_family
+from repro.obs import StatsCollector
+from repro.parallel.shm import close_shared_pools
+from repro.serve.service import MatchService
+
+
+@pytest.fixture(scope="module")
+def ln_pair():
+    return dataset_for_family("LN", 400, seed=11)
+
+
+def _batched(svc, queries):
+    return [(r.value, r.ids) for r in svc.query_batch(queries)]
+
+
+class TestPooledEquivalence:
+    def test_answers_and_funnel_match_inprocess(self, ln_pair):
+        queries = ln_pair.error[:60]
+        c_ref, c_pool = StatsCollector("ref"), StatsCollector("pooled")
+        ref = MatchService(ln_pair.clean, k=1, collector=c_ref)
+        pooled = MatchService(ln_pair.clean, k=1, collector=c_pool, workers=2)
+
+        assert _batched(pooled, queries) == _batched(ref, queries)
+        assert c_pool.pairs_considered == c_ref.pairs_considered
+        assert c_pool.conserved and c_ref.conserved
+        for name, stage in c_ref.stages.items():
+            other = c_pool.stages[name]
+            assert (other.tested, other.passed) == (stage.tested, stage.passed)
+
+    def test_roster_republished_per_generation(self, ln_pair):
+        c = StatsCollector("pooled")
+        svc = MatchService(ln_pair.clean, k=1, collector=c, workers=2)
+        queries = ln_pair.error[:20]
+
+        svc.query_batch(queries)
+        svc.query_batch(ln_pair.error[20:40])
+        assert c.counters["shm_roster_publishes"] == 1
+
+        svc.add("BRANDNEWNAME")
+        svc.query_batch(queries)
+        assert c.counters["shm_roster_publishes"] == 2
+
+    def test_mutations_visible_through_pool(self, ln_pair):
+        ref = MatchService(ln_pair.clean, k=1)
+        pooled = MatchService(ln_pair.clean, k=1, workers=2)
+        for svc in (ref, pooled):
+            svc.add("ZZYZX")
+            svc.remove(0)
+        probe = ["ZZYZX", ln_pair.clean[0], *ln_pair.error[:10]]
+        assert _batched(pooled, probe) == _batched(ref, probe)
+
+    def test_single_worker_stays_inprocess(self, ln_pair):
+        c = StatsCollector("one")
+        svc = MatchService(ln_pair.clean, k=1, collector=c, workers=1)
+        svc.query_batch(ln_pair.error[:10])
+        assert "shm_roster_publishes" not in c.counters
+
+
+def teardown_module(module):
+    close_shared_pools()
