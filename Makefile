@@ -17,11 +17,11 @@ bench:
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/test_ablation_collapse.py -q --benchmark-disable
 
-# Machine-readable backend trajectory: writes
-# benchmarks/results/BENCH_hybrid.json (+ the .txt table).  The
-# committed artifact was produced with REPRO_HYBRID_N=10000.
+# Machine-readable artifacts: BENCH_hybrid.json (backend trajectory;
+# the committed artifact was produced with REPRO_HYBRID_N=10000) and
+# BENCH_metrics.json (serve-telemetry overhead), plus the .txt tables.
 bench-json:
-	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py -q -s --benchmark-disable
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -29,9 +29,15 @@ picks the candidate generator and execution backend from dataset size,
 chosen plan to stderr without changing the output.
 
 Observability: every data subcommand accepts ``--stats`` (print the
-filter-funnel report to stderr) and ``--stats-json PATH`` (write the
-full collector tree as JSON); ``-v``/``-vv`` raise the ``repro.*``
-logger verbosity and ``-q`` silences warnings.
+filter-funnel report to stderr), ``--stats-json PATH`` (write the
+full collector tree as JSON) and ``--metrics-json PATH`` (write a
+metrics-registry snapshot — the funnel bridged through
+:func:`repro.obs.metrics.registry_from_collector` for batch joins, the
+service's live registry for ``serve``/``query``); ``-v``/``-vv`` raise
+the ``repro.*`` logger verbosity and ``-q`` silences warnings.
+``serve --metrics-port N`` additionally starts a background HTTP
+``/metrics`` listener (0 picks an ephemeral port, announced on
+stderr), and ``repro-fbf metrics PORT`` polls one from the outside.
 
 The module is import-safe: ``main(argv)`` takes an explicit argument
 list, so the test suite drives it without subprocesses.
@@ -161,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="tombstone fraction triggering compaction (0 disables)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "start a background HTTP /metrics listener on this port "
+            "(0 picks an ephemeral port; the bound URL is printed to "
+            "stderr)"
+        ),
+    )
     _stats_args(serve)
 
     query = sub.add_parser(
@@ -174,6 +191,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one JSON object per query instead of TSV",
     )
     _stats_args(query)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="poll a running server's /metrics listener",
+    )
+    metrics.add_argument(
+        "port", type=int, help="the listener's port (see --metrics-port)"
+    )
+    metrics.add_argument(
+        "--host", default="127.0.0.1", help="listener host"
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="fetch the JSON snapshot instead of the Prometheus text",
+    )
+    metrics.add_argument(
+        "--events",
+        action="store_true",
+        help="fetch the lifecycle event log instead of the metrics",
+    )
+    metrics.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="HTTP timeout in seconds",
+    )
 
     report = sub.add_parser(
         "report", help="assemble REPORT.md from saved benchmark results"
@@ -300,6 +344,17 @@ def _stats_args(sub: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write funnel counters and spans as JSON",
     )
+    sub.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a metrics-registry snapshot as JSON (funnel counters "
+            "as Prometheus-shaped series; serve/query export the live "
+            "service registry)"
+        ),
+    )
 
 
 def _plan_overrides(args: argparse.Namespace):
@@ -340,12 +395,21 @@ def _planned_join(args: argparse.Namespace, left, right, collector):
 
 def _collector_for(args: argparse.Namespace) -> StatsCollector | None:
     """One collector when any stats output was requested, else None."""
-    if args.stats or args.stats_json is not None:
+    if (
+        args.stats
+        or args.stats_json is not None
+        or args.metrics_json is not None
+    ):
         return StatsCollector(args.command)
     return None
 
 
-def _emit_stats(args: argparse.Namespace, collector: StatsCollector | None) -> None:
+def _emit_stats(
+    args: argparse.Namespace,
+    collector: StatsCollector | None,
+    *,
+    registry=None,
+) -> None:
     if collector is None:
         return
     if args.stats:
@@ -358,6 +422,19 @@ def _emit_stats(args: argparse.Namespace, collector: StatsCollector | None) -> N
                 f"error: cannot write stats to {args.stats_json}: {exc}"
             ) from exc
         _log.info("wrote stats JSON to %s", args.stats_json)
+    if args.metrics_json is not None:
+        from repro.obs.metrics import registry_from_collector
+
+        reg = registry if registry is not None else registry_from_collector(
+            collector
+        )
+        try:
+            reg.write_json(args.metrics_json)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write metrics to {args.metrics_json}: {exc}"
+            ) from exc
+        _log.info("wrote metrics JSON to %s", args.metrics_json)
 
 
 def _read_lines(path: Path) -> list[str]:
@@ -511,7 +588,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.k,
         service.index.scheme.name,
     )
-    served = serve_lines(service, sys.stdin, sys.stdout)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.serve import start_metrics_server
+
+        try:
+            metrics_server = start_metrics_server(
+                service, args.metrics_port
+            )
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot bind metrics port "
+                f"{args.metrics_port}: {exc}"
+            ) from exc
+        print(
+            f"# metrics listening on {metrics_server.url}/metrics",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        served = serve_lines(service, sys.stdin, sys.stdout)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     cache = service.cache.stats()
     print(
         f"# served {served} requests over {len(service)} strings "
@@ -519,7 +618,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{service.index.compactions} compactions)",
         file=sys.stderr,
     )
-    _emit_stats(args, collector)
+    service.refresh_metrics()
+    _emit_stats(args, collector, registry=service.metrics or None)
     return 0
 
 
@@ -544,7 +644,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"(k={args.k}, method={args.method}, n={len(service)})",
         file=sys.stderr,
     )
-    _emit_stats(args, collector)
+    service.refresh_metrics()
+    _emit_stats(args, collector, registry=service.metrics or None)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    if args.events:
+        route = "/events.json"
+    elif args.json:
+        route = "/metrics.json"
+    else:
+        route = "/metrics"
+    url = f"http://{args.host}:{args.port}{route}"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            body = resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"error: cannot scrape {url}: {exc}") from exc
+    sys.stdout.write(body if body.endswith("\n") else body + "\n")
     return 0
 
 
@@ -563,6 +684,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "report":
         from repro.eval.report import build_report
 

@@ -11,7 +11,14 @@ reports into:
 * :mod:`repro.obs.export` — the filtration-ratio table (text) and JSON
   snapshot, directly comparable to the paper's Tables 1-4 columns;
 * :mod:`repro.obs.log` — the ``repro.*`` module-logger hierarchy behind
-  the CLI's ``-v``/``-q`` flags.
+  the CLI's ``-v``/``-q`` flags;
+* :mod:`repro.obs.metrics` — live telemetry: the
+  :class:`MetricsRegistry` of counters, gauges and log-bucket
+  histograms with Prometheus text + JSON snapshot/delta exposition
+  (what the serving stack reports *while it runs*);
+* :mod:`repro.obs.events` — the bounded JSON-lines :class:`EventLog`
+  for discrete lifecycle events (compactions, worker respawns,
+  snapshot load/save).
 
 Quick tour::
 
@@ -24,8 +31,20 @@ Quick tour::
     assert c.conserved        # considered == rejected-by-stage + survivors
 """
 
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
 from repro.obs.export import render_funnel, stats_dict, write_stats_json
 from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    log_buckets,
+    registry_from_collector,
+)
 from repro.obs.stats import (
     NULL_COLLECTOR,
     NullStatsCollector,
@@ -42,8 +61,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "NULL_COLLECTOR",
+    "NULL_EVENTS",
+    "NULL_METRICS",
     "NULL_SPAN",
+    "NullEventLog",
+    "NullMetricsRegistry",
     "NullStatsCollector",
     "ROOT_LOGGER_NAME",
     "SpanStat",
@@ -53,6 +82,8 @@ __all__ = [
     "configure_logging",
     "current_tracer",
     "get_logger",
+    "log_buckets",
+    "registry_from_collector",
     "render_funnel",
     "stats_dict",
     "trace",

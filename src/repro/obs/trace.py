@@ -31,6 +31,27 @@ Usage::
 
 Nested spans key under their full path with ``/`` separators, e.g.
 ``"join/fbf.filter"`` — span *names* keep their conventional dots.
+
+**The percentile estimator.**  Each :class:`SpanStat` retains at most
+:data:`SAMPLE_WINDOW` per-call durations and computes percentiles over
+them by nearest rank.  The retained set is a **uniform reservoir**
+(Vitter's Algorithm R): once the window is full, the *i*-th call
+overall replaces a random slot with probability ``SAMPLE_WINDOW / i``,
+so every call of the run — first minute or last — is equally likely to
+be in the window.  A plain "most recent N" ring would make a long run's
+p95/p99 describe only the tail of the run; the reservoir makes them an
+unbiased estimate over the whole run (mean/total are always exact —
+they are accumulated outside the window).  Replacement slots come from
+a per-path ``random.Random`` seeded with ``crc32(path)``, so runs are
+deterministic regardless of ``PYTHONHASHSEED``.  Merging two stats
+(:meth:`Tracer.merge`) draws a calls-proportional stratified subsample:
+each side contributes slots in proportion to the number of calls its
+reservoir summarises, sampled without replacement — when the combined
+windows fit the cap they are simply concatenated, which is exact.
+For quantiles that must stay accurate over *unbounded* serving runs
+with bounded error, prefer the fixed-bucket histograms in
+:mod:`repro.obs.metrics`; the reservoir is the right tool for batch
+runs where true per-call samples beat bucketed ones.
 """
 
 from __future__ import annotations
@@ -38,8 +59,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from math import ceil
+from random import Random
 from time import perf_counter_ns
 from typing import Iterator
+from zlib import crc32
 
 __all__ = [
     "SpanStat",
@@ -52,8 +75,8 @@ __all__ = [
 ]
 
 #: per-path cap on retained per-call durations; percentiles are computed
-#: over this sliding window of the most recent calls (mean/total stay
-#: exact over *all* calls)
+#: over a uniform reservoir of this size covering *all* calls of the
+#: run (mean/total stay exact — they are accumulated outside the window)
 SAMPLE_WINDOW = 1024
 
 
@@ -62,16 +85,21 @@ class SpanStat:
     """Accumulated timing for one span path.
 
     ``calls`` and ``total_ns`` cover every call ever recorded;
-    ``samples`` is a bounded ring of the most recent per-call durations
-    (at most :data:`SAMPLE_WINDOW`) from which the latency percentiles
-    are computed — a serving loop wants "p95 over recent traffic", and
-    a bounded window keeps a long-lived tracer's memory flat.
+    ``samples`` is a bounded uniform reservoir (Algorithm R, at most
+    :data:`SAMPLE_WINDOW` entries) over every per-call duration of the
+    run, from which the latency percentiles are estimated — see the
+    module docstring for the estimator and its determinism guarantees.
     """
 
     path: str
     calls: int = 0
     total_ns: int = 0
     samples: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Seeded from the path (not hash(): deterministic under any
+        # PYTHONHASHSEED), so identical runs keep identical windows.
+        self._rng = Random(crc32(self.path.encode("utf-8")))
 
     @property
     def total_ms(self) -> float:
@@ -86,13 +114,44 @@ class SpanStat:
         return self.mean_ns / 1e6
 
     def record(self, elapsed_ns: int) -> None:
-        """Fold one call's duration in (ring-buffer semantics)."""
+        """Fold one call's duration in (reservoir semantics)."""
         if len(self.samples) < SAMPLE_WINDOW:
             self.samples.append(elapsed_ns)
         else:
-            self.samples[self.calls % SAMPLE_WINDOW] = elapsed_ns
+            slot = self._rng.randrange(self.calls + 1)
+            if slot < SAMPLE_WINDOW:
+                self.samples[slot] = elapsed_ns
         self.calls += 1
         self.total_ns += elapsed_ns
+
+    def absorb(self, other: "SpanStat") -> None:
+        """Fold another stat for the same path in (the merge path).
+
+        Counts and totals add exactly.  The combined reservoir is a
+        calls-proportional stratified subsample: if both windows fit
+        the cap they concatenate (exact union when both are complete
+        records); otherwise each side contributes
+        ``round(cap * side_calls / total_calls)`` slots drawn without
+        replacement from its window.
+        """
+        if other.calls == 0:
+            return
+        if self.calls == 0:
+            self.samples = list(other.samples)
+        elif len(self.samples) + len(other.samples) <= SAMPLE_WINDOW:
+            self.samples = self.samples + list(other.samples)
+        else:
+            total = self.calls + other.calls
+            take_mine = min(
+                len(self.samples), round(SAMPLE_WINDOW * self.calls / total)
+            )
+            take_theirs = min(len(other.samples), SAMPLE_WINDOW - take_mine)
+            take_mine = min(len(self.samples), SAMPLE_WINDOW - take_theirs)
+            self.samples = self._rng.sample(
+                self.samples, take_mine
+            ) + self._rng.sample(list(other.samples), take_theirs)
+        self.calls += other.calls
+        self.total_ns += other.total_ns
 
     def percentile_ns(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in 0-100) over the sample window."""
@@ -183,10 +242,7 @@ class Tracer:
             mine = self.spans.get(path)
             if mine is None:
                 mine = self.spans[path] = SpanStat(path)
-            mine.calls += stat.calls
-            mine.total_ns += stat.total_ns
-            # Keep at most SAMPLE_WINDOW of the combined recent samples.
-            mine.samples = (mine.samples + stat.samples)[-SAMPLE_WINDOW:]
+            mine.absorb(stat)
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """JSON-ready view: path -> {calls, total_ms, latency summary}."""

@@ -97,6 +97,7 @@ __all__ = [
     "WorkerPool",
     "shared_pool",
     "close_shared_pools",
+    "publish_pool_metrics",
     "run_hybrid",
     "hybrid_join",
     "pack_signatures",
@@ -773,6 +774,14 @@ class WorkerPool:
         self.reuse_hits = 0
         self._unreported_reuse = 0
         self.busy_ns = 0
+        #: per-pid lifetime tallies: {"tasks", "busy_ns", "last_seen"}
+        #: (``last_seen`` is wall-clock of the pid's latest result — the
+        #: heartbeat the serve layer surfaces as per-worker gauges)
+        self.worker_stats: dict[int, dict[str, float]] = {}
+        #: wall-clock of the first spawn (busy-ratio denominator)
+        self.started_at: float | None = None
+        #: respawns already reported through publish_pool_metrics
+        self._respawns_published = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -794,6 +803,8 @@ class WorkerPool:
         if self._task_q is None:
             self._task_q = self._ctx.Queue()
             self._result_q = self._ctx.Queue()
+        if self.started_at is None:
+            self.started_at = time.time()
         alive = [p for p in self._procs if p.is_alive()]
         died = len(self._procs) - len(alive)
         if died:
@@ -920,6 +931,14 @@ class WorkerPool:
             executed_by[pid] = executed_by.get(pid, 0) + 1
             self.busy_ns += busy
             self.tasks_completed += 1
+            ws = self.worker_stats.get(pid)
+            if ws is None:
+                ws = self.worker_stats[pid] = {
+                    "tasks": 0, "busy_ns": 0, "last_seen": 0.0,
+                }
+            ws["tasks"] += 1
+            ws["busy_ns"] += busy
+            ws["last_seen"] = time.time()
         # "Stolen" = executed beyond the even per-worker share; with a
         # static split this is zero by construction.
         fair = -(-len(blobs) // max(1, len(executed_by)))
@@ -927,6 +946,109 @@ class WorkerPool:
             max(0, n - fair) for n in executed_by.values()
         )
         return [results[task_id] for task_id in range(len(blobs))]
+
+    # -- telemetry -----------------------------------------------------------
+
+    def heartbeat(self) -> dict[str, object]:
+        """JSON-ready live view of the pool: lifetime totals plus one
+        entry per worker pid that has ever answered.
+
+        ``busy_ratio`` is the pid's summed in-kernel time over the
+        pool's wall lifetime — the per-shard load signal the ROADMAP's
+        sharded-serving item rebalances on.  ``age_s`` is seconds since
+        the pid's last completed task (its heartbeat staleness).
+        """
+        now = time.time()
+        uptime = (now - self.started_at) if self.started_at else 0.0
+        alive_pids = {p.pid for p in self._procs if p.is_alive()}
+        return {
+            "workers": self.workers,
+            "alive": len(alive_pids),
+            "uptime_s": uptime,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_completed": self.tasks_completed,
+            "tasks_stolen": self.tasks_stolen,
+            "bytes_pickled": self.bytes_pickled,
+            "respawns": self.respawns,
+            "busy_ns": self.busy_ns,
+            "per_worker": {
+                pid: {
+                    "tasks": ws["tasks"],
+                    "busy_ns": ws["busy_ns"],
+                    "busy_ratio": (
+                        ws["busy_ns"] / (uptime * 1e9) if uptime else 0.0
+                    ),
+                    "age_s": max(0.0, now - ws["last_seen"]),
+                    "alive": pid in alive_pids,
+                }
+                for pid, ws in self.worker_stats.items()
+            },
+        }
+
+
+def publish_pool_metrics(
+    pool: "WorkerPool", metrics, events=None
+) -> dict[str, object]:
+    """Surface a pool's heartbeat as registry gauges/counters.
+
+    Pool-level lifetime totals land in ``pool_*_total`` counters (via
+    ``set_total`` — the pool already keeps the monotone running sums
+    that back the ``shm_*`` collector counters), live state in
+    ``pool_*`` gauges, and each worker pid gets labelled
+    ``pool_worker_*`` gauges (tasks, busy ratio, heartbeat age,
+    liveness).  Respawns since the previous publish are emitted as
+    ``worker_respawn`` events.  Returns the heartbeat dict.
+    """
+    hb = pool.heartbeat()
+    metrics.gauge("pool_workers", "configured worker count").set(
+        hb["workers"]
+    )
+    metrics.gauge("pool_workers_alive", "workers currently alive").set(
+        hb["alive"]
+    )
+    metrics.gauge("pool_uptime_seconds", "seconds since first spawn").set(
+        hb["uptime_s"]
+    )
+    for key, help_ in (
+        ("tasks_dispatched", "tasks queued over the pool lifetime"),
+        ("tasks_completed", "tasks answered over the pool lifetime"),
+        ("tasks_stolen", "tasks executed beyond the even share"),
+        ("bytes_pickled", "bytes shipped through the task queue"),
+        ("respawns", "workers respawned after dying"),
+    ):
+        metrics.counter(f"pool_{key}_total", help_).set_total(hb[key])
+    metrics.counter(
+        "pool_busy_seconds_total", "summed in-worker kernel time"
+    ).set_total(hb["busy_ns"] / 1e9)
+    for pid, ws in hb["per_worker"].items():
+        labels = {"pid": str(pid)}
+        metrics.gauge(
+            "pool_worker_tasks", "tasks answered by this pid", labels
+        ).set(ws["tasks"])
+        metrics.gauge(
+            "pool_worker_busy_ratio",
+            "pid busy time over pool wall lifetime",
+            labels,
+        ).set(ws["busy_ratio"])
+        metrics.gauge(
+            "pool_worker_heartbeat_age_seconds",
+            "seconds since this pid last answered",
+            labels,
+        ).set(ws["age_s"])
+        metrics.gauge(
+            "pool_worker_alive", "1 if the pid is alive", labels
+        ).set(1.0 if ws["alive"] else 0.0)
+    if events:
+        new_respawns = pool.respawns - pool._respawns_published
+        if new_respawns > 0:
+            events.emit(
+                "worker_respawn",
+                count=new_respawns,
+                total=pool.respawns,
+                alive=hb["alive"],
+            )
+    pool._respawns_published = pool.respawns
+    return hb
 
 
 #: process-wide warm pools, keyed by worker count

@@ -13,10 +13,13 @@ queries as they arrive".  The pieces:
 * :mod:`~repro.serve.snapshot` — one-file persistence so a restarted
   service skips the O(n) rebuild;
 * :mod:`~repro.serve.server` — the JSON-lines protocol behind
-  ``repro-fbf serve``.
+  ``repro-fbf serve``;
+* :mod:`~repro.serve.httpd` — the optional background ``/metrics``
+  HTTP listener (``repro-fbf serve --metrics-port``).
 """
 
 from repro.serve.cache import MISS, ResultCache
+from repro.serve.httpd import MetricsServer, start_metrics_server
 from repro.serve.mutable import MutableIndex
 from repro.serve.server import handle, serve_lines
 from repro.serve.service import MatchService, QueryResult
@@ -25,6 +28,7 @@ from repro.serve.snapshot import load_index, read_header, save_index
 __all__ = [
     "MISS",
     "MatchService",
+    "MetricsServer",
     "MutableIndex",
     "QueryResult",
     "ResultCache",
@@ -33,4 +37,5 @@ __all__ = [
     "read_header",
     "save_index",
     "serve_lines",
+    "start_metrics_server",
 ]

@@ -1,0 +1,170 @@
+"""Background stdlib-HTTP ``/metrics`` listener for the serving stack.
+
+The JSON-lines protocol multiplexes telemetry over the same pipe as
+traffic (the ``metrics`` op); this module gives telemetry its own side
+door, so a scraper or a human with ``curl`` can watch a live server
+without touching the request stream.  Stdlib only
+(``http.server.ThreadingHTTPServer`` on a daemon thread) — no new
+dependencies, no asyncio.
+
+Endpoints:
+
+``/metrics``
+    Prometheus text exposition of the service's registry (gauges are
+    refreshed at scrape time via
+    :meth:`~repro.serve.service.MatchService.refresh_metrics`, so a
+    scrape sees current index/pool state even on an idle server);
+``/metrics.json``
+    the JSON snapshot (:meth:`MetricsRegistry.snapshot` shape);
+``/events.json``
+    the last lifecycle events, oldest first (``?n=50`` to bound);
+``/healthz``
+    liveness probe — ``200 ok`` while the thread runs.
+
+Usage::
+
+    server = start_metrics_server(service, port=9109)
+    ...
+    server.close()
+
+``port=0`` binds an ephemeral port (``server.port`` reports it), which
+is what the tests and the ``repro-fbf serve --metrics-port 0`` path
+use.  The server binds ``127.0.0.1`` by default: telemetry often leaks
+data-distribution details, so exposing it beyond localhost is an
+explicit choice (``host="0.0.0.0"``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.log import get_logger
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+_log = get_logger("serve.httpd")
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """One GET handler over the owning :class:`MetricsServer`."""
+
+    server_version = "repro-metrics/1"
+
+    #: set per server subclass via type(); the service being exposed
+    service = None
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        service = self.service
+        try:
+            if route == "/metrics":
+                service.refresh_metrics()
+                body = service.metrics.render_prometheus()
+                self._reply(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif route == "/metrics.json":
+                self._reply_json(200, service.metrics_snapshot())
+            elif route == "/events.json":
+                query = parse_qs(parsed.query)
+                n = None
+                if "n" in query:
+                    try:
+                        n = max(0, int(query["n"][0]))
+                    except ValueError:
+                        self._reply_json(400, {"error": "n must be an int"})
+                        return
+                self._reply_json(200, {"events": service.events.tail(n)})
+            elif route in ("/", "/healthz"):
+                self._reply(200, "ok\n", "text/plain; charset=utf-8")
+            else:
+                self._reply_json(404, {"error": f"no route {route!r}"})
+        except Exception as exc:  # never kill the listener thread
+            _log.warning("metrics request %s failed: %r", self.path, exc)
+            try:
+                self._reply_json(500, {"error": repr(exc)})
+            except OSError:
+                pass  # client already gone
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_json(self, status: int, payload: dict) -> None:
+        self._reply(
+            status,
+            json.dumps(payload, default=str) + "\n",
+            "application/json; charset=utf-8",
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.debug("http %s", format % args)
+
+
+class MetricsServer:
+    """A ``ThreadingHTTPServer`` on a daemon thread, bound at init.
+
+    Binding happens eagerly (so a taken port fails fast, in the
+    foreground); request serving starts with :meth:`start`.  Idempotent
+    :meth:`close`; usable as a context manager.
+    """
+
+    def __init__(self, service, *, host: str = "127.0.0.1", port: int = 0):
+        handler = type(
+            "_BoundMetricsHandler", (_MetricsHandler,), {"service": service}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-metrics-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+            _log.info("metrics listener on %s/metrics", self.url)
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    service, port: int = 0, *, host: str = "127.0.0.1"
+) -> MetricsServer:
+    """Bind and start a :class:`MetricsServer` for ``service``."""
+    return MetricsServer(service, host=host, port=port).start()

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.core.index import FBFIndex
 from repro.core.signatures import SignatureScheme
+from repro.obs.events import NULL_EVENTS
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["MutableIndex"]
 
@@ -81,6 +83,56 @@ class MutableIndex:
         self.generation = 0
         #: total compactions performed (auto + explicit)
         self.compactions = 0
+        self._reset_telemetry()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _reset_telemetry(self) -> None:
+        """Detach instrumentation.  Also the initializer for instances
+        built around ``__init__`` (``snapshot.load_index``)."""
+        self._metrics = NULL_METRICS
+        self._events = NULL_EVENTS
+        self._g_size = self._g_rows = None
+        self._g_tombstone_ratio = self._g_generation = None
+        self._c_compactions = None
+
+    def instrument(self, metrics, events=None) -> None:
+        """Report live-state gauges and lifecycle events into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (and optionally an
+        :class:`~repro.obs.events.EventLog`).
+
+        Gauges — ``index_size`` (live entries), ``index_rows`` (packed
+        rows incl. tombstones), ``index_tombstone_ratio`` and
+        ``index_generation`` — are refreshed after every mutation;
+        compactions bump ``index_compactions_total`` and emit a
+        ``compaction`` event.  Idempotent; call again to re-point at a
+        different registry.
+        """
+        self._metrics = metrics if metrics else NULL_METRICS
+        self._events = events if events else NULL_EVENTS
+        m = self._metrics
+        self._g_size = m.gauge("index_size", "live (non-tombstoned) entries")
+        self._g_rows = m.gauge(
+            "index_rows", "packed index rows including tombstones"
+        )
+        self._g_tombstone_ratio = m.gauge(
+            "index_tombstone_ratio", "dead fraction of packed rows"
+        )
+        self._g_generation = m.gauge(
+            "index_generation", "mutation counter (caches key on it)"
+        )
+        self._c_compactions = m.counter(
+            "index_compactions_total", "compactions performed (auto + explicit)"
+        )
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        if self._g_size is None:
+            return
+        self._g_size.set(len(self._live))
+        self._g_rows.set(len(self._fbf))
+        self._g_tombstone_ratio.set(self.tombstone_ratio)
+        self._g_generation.set(self.generation)
 
     # -- introspection ------------------------------------------------------
 
@@ -135,6 +187,7 @@ class MutableIndex:
         self._ext_ids.append(sid)
         self._live[sid] = internal
         self.generation += 1
+        self._refresh_gauges()
         return sid
 
     def extend(self, strings: Sequence[str]) -> list[int]:
@@ -153,6 +206,7 @@ class MutableIndex:
             raise KeyError(f"no live entry with id {sid}") from None
         self._dead.add(internal)
         self.generation += 1
+        self._refresh_gauges()
         if (
             self.compact_ratio is not None
             and self.tombstone_ratio >= self.compact_ratio
@@ -176,6 +230,15 @@ class MutableIndex:
         self._dead.clear()
         self.compactions += 1
         self.generation += 1
+        if self._c_compactions is not None:
+            self._c_compactions.inc()
+        self._refresh_gauges()
+        self._events.emit(
+            "compaction",
+            reclaimed=reclaimed,
+            rows=len(self._fbf),
+            generation=self.generation,
+        )
         return reclaimed
 
     # -- search -------------------------------------------------------------

@@ -20,8 +20,21 @@ Ops::
     {"op": "remove", "id": 7}
     {"op": "compact"}
     {"op": "stats"}
+    {"op": "metrics"}                       (live telemetry snapshot;
+                                             "delta": true for the
+                                             since-last-poll view,
+                                             "format": "prometheus" for
+                                             the text exposition,
+                                             "events": N to include the
+                                             last N lifecycle events)
     {"op": "snapshot", "path": "warm.npz"}
     {"op": "shutdown"}
+
+Protocol failures are telemetry, not just responses: malformed JSON
+lines and unknown ops are tallied into the service's metrics registry
+(``serve_bad_requests_total{reason=...}``) and collector counters, and
+the ``shutdown`` acknowledgment carries the loop's ``served`` and
+``errors`` totals so a draining client sees the final account.
 """
 
 from __future__ import annotations
@@ -86,21 +99,49 @@ def handle(service: MatchService, request: dict) -> dict[str, object]:
             try:
                 service.remove(sid)
             except KeyError as exc:
+                service.note_request_error("unknown_id")
                 return {"ok": False, "op": op, "error": str(exc.args[0])}
             return {"ok": True, "op": op, "id": sid}
         if op == "compact":
             return {"ok": True, "op": op, "reclaimed": service.compact()}
         if op == "stats":
             return {"ok": True, "op": op, "stats": service.stats()}
+        if op == "metrics":
+            if request.get("format") == "prometheus":
+                service.refresh_metrics()
+                return {
+                    "ok": True,
+                    "op": op,
+                    "format": "prometheus",
+                    "text": service.metrics.render_prometheus(),
+                }
+            payload = (
+                service.metrics_delta()
+                if request.get("delta")
+                else service.metrics_snapshot()
+            )
+            response: dict[str, object] = {
+                "ok": True,
+                "op": op,
+                "metrics": payload,
+            }
+            if "events" in request:
+                response["events"] = service.events.tail(
+                    int(request["events"])
+                )
+            return response
         if op == "snapshot":
             path = service.save(str(request["path"]))
             return {"ok": True, "op": op, "path": str(path)}
         if op == "shutdown":
             return {"ok": True, "op": op, "shutdown": True}
+        service.note_request_error("unknown_op")
         return {"ok": False, "error": f"unknown op {op!r}"}
     except KeyError as exc:
+        service.note_request_error("missing_field")
         return {"ok": False, "op": op, "error": f"missing field {exc}"}
     except (ValueError, TypeError) as exc:
+        service.note_request_error("bad_value")
         return {"ok": False, "op": op, "error": str(exc)}
 
 
@@ -110,10 +151,13 @@ def serve_lines(
     """Run the request loop; returns the number of requests served.
 
     Stops at end of input or after a ``shutdown`` op (which is
-    acknowledged before the loop exits).  Blank lines are skipped;
-    unparseable lines produce an error response and the loop continues.
+    acknowledged — including the loop's ``served``/``errors`` totals —
+    before the loop exits).  Blank lines are skipped; unparseable lines
+    produce an error response, bump the malformed-request counters and
+    the loop continues.
     """
     served = 0
+    errors = 0
     for line in lines:
         line = line.strip()
         if not line:
@@ -121,16 +165,23 @@ def serve_lines(
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
+            service.note_request_error("bad_json")
             response: dict[str, object] = {
                 "ok": False,
                 "error": f"bad json: {exc}",
             }
         else:
             if not isinstance(request, dict):
+                service.note_request_error("not_an_object")
                 response = {"ok": False, "error": "request must be an object"}
             else:
                 response = handle(service, request)
         served += 1
+        if not response.get("ok"):
+            errors += 1
+        if response.get("shutdown"):
+            response["served"] = served
+            response["errors"] = errors
         out.write(json.dumps(response) + "\n")
         out.flush()
         if response.get("shutdown"):

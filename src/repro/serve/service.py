@@ -34,7 +34,15 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from time import perf_counter_ns
+
 from repro.core.signatures import SignatureScheme
+from repro.obs.events import NULL_EVENTS, EventLog
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+)
 from repro.obs.stats import NULL_COLLECTOR
 from repro.parallel.chunked import VectorEngine
 from repro.serve.cache import MISS, ResultCache
@@ -88,6 +96,17 @@ class MatchService:
     collector:
         Optional :class:`~repro.obs.stats.StatsCollector` receiving the
         filter funnel, cache/compaction counters and latency spans.
+    metrics:
+        Live telemetry.  ``None`` (default) creates a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry`; pass an existing
+        registry to share one, or ``False`` to disable recording
+        entirely (the no-op registry).  The registry carries request
+        latency histograms, cache and error counters, index/queue
+        gauges and — with ``workers > 1`` — per-worker pool heartbeat
+        gauges; :attr:`events` records lifecycle events (compaction,
+        snapshot save/load, engine rebuild, worker respawn).  Exposed
+        by the JSON-lines ``metrics`` op and the optional HTTP
+        ``/metrics`` listener (:mod:`repro.serve.httpd`).
     workers:
         With ``workers > 1``, batched OSA queries fan out to the
         process-wide shared-memory pool
@@ -108,6 +127,7 @@ class MatchService:
         compact_ratio: float | None = 0.25,
         collector=None,
         workers: int | None = None,
+        metrics: MetricsRegistry | bool | None = None,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -127,6 +147,105 @@ class MatchService:
         # Shared-memory roster, also valid for exactly one generation.
         self._shm_roster = None
         self._shm_generation = -1
+        self._init_telemetry(metrics)
+
+    def _init_telemetry(self, metrics: MetricsRegistry | bool | None) -> None:
+        """Create (or adopt) the registry and pre-bind the hot-path
+        instruments so recording is attribute access, not dict lookups."""
+        if metrics is None:
+            metrics = MetricsRegistry()
+        elif metrics is False:
+            metrics = NULL_METRICS
+        self.metrics = metrics
+        self.events = EventLog() if metrics else NULL_EVENTS
+        self._last_metrics_snapshot: dict[str, object] | None = None
+        m = metrics
+        self._h_query = m.histogram(
+            "serve_request_seconds",
+            "request latency by op",
+            labels={"op": "query"},
+        )
+        self._h_batch = m.histogram(
+            "serve_request_seconds",
+            "request latency by op",
+            labels={"op": "query_batch"},
+        )
+        self._h_batch_size = m.histogram(
+            "serve_batch_size",
+            "values per query_batch call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._c_queries = m.counter(
+            "serve_queries_total", "individual queries answered"
+        )
+        self._c_cache_hits = m.counter(
+            "serve_cache_hits_total", "result-cache hits"
+        )
+        self._c_cache_misses = m.counter(
+            "serve_cache_misses_total", "result-cache misses"
+        )
+        self._c_errors = m.counter(
+            "serve_request_errors_total", "requests answered with an error"
+        )
+        self._c_engine_rebuilds = m.counter(
+            "serve_engine_rebuilds_total",
+            "per-generation engine preparations (cache generation bumps)",
+        )
+        self._g_queue_depth = m.gauge(
+            "serve_queue_depth",
+            "uncached queries pending in the in-flight batch",
+        )
+        self._g_cache_entries = m.gauge(
+            "serve_cache_entries", "live result-cache entries"
+        )
+        self._index.instrument(metrics, self.events)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def refresh_metrics(self) -> None:
+        """Bring scrape-time gauges current (index state, cache size,
+        pool heartbeats).  Called by the exposition paths right before
+        rendering, so a scrape always sees live state even if no
+        request arrived since the last one."""
+        if not self.metrics:
+            return
+        self._index._refresh_gauges()
+        self._g_cache_entries.set(self._cache.stats()["size"])
+        if self._workers and self._workers > 1:
+            from repro.parallel import shm
+
+            pool = shm._SHARED_POOLS.get(
+                max(1, int(self._workers or 0))
+            )
+            if pool is not None and pool.started and not pool.closed:
+                shm.publish_pool_metrics(pool, self.metrics, self.events)
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """Full JSON snapshot of the registry (gauges refreshed)."""
+        self.refresh_metrics()
+        snap = self.metrics.snapshot()
+        self._last_metrics_snapshot = snap
+        return snap
+
+    def metrics_delta(self) -> dict[str, object]:
+        """Counters/histograms since the previous snapshot or delta
+        call on this service; gauges stay absolute."""
+        previous = self._last_metrics_snapshot
+        current = self.metrics_snapshot()
+        return MetricsRegistry.delta(current, previous)
+
+    def note_request_error(self, reason: str) -> None:
+        """Tally one protocol-level failure (malformed JSON, unknown
+        op, bad field) into the error counter, a per-reason counter and
+        the collector's free-form counters — so bad traffic is visible
+        instead of vanishing down the response stream."""
+        self._c_errors.inc()
+        self.metrics.counter(
+            "serve_bad_requests_total",
+            "protocol-level request failures by reason",
+            labels={"reason": reason},
+        ).inc()
+        self._obs.add_counter(f"serve_error_{reason}")
 
     # -- introspection ------------------------------------------------------
 
@@ -204,11 +323,16 @@ class MatchService:
     ) -> QueryResult:
         """Answer one query (cache-aware, scalar index search)."""
         k, method = self._resolve(k, method)
+        t0 = perf_counter_ns()
         with self._obs.span("serve.query"):
             hit = self._lookup(value, k, method)
-            if hit is not None:
-                return hit
-            return self._answer_scalar(value, k, method)
+            result = (
+                hit if hit is not None
+                else self._answer_scalar(value, k, method)
+            )
+        self._c_queries.inc()
+        self._h_query.observe((perf_counter_ns() - t0) / 1e9)
+        return result
 
     def query_batch(
         self,
@@ -225,6 +349,7 @@ class MatchService:
         search otherwise (``"myers"`` is a different metric).
         """
         k, method = self._resolve(k, method)
+        t0 = perf_counter_ns()
         with self._obs.span("serve.query_batch"):
             answered: dict[str, QueryResult] = {}
             pending: list[str] = []
@@ -239,6 +364,7 @@ class MatchService:
                     seen.add(value)
                     pending.append(value)
             if pending:
+                self._g_queue_depth.set(len(pending))
                 if method in OSA_METRIC and len(self._index.index):
                     for res in self._answer_batched(pending, k, method):
                         answered[res.value] = res
@@ -247,6 +373,10 @@ class MatchService:
                         answered[value] = self._answer_scalar(
                             value, k, method
                         )
+                self._g_queue_depth.set(0)
+        self._c_queries.inc(len(values))
+        self._h_batch_size.observe(len(values))
+        self._h_batch.observe((perf_counter_ns() - t0) / 1e9)
         return [answered[v] for v in values]
 
     def _resolve(
@@ -270,8 +400,10 @@ class MatchService:
         hit = self._cache.get(key)
         if hit is MISS:
             self._obs.add_counter("cache_misses")
+            self._c_cache_misses.inc()
             return None
         self._obs.add_counter("cache_hits")
+        self._c_cache_hits.inc()
         return replace(hit, cached=True)
 
     def _store(
@@ -309,6 +441,10 @@ class MatchService:
                 )
                 self._base_generation = gen
                 self._obs.add_counter("engine_rebuilds")
+                self._c_engine_rebuilds.inc()
+                self.events.emit(
+                    "engine_rebuild", generation=gen, rows=len(fbf)
+                )
         return VectorEngine(
             queries,
             fbf.strings,
@@ -333,6 +469,11 @@ class MatchService:
                 )
                 self._shm_generation = gen
                 self._obs.add_counter("shm_roster_publishes")
+                self.events.emit(
+                    "roster_publish",
+                    generation=gen,
+                    bytes=self._shm_roster.bytes_shared,
+                )
         return self._shm_roster
 
     def _run_pooled(self, pending: list[str], k: int, blocks):
@@ -344,7 +485,7 @@ class MatchService:
         roster = self._roster_side()
         queries = shm.inline_side(pending, scheme=roster.scheme)
         pool = shm.shared_pool(self._workers)
-        return shm.run_hybrid(
+        result = shm.run_hybrid(
             pool,
             queries,
             roster.arrays,
@@ -357,6 +498,9 @@ class MatchService:
             record_matches=True,
             shared_source=roster,
         )
+        if self.metrics:
+            shm.publish_pool_metrics(pool, self.metrics, self.events)
+        return result
 
     def _answer_batched(
         self, pending: list[str], k: int, method: str
@@ -418,9 +562,15 @@ class MatchService:
     # -- stats and snapshots ------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """JSON-ready service state snapshot (size, cache, counters)."""
+        """JSON-ready service state snapshot (size, cache, counters).
+
+        ``latency`` quantiles come from the registry's fixed-bucket
+        histograms, not a sliding sample window — they describe the
+        whole run however long it has been, with error bounded by the
+        bucket ratio (~1.78x by default).
+        """
         index = self._index
-        return {
+        out: dict[str, object] = {
             "size": len(index),
             "rows": len(index.index),
             "tombstones": index.tombstones,
@@ -431,15 +581,29 @@ class MatchService:
             "verifier": index.verifier,
             "cache": self._cache.stats(),
         }
+        if self.metrics:
+            out["latency"] = {
+                "query": _latency_ms(self._h_query),
+                "query_batch": _latency_ms(self._h_batch),
+            }
+            out["events"] = self.events.total
+        return out
 
     def save(self, path: str | Path) -> Path:
         """Snapshot the index (plus service config) to one file."""
         with self._obs.span("serve.snapshot"):
-            return save_index(
+            saved = save_index(
                 self._index,
                 path,
                 meta={"k": self.k, "cache_size": self._cache.maxsize},
             )
+        self.events.emit(
+            "snapshot_save",
+            path=str(saved),
+            size=len(self._index),
+            generation=self._index.generation,
+        )
+        return saved
 
     @classmethod
     def load(
@@ -449,6 +613,7 @@ class MatchService:
         cache_size: int | None = None,
         collector=None,
         workers: int | None = None,
+        metrics: MetricsRegistry | bool | None = None,
     ) -> "MatchService":
         """Rebuild a warm service from a snapshot (no re-indexing).
 
@@ -471,4 +636,23 @@ class MatchService:
         svc._workers = workers
         svc._shm_roster = None
         svc._shm_generation = -1
+        svc._init_telemetry(metrics)
+        svc.events.emit(
+            "snapshot_load",
+            path=str(path),
+            size=len(index),
+            generation=index.generation,
+        )
         return svc
+
+
+def _latency_ms(hist) -> dict[str, float]:
+    """ms-unit latency summary from a seconds-unit histogram."""
+    s = hist.summary()
+    return {
+        "count": s["count"],
+        "mean_ms": s["mean"] * 1e3,
+        "p50_ms": s["p50"] * 1e3,
+        "p95_ms": s["p95"] * 1e3,
+        "p99_ms": s["p99"] * 1e3,
+    }

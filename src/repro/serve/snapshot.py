@@ -148,6 +148,7 @@ def load_index(path: str | Path) -> tuple[MutableIndex, dict[str, object]]:
             verifier=str(header["verifier"]),
         )
     index = MutableIndex.__new__(MutableIndex)
+    index._reset_telemetry()
     index._fbf = fbf
     index._ext_ids = [int(i) for i in ext_ids]
     index._live = {

@@ -1,5 +1,7 @@
 """Tests for the repro-fbf command-line interface."""
 
+import contextlib
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -300,3 +302,124 @@ class TestServeCommand:
         d = json.loads(out.read_text())
         assert d["conserved"] is True
         assert d["counters"]["cache_hits"] == 1
+
+
+class TestMetricsFlags:
+    def test_match_metrics_json_bridges_funnel(
+        self, string_files, tmp_path, capsys
+    ):
+        import json
+
+        left, right = string_files
+        out = tmp_path / "m.json"
+        assert main(
+            ["match", str(left), str(right), "--metrics-json", str(out)]
+        ) == 0
+        snap = json.loads(out.read_text())
+        series = snap["metrics"]
+        assert series["repro_join_pairs_considered_total"]["value"] > 0
+        stage_keys = [k for k in series if "stage_pairs_total" in k]
+        assert stage_keys  # labelled per-stage counters present
+
+    def test_query_metrics_json_uses_service_registry(
+        self, roster_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "m.json"
+        assert main(
+            ["query", "--data", str(roster_file), "SMITH",
+             "--metrics-json", str(out)]
+        ) == 0
+        series = json.loads(out.read_text())["metrics"]
+        assert series["serve_queries_total"]["value"] == 1
+        assert series["index_size"]["value"] == 5
+
+    def test_serve_metrics_json(
+        self, roster_file, tmp_path, monkeypatch, capsys
+    ):
+        import io
+        import json
+
+        out = tmp_path / "m.json"
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"op": "query", "value": "SMITH"}\n'),
+        )
+        assert main(
+            ["serve", "--data", str(roster_file),
+             "--metrics-json", str(out)]
+        ) == 0
+        capsys.readouterr()
+        series = json.loads(out.read_text())["metrics"]
+        assert series["serve_queries_total"]["value"] == 1
+
+
+class TestServeMetricsPort:
+    @contextlib.contextmanager
+    def _serve_with_listener(self, roster_file, requests):
+        """Run `serve --metrics-port 0` as a subprocess, feed it
+        requests (synchronising on each response line), and yield the
+        listener's bound port while the server is still up."""
+        import json
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--data", str(roster_file), "--metrics-port", "0",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            port = None
+            for line in proc.stderr:
+                if "metrics listening" in line:
+                    port = int(line.rsplit(":", 1)[1].split("/")[0])
+                    break
+            assert port is not None, "no announce line on stderr"
+            for request in requests:
+                proc.stdin.write(json.dumps(request) + "\n")
+                proc.stdin.flush()
+                response = json.loads(proc.stdout.readline())
+                assert response["ok"], response
+            yield port
+        finally:
+            try:
+                proc.stdin.write('{"op": "shutdown"}\n')
+                proc.stdin.flush()
+                proc.stdin.close()
+            except (BrokenPipeError, ValueError, OSError):
+                pass
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0
+
+    def test_scrape_via_metrics_subcommand(self, roster_file, capsys):
+        import json
+
+        with self._serve_with_listener(
+            roster_file, [{"op": "query", "value": "SMITH"}]
+        ) as port:
+            capsys.readouterr()
+            assert main(["metrics", str(port)]) == 0
+            text = capsys.readouterr().out
+            assert "# TYPE serve_queries_total counter" in text
+            assert "serve_queries_total 1" in text
+            assert main(["metrics", str(port), "--json"]) == 0
+            snap = json.loads(capsys.readouterr().out)
+            assert snap["metrics"]["serve_queries_total"]["value"] == 1
+            assert main(["metrics", str(port), "--events"]) == 0
+            assert "events" in json.loads(capsys.readouterr().out)
+
+    def test_metrics_subcommand_connection_refused(self, capsys):
+        # Port 1 is never bound in the test environment.
+        with pytest.raises(SystemExit, match="cannot scrape"):
+            main(["metrics", "1", "--timeout", "0.5"])

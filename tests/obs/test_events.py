@@ -1,0 +1,85 @@
+"""Unit tests for the lifecycle event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
+
+
+class TestEventLog:
+    def test_emit_stamps_and_stores(self):
+        log = EventLog(clock=lambda: 42.0)
+        event = log.emit("compaction", reclaimed=7)
+        assert event == {"ts": 42.0, "kind": "compaction", "reclaimed": 7}
+        assert len(log) == 1
+        assert log.total == 1
+        assert log.tail() == [event]
+
+    def test_ring_is_bounded_but_total_is_lifetime(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert log.total == 10
+        assert [e["i"] for e in log.tail()] == [7, 8, 9]  # oldest first
+
+    def test_tail_n_limits_from_the_end(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e["i"] for e in log.tail(2)] == [3, 4]
+        assert log.tail(0) == []
+        assert len(log.tail(99)) == 5
+
+    def test_tail_returns_copies(self):
+        log = EventLog()
+        log.emit("tick")
+        log.tail()[0]["kind"] = "mutated"
+        assert log.tail()[0]["kind"] == "tick"
+
+    def test_sink_receives_json_lines(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, clock=lambda: 1.0)
+        log.emit("snapshot_save", path="warm.npz")
+        log.emit("compaction", reclaimed=2)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [e["kind"] for e in lines] == ["snapshot_save", "compaction"]
+        assert lines[0]["path"] == "warm.npz"
+
+    def test_torn_down_sink_never_raises(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        sink.close()
+        log.emit("tick")  # must not raise
+        log.emit("tock")
+        assert log.total == 2
+        assert [e["kind"] for e in log.tail()] == ["tick", "tock"]
+
+    def test_non_json_fields_coerced_via_default_str(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.emit("snapshot_save", path=object())
+        assert json.loads(sink.getvalue())  # still one valid JSON line
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("tick")
+        log.clear()
+        assert len(log) == 0
+        assert log.total == 1  # lifetime count survives
+
+
+class TestNullEventLog:
+    def test_falsy_and_inert(self):
+        assert not NULL_EVENTS
+        assert isinstance(NULL_EVENTS, NullEventLog)
+        assert NULL_EVENTS.emit("tick", x=1) == {}
+        assert NULL_EVENTS.tail() == []
+        assert NULL_EVENTS.total == 0
+        assert len(NULL_EVENTS) == 0

@@ -94,6 +94,92 @@ class TestWorkerPool:
             assert pool.bytes_pickled >= 1000
 
 
+class TestHeartbeat:
+    def test_heartbeat_reports_lifetime_and_per_worker(self):
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_double, i) for i in range(8)])
+            hb = pool.heartbeat()
+            assert hb["workers"] == 2
+            assert hb["alive"] == 2
+            assert hb["tasks_dispatched"] == 8
+            assert hb["tasks_completed"] == 8
+            assert hb["uptime_s"] >= 0.0
+            per = hb["per_worker"]
+            assert per and sum(w["tasks"] for w in per.values()) == 8
+            for w in per.values():
+                assert w["alive"] is True
+                assert 0.0 <= w["busy_ratio"]
+                assert w["age_s"] >= 0.0
+
+    def test_heartbeat_before_any_run(self):
+        pool = WorkerPool(workers=2)
+        hb = pool.heartbeat()
+        assert hb["alive"] == 0
+        assert hb["uptime_s"] == 0.0
+        assert hb["per_worker"] == {}
+        pool.close()
+
+    def test_publish_pool_metrics(self):
+        from repro.obs.events import EventLog
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel.shm import publish_pool_metrics
+
+        reg = MetricsRegistry()
+        events = EventLog()
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_double, i) for i in range(6)])
+            hb = publish_pool_metrics(pool, reg, events)
+        assert reg.gauge("pool_workers").value == 2
+        assert reg.counter("pool_tasks_completed_total").value == 6
+        per_worker_tasks = [
+            inst.value
+            for name, labels, inst in reg.series()
+            if name == "pool_worker_tasks"
+        ]
+        assert sum(per_worker_tasks) == 6
+        assert hb["tasks_completed"] == 6
+        # No respawn happened, so no respawn event.
+        assert not any(e["kind"] == "worker_respawn" for e in events.tail())
+
+    def test_publish_counters_monotone_across_polls(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel.shm import publish_pool_metrics
+
+        reg = MetricsRegistry()
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_double, 1)])
+            publish_pool_metrics(pool, reg)
+            first = reg.counter("pool_tasks_completed_total").value
+            pool.run_tasks([(_double, 2), (_double, 3)])
+            publish_pool_metrics(pool, reg)
+            second = reg.counter("pool_tasks_completed_total").value
+        assert (first, second) == (1, 3)
+
+    def test_respawn_event_emitted_once(self, tmp_path):
+        from repro.obs.events import EventLog
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel.shm import publish_pool_metrics
+
+        reg = MetricsRegistry()
+        events = EventLog()
+        flag = str(tmp_path / "boom.flag")
+        with WorkerPool(workers=2) as pool:
+            pool.run_tasks([(_kill_once, flag), (_double, 1)])
+            publish_pool_metrics(pool, reg, events)
+            respawn_events = [
+                e for e in events.tail() if e["kind"] == "worker_respawn"
+            ]
+            assert len(respawn_events) == 1
+            assert respawn_events[0]["count"] >= 1
+            # A second poll without new deaths emits nothing further.
+            publish_pool_metrics(pool, reg, events)
+            assert (
+                sum(1 for e in events.tail() if e["kind"] == "worker_respawn")
+                == 1
+            )
+            assert reg.counter("pool_respawns_total").value >= 1
+
+
 class TestSharedPool:
     def test_process_wide_reuse(self):
         a = shared_pool(2)

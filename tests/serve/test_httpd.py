@@ -1,0 +1,124 @@
+"""Tests for the background HTTP /metrics listener."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.httpd import start_metrics_server
+from repro.serve.service import MatchService
+
+NAMES = ["SMITH", "SMYTH", "JONES", "JONSE", "BROWN"]
+
+
+@pytest.fixture
+def svc():
+    return MatchService(NAMES, k=1)
+
+
+@pytest.fixture
+def server(svc):
+    server = start_metrics_server(svc, 0)
+    yield server
+    server.close()
+
+
+def _get(server, route):
+    with urllib.request.urlopen(server.url + route, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestRoutes:
+    def test_metrics_prometheus_text(self, svc, server):
+        svc.query("SMITH")
+        status, ctype, body = _get(server, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_queries_total 1" in text
+        # Scrape-time gauge refresh: index state present without any
+        # explicit refresh call.
+        assert "index_size 5" in text
+
+    def test_metrics_json(self, svc, server):
+        svc.query("SMITH")
+        status, ctype, body = _get(server, "/metrics.json")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        snap = json.loads(body)
+        assert snap["metrics"]["serve_queries_total"]["value"] == 1
+
+    def test_events_json_with_bound(self, svc, server):
+        svc.index.compact_ratio = None
+        svc.remove(0)
+        svc.compact()
+        _, _, body = _get(server, "/events.json?n=1")
+        events = json.loads(body)["events"]
+        assert len(events) == 1
+        assert events[0]["kind"] == "compaction"
+
+    def test_events_json_bad_n(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/events.json?n=potato")
+        assert exc.value.code == 400
+
+    def test_healthz(self, server):
+        status, _, body = _get(server, "/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/nope")
+        assert exc.value.code == 404
+        assert "no route" in json.loads(exc.value.read())["error"]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound_and_reported(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_close_stops_serving(self, svc):
+        server = start_metrics_server(svc, 0)
+        url = server.url
+        server.close()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(url + "/healthz", timeout=1)
+
+    def test_close_idempotent(self, svc):
+        server = start_metrics_server(svc, 0)
+        server.close()
+        server.close()
+
+    def test_context_manager(self, svc):
+        from repro.serve.httpd import MetricsServer
+
+        with MetricsServer(svc) as server:
+            status, _, _ = _get(server, "/healthz")
+            assert status == 200
+
+    def test_taken_port_fails_fast(self, svc, server):
+        with pytest.raises(OSError):
+            start_metrics_server(svc, server.port)
+
+    def test_concurrent_scrapes(self, svc, server):
+        import threading
+
+        svc.query("SMITH")
+        errors = []
+
+        def scrape():
+            try:
+                status, _, _ = _get(server, "/metrics")
+                assert status == 200
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -69,6 +69,59 @@ class TestHandle:
         assert not res["ok"] and "method" in res["error"]
 
 
+class TestMetricsOp:
+    def test_snapshot_round_trip(self, svc):
+        handle(svc, {"op": "query", "value": "SMITH"})
+        res = handle(svc, {"op": "metrics"})
+        assert res["ok"] and res["op"] == "metrics"
+        series = res["metrics"]["metrics"]
+        assert series["serve_queries_total"]["value"] == 1
+        assert json.loads(json.dumps(res))  # JSON-serialisable end to end
+
+    def test_delta_view(self, svc):
+        handle(svc, {"op": "query", "value": "SMITH"})
+        handle(svc, {"op": "metrics"})  # establishes the baseline
+        handle(svc, {"op": "query", "value": "JONES"})
+        handle(svc, {"op": "query", "value": "BROWN"})
+        res = handle(svc, {"op": "metrics", "delta": True})
+        assert res["metrics"]["metrics"]["serve_queries_total"]["value"] == 2
+
+    def test_prometheus_format(self, svc):
+        handle(svc, {"op": "query", "value": "SMITH"})
+        res = handle(svc, {"op": "metrics", "format": "prometheus"})
+        assert res["ok"] and res["format"] == "prometheus"
+        text = res["text"]
+        assert "# TYPE serve_queries_total counter" in text
+        assert "# TYPE serve_request_seconds histogram" in text
+        assert "index_size 5" in text
+
+    def test_events_tail_included_on_request(self, svc):
+        svc.index.compact_ratio = None
+        handle(svc, {"op": "remove", "id": 0})
+        handle(svc, {"op": "compact"})
+        res = handle(svc, {"op": "metrics", "events": 10})
+        assert any(e["kind"] == "compaction" for e in res["events"])
+        assert "events" not in handle(svc, {"op": "metrics"})
+
+    def test_error_reasons_tallied(self, svc):
+        handle(svc, {"op": "frobnicate"})
+        handle(svc, {"op": "query"})  # missing field
+        handle(svc, {"op": "query", "value": "X", "method": "nope"})
+        handle(svc, {"op": "remove", "id": 99})
+        series = handle(svc, {"op": "metrics"})["metrics"]["metrics"]
+        for reason in ("unknown_op", "missing_field", "bad_value", "unknown_id"):
+            key = f'serve_bad_requests_total{{reason="{reason}"}}'
+            assert series[key]["value"] == 1, (reason, sorted(series))
+        assert series["serve_request_errors_total"]["value"] == 4
+
+    def test_metrics_off_service_still_answers(self):
+        svc = MatchService(NAMES, k=1, metrics=False)
+        res = handle(svc, {"op": "metrics"})
+        assert res["ok"] and res["metrics"]["metrics"] == {}
+        res = handle(svc, {"op": "metrics", "format": "prometheus"})
+        assert res["ok"] and res["text"] == ""
+
+
 class TestServeLines:
     def run(self, svc, requests):
         out = io.StringIO()
@@ -119,3 +172,27 @@ class TestServeLines:
         )
         assert served == 1
         assert responses[-1]["shutdown"] is True
+
+    def test_shutdown_ack_carries_totals(self, svc):
+        served, responses = self.run(
+            svc,
+            [
+                {"op": "query", "value": "SMITH"},
+                "{not json",
+                {"op": "frobnicate"},
+                {"op": "shutdown"},
+            ],
+        )
+        ack = responses[-1]
+        assert ack["served"] == served == 4
+        assert ack["errors"] == 2
+
+    def test_protocol_failures_tallied_as_metrics(self, svc):
+        self.run(svc, ["{not json", "[1, 2]", {"op": "shutdown"}])
+        series = svc.metrics_snapshot()["metrics"]
+        assert series['serve_bad_requests_total{reason="bad_json"}'][
+            "value"
+        ] == 1
+        assert series['serve_bad_requests_total{reason="not_an_object"}'][
+            "value"
+        ] == 1
