@@ -21,7 +21,7 @@ bench-quick:
 # the committed artifact was produced with REPRO_HYBRID_N=10000) and
 # BENCH_metrics.json (serve-telemetry overhead), plus the .txt tables.
 bench-json:
-	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py benchmarks/test_serve_sharded.py -q -s --benchmark-disable
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -12,6 +12,10 @@ The serve layer adds two more:
 
 * ``serve`` — keep a population resident and answer JSON-lines
   requests on stdin/stdout (see :mod:`repro.serve.server` for ops).
+  ``--shards N`` splits the population across length-partitioned
+  shards served by scatter/gather; ``--port`` swaps the blocking
+  stdio loop for the asyncio front-end (cross-client query
+  coalescing, ``--max-inflight`` admission control, graceful drain).
 * ``query`` — one-shot approximate-match queries against a file or a
   snapshot, printed as TSV (or ``--json``).
 
@@ -178,6 +182,27 @@ def build_parser() -> argparse.ArgumentParser:
             "stderr)"
         ),
     )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the JSON-lines protocol over asyncio TCP on this "
+            "port instead of stdin/stdout (0 picks an ephemeral port, "
+            "announced on stderr; coalesces concurrent queries)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "asyncio admission bound: requests in flight before the "
+            "server sheds with an 'overloaded' error (with --port)"
+        ),
+    )
     _stats_args(serve)
 
     query = sub.add_parser(
@@ -328,6 +353,16 @@ def _serve_source_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="fan batched queries out to N shared-memory pool workers",
+    )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "split the population across N length-partitioned shards "
+            "(scatter/gather serving; 1 keeps the single index)"
+        ),
     )
 
 
@@ -552,6 +587,7 @@ def _serve_service(args: argparse.Namespace, collector):
 
     cache_size = getattr(args, "cache_size", 1024)
     workers = getattr(args, "workers", None)
+    shards = getattr(args, "shards", 1) or 1
     if args.snapshot is not None:
         try:
             return MatchService.load(
@@ -574,6 +610,7 @@ def _serve_service(args: argparse.Namespace, collector):
         compact_ratio=ratio if ratio else None,
         collector=collector,
         workers=workers,
+        shards=shards,
     )
 
 
@@ -607,7 +644,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
     try:
-        served = serve_lines(service, sys.stdin, sys.stdout)
+        if getattr(args, "port", None) is not None:
+            from repro.serve import run_server
+
+            def announce(bound) -> None:
+                print(
+                    f"# serving on {bound[0]}:{bound[1]}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            served = run_server(
+                service,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                on_bound=announce,
+            )
+        else:
+            served = serve_lines(service, sys.stdin, sys.stdout)
     finally:
         if metrics_server is not None:
             metrics_server.close()

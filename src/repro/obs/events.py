@@ -10,7 +10,12 @@ Each event is one flat JSON object::
 
 ``ts`` is wall-clock (``time.time()``), ``kind`` is a stable
 dot-free identifier, and every other field is producer-defined but must
-be JSON-serialisable.  Events go two places:
+be JSON-serialisable.  The serving stack's lifecycle kinds:
+``compaction``, ``engine_rebuild``, ``roster_publish``,
+``snapshot_save`` / ``snapshot_load``, ``worker_respawn``, and — from
+the sharded stack — ``shard_handoff`` (a shard republished its roster
+segments for a new generation) and ``shard_rebalance`` (the
+shard-to-worker placement changed).  Events go two places:
 
 * a bounded in-memory ring (default 1024) that the JSON-lines
   ``metrics`` op and the HTTP listener's ``/events.json`` expose, so a
@@ -76,9 +81,18 @@ class EventLog:
                 self._sink = None
         return event
 
-    def tail(self, n: int | None = None) -> list[dict[str, object]]:
-        """The most recent ``n`` events, oldest first (all by default)."""
+    def tail(
+        self, n: int | None = None, *, kind: str | None = None
+    ) -> list[dict[str, object]]:
+        """The most recent ``n`` events, oldest first (all by default).
+
+        ``kind`` filters to one event kind *before* the ``n`` bound, so
+        ``tail(5, kind="shard_handoff")`` is the last five handoffs
+        even if other kinds dominate the ring.
+        """
         events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
         if n is not None and n >= 0:
             events = events[len(events) - min(n, len(events)):]
         return [dict(e) for e in events]
@@ -102,7 +116,9 @@ class NullEventLog:
     def emit(self, kind: str, **fields: object) -> dict[str, object]:
         return {}
 
-    def tail(self, n: int | None = None) -> list[dict[str, object]]:
+    def tail(
+        self, n: int | None = None, *, kind: str | None = None
+    ) -> list[dict[str, object]]:
         return []
 
     def clear(self) -> None:

@@ -341,6 +341,28 @@ class MetricsRegistry:
         for (name, labels), instrument in self._series.items():
             yield name, dict(labels), instrument
 
+    def remove_series(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> bool:
+        """Drop one labelled series so it stops appearing in scrapes.
+
+        Registries are append-only for live instruments, but series
+        labelled by an *identity that can die* — a worker pid, a shard
+        that was torn down — must be retired when the identity goes
+        away, or every scrape re-reports a ghost forever.  Returns
+        whether the series existed; when a family loses its last series
+        the family (TYPE/HELP) entry is dropped too.
+
+        Holders of the removed instrument object can keep recording
+        into it harmlessly — it is simply no longer rendered.
+        """
+        key = (name, _label_key(labels))
+        if self._series.pop(key, None) is None:
+            return False
+        if not any(n == name for n, _ in self._series):
+            self._families.pop(name, None)
+        return True
+
     # -- merge ---------------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:

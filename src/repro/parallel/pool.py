@@ -274,7 +274,9 @@ def multiprocess_join(
         result.pairs_compared = len(left) * len(right)
     # One warm pool per process (atexit-cleaned): repeated joins reuse
     # the workers instead of paying executor spawn + reseed every call.
-    pool = shared_pool(workers)
+    # Batch slices have no placement state, so the shared (non-affinity)
+    # queue — any worker may take any slice — balances best.
+    pool = shared_pool(workers, affinity=False)
     for count, diagonal, verified, matches, wc in pool.run_tasks(
         [(_run_slice, task) for task in tasks]
     ):

@@ -102,6 +102,8 @@ __all__ = [
     "hybrid_join",
     "pack_signatures",
     "inline_side",
+    "shard_query_call",
+    "run_shard_scatter",
 ]
 
 _log = get_logger("parallel.shm")
@@ -434,21 +436,48 @@ class _Kernels:
     conservation tests pin.
     """
 
-    def __init__(self, task: _HybridTask):
-        self.L = _resolve_side(task.left)
-        self.R = _resolve_side(task.right)
-        self.k = task.k
-        self.theta = task.theta
-        self.variant = task.variant
-        self.fbf_bound = task.fbf_bound
-        self.self_join = task.self_join
-        self.record = task.record
-        self.weighter = None
+    def __init__(
+        self,
+        L: _Side,
+        R: _Side,
+        *,
+        k: int,
+        fbf_bound: int,
+        theta: float = 0.8,
+        variant: str = "paper",
+        self_join: bool = False,
+        record: bool = False,
+        weighter: PairWeighter | None = None,
+    ):
+        self.L = L
+        self.R = R
+        self.k = k
+        self.theta = theta
+        self.variant = variant
+        self.fbf_bound = fbf_bound
+        self.self_join = self_join
+        self.record = record
+        self.weighter = weighter
+
+    @classmethod
+    def from_task(cls, task: _HybridTask) -> "_Kernels":
+        weighter = None
         w_left = _resolve_ref(task.w_left)
         if w_left is not None:
-            self.weighter = PairWeighter(
+            weighter = PairWeighter(
                 w_left, _resolve_ref(task.w_right), symmetric=task.symmetric
             )
+        return cls(
+            _resolve_side(task.left),
+            _resolve_side(task.right),
+            k=task.k,
+            fbf_bound=task.fbf_bound,
+            theta=task.theta,
+            variant=task.variant,
+            self_join=task.self_join,
+            record=task.record,
+            weighter=weighter,
+        )
 
     # -- pair predicates -----------------------------------------------------
 
@@ -681,7 +710,7 @@ class _Kernels:
 def _exec_hybrid(task: _HybridTask) -> dict:
     """Worker entry point for one hybrid task."""
     spec = method_registry()[task.method]
-    kernels = _Kernels(task)
+    kernels = _Kernels.from_task(task)
     wc = StatsCollector("shm-worker") if task.collect else None
     obs = wc if wc is not None else NULL_COLLECTOR
     if task.work[0] == "rows":
@@ -693,6 +722,138 @@ def _exec_hybrid(task: _HybridTask) -> dict:
         out = kernels.run_pairs(spec, ii, jj, obs)
     out["wc"] = wc
     return out
+
+
+# ---------------------------------------------------------------------------
+# Sharded serving: worker-held roster state + the scatter driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardQueryTask:
+    """One shard's slice of a scattered serve batch.
+
+    ``roster`` names the shard's published segments for ``generation``;
+    the owning worker resolves them once and keeps the resolved side in
+    :data:`_SHARD_STATE` until a handoff task for a newer generation
+    arrives — the worker *holds* the shard, it does not re-attach per
+    batch.  ``queries`` is the (small) inline-encoded query side.
+    """
+
+    shard: int
+    generation: int
+    roster: SideArrays
+    queries: SideArrays
+    method: str
+    k: int
+    fbf_bound: int
+    collect: bool
+
+
+#: worker-side shard ownership: shard id -> (generation, resolved side)
+_SHARD_STATE: dict[int, tuple[int, _Side]] = {}
+
+
+def _exec_shard_query(task: _ShardQueryTask) -> dict:
+    """Worker entry point: dense sweep of a query batch over one owned
+    shard roster.
+
+    The resolved roster side is cached per (shard, generation) — the
+    snapshot-based handoff protocol: a task carrying a newer generation
+    atomically swaps the worker's held state to the newly published
+    segments (the parent unlinks the old ones only after publishing the
+    new, so there is no window where the shard is unservable).
+    """
+    spec = method_registry()[task.method]
+    held = _SHARD_STATE.get(task.shard)
+    adopted = False
+    if held is None or held[0] != task.generation:
+        held = (task.generation, _resolve_side(task.roster))
+        _SHARD_STATE[task.shard] = held
+        adopted = True
+    queries = _resolve_side(task.queries)
+    kernels = _Kernels(
+        queries,
+        held[1],
+        k=task.k,
+        fbf_bound=task.fbf_bound,
+        record=True,
+    )
+    wc = StatsCollector("shm-shard") if task.collect else None
+    obs = wc if wc is not None else NULL_COLLECTOR
+    out = kernels.run_rows(spec, 0, queries.n, obs)
+    out["wc"] = wc
+    out["shard"] = task.shard
+    out["adopted"] = adopted
+    return out
+
+
+def shard_query_call(
+    shard: int,
+    generation: int,
+    roster: SideArrays,
+    queries: SideArrays,
+    *,
+    scheme,
+    k: int,
+    method: str = "FPDL",
+    collect: bool = False,
+) -> tuple:
+    """Build one ``(fn, payload)`` pool call for a shard query slice."""
+    return (
+        _exec_shard_query,
+        _ShardQueryTask(
+            shard=shard,
+            generation=generation,
+            roster=roster,
+            queries=queries,
+            method=method,
+            k=k,
+            fbf_bound=scheme.safe_threshold(k),
+            collect=collect,
+        ),
+    )
+
+
+def run_shard_scatter(
+    pool: WorkerPool,
+    calls: Sequence[tuple],
+    *,
+    slots: Sequence[int] | None = None,
+    collector=None,
+) -> list[dict]:
+    """Dispatch shard query calls (pinned to their owning slots) and
+    merge the per-worker funnel collectors; returns the raw per-shard
+    result dicts in call order.
+
+    The ``shm_*`` counter accounting mirrors :func:`run_hybrid`, so
+    pooled sharded serving feeds the same per-worker load counters the
+    rebalancer reads.
+    """
+    if not calls:
+        return []
+    before_pickled = pool.bytes_pickled
+    before_busy = pool.busy_ns
+    before_respawns = pool.respawns
+    t0 = time.perf_counter_ns()
+    outs = pool.run_tasks(calls, slots=slots)
+    wall = time.perf_counter_ns() - t0
+    if collector:
+        for out in outs:
+            wc = out.get("wc")
+            if wc is not None:
+                collector.merge(wc)
+        collector.add_counter("shm_tasks_dispatched", len(calls))
+        collector.add_counter(
+            "shm_bytes_pickled", pool.bytes_pickled - before_pickled
+        )
+        collector.add_counter(
+            "shm_workers_respawned", pool.respawns - before_respawns
+        )
+        collector.add_counter("shm_pool_reuse_hits", pool.consume_reuse_hits())
+        collector.add_counter("shm_worker_busy_ns", pool.busy_ns - before_busy)
+        collector.add_counter("shm_run_wall_ns", wall)
+    return outs
 
 
 # ---------------------------------------------------------------------------
@@ -746,6 +907,15 @@ class WorkerPool:
     incomplete tasks re-enqueued — a crashed worker costs its in-flight
     task's work, never the join.
 
+    ``affinity=True`` switches the pool to one task queue *per worker
+    slot*: :meth:`run_tasks` then routes each call to the slot named by
+    ``slots`` (modulo the worker count), so a task family — a serve
+    shard's queries, say — always lands on the same worker, whose
+    process-local caches (attached segments, resolved shard state)
+    stay hot.  A respawned worker inherits its dead predecessor's slot
+    queue, so affinity survives crashes; the shared-queue mode keeps
+    its work-stealing dynamic scheduling.
+
     Use as a context manager or call :meth:`close`; module-level warm
     pools (:func:`shared_pool`) are closed at interpreter exit.
     """
@@ -756,12 +926,18 @@ class WorkerPool:
         *,
         context=None,
         timeout: float | None = None,
+        affinity: bool = False,
     ):
         self.workers = max(1, int(workers or os.cpu_count() or 1))
         self.timeout = timeout
+        self.affinity = bool(affinity)
         self._ctx = context or _default_context()
+        #: affinity mode keeps this slot-indexed (a respawn replaces in
+        #: place); shared mode just appends replacements
         self._procs: list = []
         self._task_q = None
+        #: per-slot queues (affinity mode only)
+        self._task_qs: list | None = None
         self._result_q = None
         self._closed = False
         self._owner_pid = os.getpid()
@@ -776,49 +952,112 @@ class WorkerPool:
         self.busy_ns = 0
         #: per-pid lifetime tallies: {"tasks", "busy_ns", "last_seen"}
         #: (``last_seen`` is wall-clock of the pid's latest result — the
-        #: heartbeat the serve layer surfaces as per-worker gauges)
+        #: heartbeat the serve layer surfaces as per-worker gauges).
+        #: Entries are created at spawn and *dropped at death*, so the
+        #: heartbeat never reports a corpse as a live series.
         self.worker_stats: dict[int, dict[str, float]] = {}
+        #: pids whose process died (their series must leave the scrape)
+        self.retired_pids: set[int] = set()
         #: wall-clock of the first spawn (busy-ratio denominator)
         self.started_at: float | None = None
         #: respawns already reported through publish_pool_metrics
         self._respawns_published = 0
+        #: pids whose pool_worker_* series the last publish rendered
+        self._published_pids: set[int] = set()
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
     def started(self) -> bool:
-        return self._task_q is not None
+        return self._result_q is not None
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def alive_workers(self) -> int:
-        return sum(1 for p in self._procs if p.is_alive())
+        return sum(
+            1 for p in self._procs if p is not None and p.is_alive()
+        )
+
+    def slot_pids(self) -> list[int | None]:
+        """Current pid per worker slot (``None`` for an unspawned slot).
+
+        Only meaningful ordering in affinity mode, where the slot is
+        the routing key; shared mode reports spawn order.
+        """
+        return [
+            p.pid if p is not None and p.is_alive() else None
+            for p in self._procs
+        ]
+
+    def _spawn(self, task_q):
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(task_q, self._result_q),
+            daemon=True,
+        )
+        p.start()
+        # Register the pid's series at spawn, not first answer, so a
+        # respawned worker is visible in the very next scrape.
+        self.worker_stats.setdefault(
+            p.pid, {"tasks": 0, "busy_ns": 0, "last_seen": time.time()}
+        )
+        return p
+
+    def _retire(self, proc) -> None:
+        """Forget a dead pid's per-worker series (lifetime totals keep
+        its contribution; only the labelled heartbeat rows go away)."""
+        if proc is None or proc.pid is None:
+            return
+        self.worker_stats.pop(proc.pid, None)
+        self.retired_pids.add(proc.pid)
 
     def ensure(self) -> None:
         """Spawn (or respawn) workers up to the configured count."""
         if self._closed:
             raise RuntimeError("pool is closed")
-        if self._task_q is None:
-            self._task_q = self._ctx.Queue()
+        if self._result_q is None:
             self._result_q = self._ctx.Queue()
+            if self.affinity:
+                self._task_qs = [
+                    self._ctx.Queue() for _ in range(self.workers)
+                ]
+            else:
+                self._task_q = self._ctx.Queue()
         if self.started_at is None:
             self.started_at = time.time()
-        alive = [p for p in self._procs if p.is_alive()]
-        died = len(self._procs) - len(alive)
+        died = 0
+        if self.affinity:
+            if len(self._procs) < self.workers:
+                self._procs.extend(
+                    [None] * (self.workers - len(self._procs))
+                )
+            for slot in range(self.workers):
+                p = self._procs[slot]
+                if p is not None and p.is_alive():
+                    continue
+                if p is not None:
+                    died += 1
+                    self._retire(p)
+                self._procs[slot] = self._spawn(self._task_qs[slot])
+        else:
+            alive = [p for p in self._procs if p.is_alive()]
+            for p in self._procs:
+                if not p.is_alive():
+                    died += 1
+                    self._retire(p)
+            self._procs = alive
+            while len(self._procs) < self.workers:
+                self._procs.append(self._spawn(self._task_q))
         if died:
             self.respawns += died
             _log.warning("respawning %d dead worker(s)", died)
-        self._procs = alive
-        while len(self._procs) < self.workers:
-            p = self._ctx.Process(
-                target=_worker_main,
-                args=(self._task_q, self._result_q),
-                daemon=True,
-            )
-            p.start()
-            self._procs.append(p)
+
+    def _all_task_queues(self) -> list:
+        if self.affinity:
+            return list(self._task_qs or [])
+        return [] if self._task_q is None else [self._task_q]
 
     def close(self) -> None:
         """Shut the workers down and drop the queues (idempotent).
@@ -830,25 +1069,34 @@ class WorkerPool:
             self._closed = True
             return
         self._closed = True
-        if self._task_q is not None:
-            for _ in self._procs:
-                try:
-                    self._task_q.put(None)
-                except Exception:
-                    break
+        if self.started:
+            if self.affinity:
+                for q in self._task_qs or []:
+                    try:
+                        q.put(None)
+                    except Exception:
+                        break
+            else:
+                for _ in self._procs:
+                    try:
+                        self._task_q.put(None)
+                    except Exception:
+                        break
             for p in self._procs:
+                if p is None:
+                    continue
                 p.join(timeout=2)
                 if p.is_alive():
                     p.terminate()
                     p.join(timeout=1)
-            for q in (self._task_q, self._result_q):
+            for q in (*self._all_task_queues(), self._result_q):
                 try:
                     q.cancel_join_thread()
                     q.close()
                 except Exception:
                     pass
         self._procs = []
-        self._task_q = self._result_q = None
+        self._task_q = self._task_qs = self._result_q = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -865,11 +1113,19 @@ class WorkerPool:
 
     # -- execution -----------------------------------------------------------
 
+    def _queue_for(self, task_id: int, slots) -> object:
+        if not self.affinity:
+            return self._task_q
+        if slots is None:
+            return self._task_qs[task_id % self.workers]
+        return self._task_qs[int(slots[task_id]) % self.workers]
+
     def run_tasks(
         self,
         calls: Sequence[tuple],
         *,
         timeout: float | None = None,
+        slots: Sequence[int] | None = None,
     ) -> list:
         """Execute ``(fn, payload)`` pairs; results in submission order.
 
@@ -879,9 +1135,19 @@ class WorkerPool:
         deduped by task id, so double execution is harmless); a task
         that *raises* re-raises here with the worker traceback, leaving
         the pool reusable.
+
+        ``slots`` (affinity pools only) names the worker slot for each
+        call, taken modulo the worker count; without it affinity pools
+        route round-robin by task id.  Re-enqueues after a crash go
+        back to the *same* slot — its respawned worker picks them up —
+        so placement survives worker death.
         """
         if not calls:
             return []
+        if slots is not None and len(slots) != len(calls):
+            raise ValueError(
+                f"slots ({len(slots)}) must match calls ({len(calls)})"
+            )
         self.ensure()
         timeout = self.timeout if timeout is None else timeout
         self._run_seq += 1
@@ -891,7 +1157,7 @@ class WorkerPool:
             for call in calls
         ]
         for task_id, blob in enumerate(blobs):
-            self._task_q.put((run_id, task_id, blob))
+            self._queue_for(task_id, slots).put((run_id, task_id, blob))
             self.bytes_pickled += len(blob)
         self.tasks_dispatched += len(blobs)
         results: dict[int, object] = {}
@@ -921,7 +1187,9 @@ class WorkerPool:
                     # duplicates are discarded by the task-id dedup.
                     for task_id, blob in enumerate(blobs):
                         if task_id not in results:
-                            self._task_q.put((run_id, task_id, blob))
+                            self._queue_for(task_id, slots).put(
+                                (run_id, task_id, blob)
+                            )
                 continue
             if rid != run_id or task_id in results:
                 continue  # stale result from a past run or a re-enqueue
@@ -1038,6 +1306,19 @@ def publish_pool_metrics(
         metrics.gauge(
             "pool_worker_alive", "1 if the pid is alive", labels
         ).set(1.0 if ws["alive"] else 0.0)
+    # A crash-respawn replaced some pids: retire the dead pids' series
+    # so scrapes stop reporting ghosts, instead of a stale gauge row
+    # lingering forever next to the respawned worker's fresh one.
+    current_pids = {str(pid) for pid in hb["per_worker"]}
+    for stale in pool._published_pids - current_pids:
+        for name in (
+            "pool_worker_tasks",
+            "pool_worker_busy_ratio",
+            "pool_worker_heartbeat_age_seconds",
+            "pool_worker_alive",
+        ):
+            metrics.remove_series(name, {"pid": stale})
+    pool._published_pids = current_pids
     if events:
         new_respawns = pool.respawns - pool._respawns_published
         if new_respawns > 0:
@@ -1051,26 +1332,32 @@ def publish_pool_metrics(
     return hb
 
 
-#: process-wide warm pools, keyed by worker count
-_SHARED_POOLS: dict[int, WorkerPool] = {}
+#: process-wide warm pools, keyed by (worker count, affinity)
+_SHARED_POOLS: dict[tuple[int, bool], WorkerPool] = {}
 _ATEXIT_REGISTERED = False
 
 
-def shared_pool(workers: int | None = None) -> WorkerPool:
+def shared_pool(
+    workers: int | None = None, *, affinity: bool = False
+) -> WorkerPool:
     """The process-wide warm :class:`WorkerPool` for ``workers``.
 
     Created on first use, reused (and counted as a reuse hit) after;
-    closed automatically at interpreter exit.
+    closed automatically at interpreter exit.  Affinity pools (per-slot
+    queues, see :class:`WorkerPool`) are kept separately from the
+    shared-queue ones — the two scheduling modes must not mix on one
+    queue topology.
     """
     global _ATEXIT_REGISTERED
     n = max(1, int(workers or os.cpu_count() or 1))
-    pool = _SHARED_POOLS.get(n)
+    key = (n, bool(affinity))
+    pool = _SHARED_POOLS.get(key)
     if pool is not None and not pool.closed and pool._owner_pid == os.getpid():
         pool.reuse_hits += 1
         pool._unreported_reuse += 1
         return pool
-    pool = WorkerPool(n)
-    _SHARED_POOLS[n] = pool
+    pool = WorkerPool(n, affinity=affinity)
+    _SHARED_POOLS[key] = pool
     if not _ATEXIT_REGISTERED:
         atexit.register(close_shared_pools)
         _ATEXIT_REGISTERED = True

@@ -78,7 +78,10 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                     except ValueError:
                         self._reply_json(400, {"error": "n must be an int"})
                         return
-                self._reply_json(200, {"events": service.events.tail(n)})
+                kind = query["kind"][0] if "kind" in query else None
+                self._reply_json(
+                    200, {"events": service.events.tail(n, kind=kind)}
+                )
             elif route in ("/", "/healthz"):
                 self._reply(200, "ok\n", "text/plain; charset=utf-8")
             else:

@@ -157,6 +157,11 @@ class MutableIndex:
         return len(self._dead)
 
     @property
+    def rows(self) -> int:
+        """Packed index rows, tombstones included (what a sweep scans)."""
+        return len(self._fbf)
+
+    @property
     def tombstone_ratio(self) -> float:
         """Dead fraction of the wrapped index's rows."""
         total = len(self._fbf)
@@ -179,11 +184,24 @@ class MutableIndex:
 
     # -- mutation -----------------------------------------------------------
 
-    def add(self, s: str) -> int:
-        """Index one string; returns its stable external id."""
+    def add(self, s: str, *, sid: int | None = None) -> int:
+        """Index one string; returns its stable external id.
+
+        ``sid`` lets an owner that allocates ids globally (the sharded
+        index places one monotone id space across many shards) assign
+        the external id explicitly; it must not collide with any id
+        this index has ever handed out, so the monotone-ids invariant —
+        and with it the sortedness of mapped search results — survives.
+        """
+        if sid is None:
+            sid = self._next_id
+        elif sid < self._next_id:
+            raise ValueError(
+                f"explicit id {sid} is not above the high-water mark "
+                f"{self._next_id - 1}"
+            )
         internal = self._fbf.add(s)
-        sid = self._next_id
-        self._next_id += 1
+        self._next_id = sid + 1
         self._ext_ids.append(sid)
         self._live[sid] = internal
         self.generation += 1

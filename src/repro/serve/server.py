@@ -19,6 +19,9 @@ Ops::
     {"op": "add",    "value": "SMITH"}      (or "values": [...])
     {"op": "remove", "id": 7}
     {"op": "compact"}
+    {"op": "rebalance"}                     (recompute the shard->slot
+                                             placement; identity for a
+                                             single-shard service)
     {"op": "stats"}
     {"op": "metrics"}                       (live telemetry snapshot;
                                              "delta": true for the
@@ -44,7 +47,7 @@ from typing import IO, Iterable
 
 from repro.serve.service import MatchService, QueryResult
 
-__all__ = ["handle", "query_payload", "serve_lines"]
+__all__ = ["MAX_REQUEST_BYTES", "handle", "query_payload", "serve_lines"]
 
 
 def query_payload(res: QueryResult) -> dict[str, object]:
@@ -104,6 +107,13 @@ def handle(service: MatchService, request: dict) -> dict[str, object]:
             return {"ok": True, "op": op, "id": sid}
         if op == "compact":
             return {"ok": True, "op": op, "reclaimed": service.compact()}
+        if op == "rebalance":
+            placement = service.rebalance()
+            return {
+                "ok": True,
+                "op": op,
+                "placement": {str(si): slot for si, slot in placement.items()},
+            }
         if op == "stats":
             return {"ok": True, "op": op, "stats": service.stats()}
         if op == "metrics":
@@ -145,8 +155,16 @@ def handle(service: MatchService, request: dict) -> dict[str, object]:
         return {"ok": False, "op": op, "error": str(exc)}
 
 
+#: default per-request size bound for the line protocols (bytes)
+MAX_REQUEST_BYTES = 1 << 20
+
+
 def serve_lines(
-    service: MatchService, lines: Iterable[str], out: IO[str]
+    service: MatchService,
+    lines: Iterable[str],
+    out: IO[str],
+    *,
+    max_request_bytes: int = MAX_REQUEST_BYTES,
 ) -> int:
     """Run the request loop; returns the number of requests served.
 
@@ -154,7 +172,10 @@ def serve_lines(
     acknowledged — including the loop's ``served``/``errors`` totals —
     before the loop exits).  Blank lines are skipped; unparseable lines
     produce an error response, bump the malformed-request counters and
-    the loop continues.
+    the loop continues.  Lines longer than ``max_request_bytes`` are
+    rejected the same way — a structured error response and an
+    ``oversized`` tally — without ever being parsed, so one runaway
+    client cannot balloon the service's memory.
     """
     served = 0
     errors = 0
@@ -162,11 +183,24 @@ def serve_lines(
         line = line.strip()
         if not line:
             continue
+        if len(line.encode("utf-8", "surrogateescape")) > max_request_bytes:
+            service.note_request_error("oversized")
+            response: dict[str, object] = {
+                "ok": False,
+                "error": (
+                    f"request exceeds {max_request_bytes} bytes"
+                ),
+            }
+            served += 1
+            errors += 1
+            out.write(json.dumps(response) + "\n")
+            out.flush()
+            continue
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
             service.note_request_error("bad_json")
-            response: dict[str, object] = {
+            response = {
                 "ok": False,
                 "error": f"bad json: {exc}",
             }

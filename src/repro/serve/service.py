@@ -36,6 +36,7 @@ import numpy as np
 
 from time import perf_counter_ns
 
+from repro.core.index import FBFIndex
 from repro.core.signatures import SignatureScheme
 from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.metrics import (
@@ -47,6 +48,7 @@ from repro.obs.stats import NULL_COLLECTOR
 from repro.parallel.chunked import VectorEngine
 from repro.serve.cache import MISS, ResultCache
 from repro.serve.mutable import MutableIndex
+from repro.serve.shard import ShardedIndex
 from repro.serve.snapshot import load_index, save_index
 
 __all__ = ["MatchService", "QueryResult"]
@@ -114,7 +116,21 @@ class MatchService:
         are published once per index generation and each batch ships
         only its query-side arrays.  Answers are identical to the
         single-process path.
+    shards:
+        With ``shards > 1`` the service stores its population in a
+        :class:`~repro.serve.shard.ShardedIndex` and answers batched
+        queries by scatter/gather over the routed shards.  Combined
+        with ``workers > 1`` each shard is pinned to a pool slot
+        (*affinity* mode) whose worker holds the shard's published
+        roster between batches; compaction or crash-respawn is healed
+        by snapshot-style roster handoff, and :meth:`rebalance` moves
+        shards between slots when the per-worker load counters drift.
+        The default (``1``) keeps the original single-index behavior
+        unchanged.
     """
+
+    #: scatters between automatic rebalance checks (pooled sharded mode)
+    REBALANCE_EVERY = 32
 
     def __init__(
         self,
@@ -127,17 +143,27 @@ class MatchService:
         compact_ratio: float | None = 0.25,
         collector=None,
         workers: int | None = None,
+        shards: int = 1,
         metrics: MetricsRegistry | bool | None = None,
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
         self.k = k
-        self._index = MutableIndex(
-            strings,
-            scheme=scheme,
-            verifier=verifier,
-            compact_ratio=compact_ratio,
-        )
+        if shards > 1:
+            self._index = ShardedIndex(
+                strings,
+                n_shards=shards,
+                scheme=scheme,
+                verifier=verifier,
+                compact_ratio=compact_ratio,
+            )
+        else:
+            self._index = MutableIndex(
+                strings,
+                scheme=scheme,
+                verifier=verifier,
+                compact_ratio=compact_ratio,
+            )
         self._cache = ResultCache(cache_size)
         self._obs = collector if collector else NULL_COLLECTOR
         # Prepared right-side engine, valid for exactly one generation.
@@ -147,7 +173,32 @@ class MatchService:
         # Shared-memory roster, also valid for exactly one generation.
         self._shm_roster = None
         self._shm_generation = -1
+        self._init_sharding()
         self._init_telemetry(metrics)
+
+    def _init_sharding(self) -> None:
+        """Scatter-path state: per-shard engine/roster caches (each
+        valid for exactly one shard generation), the shard -> pool-slot
+        placement and the load window the rebalancer consumes."""
+        n = getattr(self._index, "n_shards", 1)
+        workers = max(1, int(self._workers or 1))
+        #: shard -> (generation, prepared right-side engine)
+        self._shard_engines: dict[int, tuple[int, VectorEngine]] = {}
+        #: shard -> (generation, published SharedSide)
+        self._shard_rosters: dict[int, tuple[int, object]] = {}
+        #: shard -> owning pool slot (affinity routing)
+        self._placement: dict[int, int] = {
+            si: si % workers for si in range(n)
+        }
+        #: shard -> filter pairs dispatched since the last rebalance
+        self._shard_load: dict[int, int] = {}
+        self._scatters = 0
+        #: per-slot busy_ns at the last rebalance check
+        self._slot_busy_base: list[float] = []
+
+    @property
+    def sharded(self) -> bool:
+        return isinstance(self._index, ShardedIndex)
 
     def _init_telemetry(self, metrics: MetricsRegistry | bool | None) -> None:
         """Create (or adopt) the registry and pre-bind the hot-path
@@ -198,6 +249,16 @@ class MatchService:
         self._g_cache_entries = m.gauge(
             "serve_cache_entries", "live result-cache entries"
         )
+        self._c_handoffs = self._c_rebalances = None
+        if self.sharded:
+            self._c_handoffs = m.counter(
+                "shard_handoffs_total",
+                "shard roster republishes adopted by workers",
+            )
+            self._c_rebalances = m.counter(
+                "shard_rebalances_total",
+                "shard-to-slot placement recomputations applied",
+            )
         self._index.instrument(metrics, self.events)
 
     # -- telemetry -----------------------------------------------------------
@@ -211,11 +272,18 @@ class MatchService:
             return
         self._index._refresh_gauges()
         self._g_cache_entries.set(self._cache.stats()["size"])
+        if self.sharded:
+            for si, slot in self._placement.items():
+                self.metrics.gauge(
+                    "shard_worker",
+                    "pool slot owning this shard",
+                    {"shard": str(si)},
+                ).set(slot)
         if self._workers and self._workers > 1:
             from repro.parallel import shm
 
             pool = shm._SHARED_POOLS.get(
-                max(1, int(self._workers or 0))
+                (max(1, int(self._workers or 0)), self.sharded)
             )
             if pool is not None and pool.started and not pool.closed:
                 shm.publish_pool_metrics(pool, self.metrics, self.events)
@@ -365,7 +433,7 @@ class MatchService:
                     pending.append(value)
             if pending:
                 self._g_queue_depth.set(len(pending))
-                if method in OSA_METRIC and len(self._index.index):
+                if method in OSA_METRIC and self._index.rows:
                     for res in self._answer_batched(pending, k, method):
                         answered[res.value] = res
                 else:
@@ -386,9 +454,9 @@ class MatchService:
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
         method = self._index.verifier if method is None else method
-        if method not in self._index.index.VERIFIERS:
+        if method not in FBFIndex.VERIFIERS:
             raise ValueError(
-                f"method must be one of {self._index.index.VERIFIERS}, "
+                f"method must be one of {FBFIndex.VERIFIERS}, "
                 f"got {method!r}"
             )
         return k, method
@@ -505,6 +573,13 @@ class MatchService:
     def _answer_batched(
         self, pending: list[str], k: int, method: str
     ) -> Iterator[QueryResult]:
+        if self.sharded:
+            return self._answer_batched_sharded(pending, k, method)
+        return self._answer_batched_single(pending, k, method)
+
+    def _answer_batched_single(
+        self, pending: list[str], k: int, method: str
+    ) -> Iterator[QueryResult]:
         """Verify a batch of uncached queries in one vectorized pass.
 
         Follows the planner's generator-accounting pattern: the index's
@@ -559,6 +634,323 @@ class MatchService:
         for qi, value in enumerate(pending):
             yield self._store(value, k, method, sorted(per_query[qi]))
 
+    # -- the sharded scatter/gather path ------------------------------------
+
+    def _shard_plan(
+        self, pending: list[str], k: int
+    ) -> dict[int, tuple[list[str], list[int]]]:
+        """Scatter plan: shard -> (routed query values, their positions
+        in ``pending``).  Routing is the PASS-JOIN length window, so a
+        query visits at most ``min(2k+1, n_shards)`` shards; empty
+        shards are skipped (no rows, no work, no funnel credit)."""
+        plan: dict[int, tuple[list[str], list[int]]] = {}
+        index = self._index
+        for qi, value in enumerate(pending):
+            for si in index.route(len(value), k):
+                if not len(index.shards[si].index):
+                    continue
+                vals, idxs = plan.setdefault(si, ([], []))
+                vals.append(value)
+                idxs.append(qi)
+        return plan
+
+    def _gather(
+        self,
+        ii: np.ndarray,
+        jj: np.ndarray,
+        shard: MutableIndex,
+        idxs: list[int],
+        per_query: dict[int, list[int]],
+    ) -> None:
+        """Fold one shard's raw matches (local query row, internal
+        roster row) into the global per-query answer lists.  Ids come
+        out global for free — shards index global external ids."""
+        keep = shard.live_mask(jj)
+        ii, jj = ii[keep], jj[keep]
+        ext = shard.external_ids(jj)
+        for qi, sid in zip(ii.tolist(), ext.tolist()):
+            per_query[idxs[qi]].append(sid)
+
+    def _shard_engine(self, si: int, k: int) -> VectorEngine:
+        """Shard ``si``'s prepared right-side engine, rebuilt when the
+        shard's generation moves (mirrors :meth:`_engine_for`)."""
+        shard = self._index.shards[si]
+        gen = shard.generation
+        held = self._shard_engines.get(si)
+        if held is None or held[0] != gen:
+            with self._obs.span("serve.prepare_engine"):
+                base = VectorEngine(
+                    [],
+                    shard.index.strings,
+                    k=k,
+                    scheme_kind=shard.index.scheme,
+                )
+                held = (gen, base)
+                self._shard_engines[si] = held
+                self._obs.add_counter("engine_rebuilds")
+                self._c_engine_rebuilds.inc()
+                self.events.emit(
+                    "engine_rebuild",
+                    generation=gen,
+                    rows=len(shard.index),
+                    shard=si,
+                )
+        return held[1]
+
+    def _shard_roster(self, si: int):
+        """Shard ``si``'s published shared-memory roster for its
+        current generation.
+
+        The handoff protocol: the *new* roster is published before the
+        stale one is unlinked, and workers keep their resolved views of
+        the old segments until a task stamped with the new generation
+        swaps their held state — so compaction (or adopting a recovery
+        blob) never leaves a window where the shard cannot answer.
+        """
+        from repro.parallel import shm
+
+        shard = self._index.shards[si]
+        gen = shard.generation
+        held = self._shard_rosters.get(si)
+        if held is None or held[0] != gen:
+            with self._obs.span("serve.publish_roster"):
+                side = shm.SharedSide(
+                    shard.index.strings, scheme=shard.index.scheme
+                )
+                self._shard_rosters[si] = (gen, side)
+                self._obs.add_counter("shm_roster_publishes")
+                if held is not None:
+                    held[1].close()
+                    if self._c_handoffs is not None:
+                        self._c_handoffs.inc()
+                    self.events.emit(
+                        "shard_handoff",
+                        shard=si,
+                        generation=gen,
+                        bytes=side.bytes_shared,
+                    )
+                else:
+                    self.events.emit(
+                        "roster_publish",
+                        shard=si,
+                        generation=gen,
+                        bytes=side.bytes_shared,
+                    )
+            held = self._shard_rosters[si]
+        return held[1]
+
+    def _scatter_inprocess(
+        self,
+        plan: dict[int, tuple[list[str], list[int]]],
+        per_query: dict[int, list[int]],
+        k: int,
+    ) -> None:
+        """Scatter over the routed shards in-process, one vectorized
+        candidate/verify pass per shard; same generator-accounting
+        pattern as the single-index path, credited once over the whole
+        scatter so the funnel stays conserved."""
+        obs = self._obs
+        product = 0
+        emitted = 0
+        if obs:
+            obs.stage("fbf-index")
+        for si in sorted(plan):
+            vals, idxs = plan[si]
+            shard = self._index.shards[si]
+            fbf = shard.index
+            product += len(vals) * len(fbf)
+            block_emitted = [0]
+
+            def counted(fbf=fbf, vals=vals, out=block_emitted):
+                for qi, ids in fbf.candidate_blocks(vals, k):
+                    out[0] += len(qi)
+                    yield qi, ids
+
+            engine = VectorEngine(
+                vals,
+                fbf.strings,
+                k=k,
+                share_right=self._shard_engine(si, k),
+                record_matches=True,
+            )
+            result = engine.run_candidates(
+                "FPDL", counted(), collector=obs if obs else None
+            )
+            emitted += block_emitted[0]
+            self._shard_load[si] = (
+                self._shard_load.get(si, 0) + len(vals) * len(fbf)
+            )
+            if result.matches:
+                ii = np.fromiter(
+                    (m[0] for m in result.matches),
+                    dtype=np.int64,
+                    count=len(result.matches),
+                )
+                jj = np.fromiter(
+                    (m[1] for m in result.matches),
+                    dtype=np.int64,
+                    count=len(result.matches),
+                )
+                self._gather(ii, jj, shard, idxs, per_query)
+        if obs:
+            obs.add_stage("fbf-index", product, emitted)
+            obs.add_pairs(product - emitted)
+
+    def _scatter_pooled(
+        self,
+        plan: dict[int, tuple[list[str], list[int]]],
+        per_query: dict[int, list[int]],
+        k: int,
+    ) -> None:
+        """Scatter over the routed shards through the affinity pool:
+        each shard's task is pinned to its placement slot, whose worker
+        holds the shard's resolved roster between batches.  The dense
+        worker sweep does its own funnel accounting (merged back by
+        ``run_shard_scatter``), so no parent-side stage credit here."""
+        from repro.parallel import shm
+
+        obs = self._obs
+        pool = shm.shared_pool(self._workers, affinity=True)
+        calls: list[tuple] = []
+        slots: list[int] = []
+        order: list[int] = []
+        for si in sorted(plan):
+            vals, _idxs = plan[si]
+            shard = self._index.shards[si]
+            roster = self._shard_roster(si)
+            queries = shm.inline_side(vals, scheme=roster.scheme)
+            calls.append(
+                shm.shard_query_call(
+                    si,
+                    shard.generation,
+                    roster.arrays,
+                    queries,
+                    scheme=roster.scheme,
+                    k=k,
+                    collect=bool(obs),
+                )
+            )
+            slots.append(self._placement.get(si, si % pool.workers))
+            order.append(si)
+            self._shard_load[si] = (
+                self._shard_load.get(si, 0) + len(vals) * len(shard.index)
+            )
+        outs = shm.run_shard_scatter(
+            pool, calls, slots=slots, collector=obs if obs else None
+        )
+        for si, out in zip(order, outs):
+            shard = self._index.shards[si]
+            idxs = plan[si][1]
+            if out["mi"]:
+                ii = np.concatenate(out["mi"])
+                jj = np.concatenate(out["mj"])
+                self._gather(ii, jj, shard, idxs, per_query)
+        if self.metrics:
+            shm.publish_pool_metrics(pool, self.metrics, self.events)
+        self._maybe_rebalance(pool)
+
+    def _answer_batched_sharded(
+        self, pending: list[str], k: int, method: str
+    ) -> Iterator[QueryResult]:
+        """Scatter a batch of uncached queries over the routed shards,
+        gather the per-shard matches, merge per query.  Identical
+        answers to the single-index batched path (property-tested by
+        the sharded equivalence suite)."""
+        plan = self._shard_plan(pending, k)
+        per_query: dict[int, list[int]] = {
+            qi: [] for qi in range(len(pending))
+        }
+        if plan:
+            for si in plan:
+                self.metrics.counter(
+                    "shard_queries_total",
+                    "queries routed to this shard",
+                    labels={"shard": str(si)},
+                ).inc(len(plan[si][0]))
+            if self._workers and self._workers > 1:
+                self._scatter_pooled(plan, per_query, k)
+            else:
+                self._scatter_inprocess(plan, per_query, k)
+        for qi, value in enumerate(pending):
+            yield self._store(value, k, method, sorted(per_query[qi]))
+
+    # -- rebalancing --------------------------------------------------------
+
+    def _maybe_rebalance(self, pool) -> None:
+        """Every ``REBALANCE_EVERY`` pooled scatters, read the per-slot
+        ``busy_ns`` deltas from the pool's heartbeat counters and
+        trigger a :meth:`rebalance` when the busiest slot has done at
+        least twice the work of the idlest since the last check."""
+        self._scatters += 1
+        if self._scatters % self.REBALANCE_EVERY:
+            return
+        busy: list[float] = []
+        for pid in pool.slot_pids():
+            ws = pool.worker_stats.get(pid) if pid is not None else None
+            busy.append(float(ws["busy_ns"]) if ws else 0.0)
+        base = self._slot_busy_base
+        self._slot_busy_base = busy
+        delta = [
+            b - (base[i] if i < len(base) else 0.0)
+            for i, b in enumerate(busy)
+        ]
+        if len(delta) < 2:
+            return
+        hi, lo = max(delta), min(delta)
+        if hi > 0 and hi >= 2.0 * max(lo, 1.0):
+            self.rebalance()
+
+    def rebalance(self) -> dict[int, int]:
+        """Recompute the shard -> pool-slot placement by greedy LPT
+        over the load window (filter pairs dispatched per shard since
+        the last rebalance) and return the new placement.
+
+        Ties prefer the default ``si % workers`` slot, so an idle
+        service never churns its placement.  An applied change emits a
+        ``shard_rebalance`` event and bumps
+        ``shard_rebalances_total``; the load window resets either way.
+        No-op (returns the identity placement) for single-shard or
+        in-process services.
+        """
+        if not self.sharded or not self._workers or self._workers <= 1:
+            return dict(self._placement)
+        workers = max(1, int(self._workers))
+        loads = sorted(
+            (
+                (self._shard_load.get(si, 0), si)
+                for si in range(self._index.n_shards)
+            ),
+            key=lambda t: (-t[0], t[1]),
+        )
+        slot_load = [0] * workers
+        placement: dict[int, int] = {}
+        for load, si in loads:
+            slot = min(
+                range(workers),
+                key=lambda w: (slot_load[w], (w - si) % workers),
+            )
+            placement[si] = slot
+            slot_load[slot] += load
+        moved = {
+            si: slot
+            for si, slot in placement.items()
+            if self._placement.get(si) != slot
+        }
+        self._shard_load = {}
+        if moved:
+            self._placement = placement
+            if self._c_rebalances is not None:
+                self._c_rebalances.inc()
+            self._obs.add_counter("shard_rebalances")
+            self.events.emit(
+                "shard_rebalance",
+                moved={str(si): slot for si, slot in moved.items()},
+                placement={
+                    str(si): slot for si, slot in placement.items()
+                },
+            )
+        return dict(self._placement)
+
     # -- stats and snapshots ------------------------------------------------
 
     def stats(self) -> dict[str, object]:
@@ -572,7 +964,7 @@ class MatchService:
         index = self._index
         out: dict[str, object] = {
             "size": len(index),
-            "rows": len(index.index),
+            "rows": index.rows,
             "tombstones": index.tombstones,
             "generation": index.generation,
             "compactions": index.compactions,
@@ -581,6 +973,17 @@ class MatchService:
             "verifier": index.verifier,
             "cache": self._cache.stats(),
         }
+        if self.sharded:
+            out["shards"] = [
+                {
+                    "size": len(shard),
+                    "rows": shard.rows,
+                    "tombstones": shard.tombstones,
+                    "generation": shard.generation,
+                    "slot": self._placement.get(si),
+                }
+                for si, shard in enumerate(index.shards)
+            ]
         if self.metrics:
             out["latency"] = {
                 "query": _latency_ms(self._h_query),
@@ -636,6 +1039,7 @@ class MatchService:
         svc._workers = workers
         svc._shm_roster = None
         svc._shm_generation = -1
+        svc._init_sharding()
         svc._init_telemetry(metrics)
         svc.events.emit(
             "snapshot_load",

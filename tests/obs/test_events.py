@@ -39,6 +39,16 @@ class TestEventLog:
         log.tail()[0]["kind"] = "mutated"
         assert log.tail()[0]["kind"] == "tick"
 
+    def test_tail_filters_by_kind_before_the_bound(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("shard_handoff" if i % 2 else "tick", i=i)
+        handoffs = log.tail(kind="shard_handoff")
+        assert [e["i"] for e in handoffs] == [1, 3, 5]
+        # n bounds the *filtered* view, not the raw ring.
+        assert [e["i"] for e in log.tail(2, kind="shard_handoff")] == [3, 5]
+        assert log.tail(kind="shard_rebalance") == []
+
     def test_sink_receives_json_lines(self):
         sink = io.StringIO()
         log = EventLog(sink=sink, clock=lambda: 1.0)

@@ -171,6 +171,24 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             reg.gauge("n")
 
+    def test_remove_series_drops_one_labelset(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labels={"pid": "1"}).set(1)
+        reg.gauge("g", labels={"pid": "2"}).set(2)
+        assert reg.remove_series("g", {"pid": "1"}) is True
+        assert reg.remove_series("g", {"pid": "1"}) is False  # idempotent
+        snap = reg.snapshot()["metrics"]
+        assert 'g{pid="1"}' not in snap
+        assert snap['g{pid="2"}']["value"] == 2.0
+
+    def test_remove_last_series_drops_the_family(self):
+        reg = MetricsRegistry()
+        reg.gauge("solo", labels={"x": "1"})
+        assert reg.remove_series("solo", {"x": "1"}) is True
+        assert "solo" not in reg.render_prometheus()
+        # The name is free again for a different kind.
+        reg.counter("solo")
+
     def test_merge_folds_workers(self):
         main, worker = MetricsRegistry(), MetricsRegistry()
         main.counter("req_total").inc(5)

@@ -180,6 +180,76 @@ class TestHeartbeat:
             assert reg.counter("pool_respawns_total").value >= 1
 
 
+def _pid(_x):
+    return os.getpid()
+
+
+class TestAffinityPool:
+    def test_slots_route_to_stable_workers(self):
+        with WorkerPool(workers=2, affinity=True) as pool:
+            out = pool.run_tasks(
+                [(_pid, i) for i in range(4)], slots=[0, 1, 0, 1]
+            )
+            assert out[0] == out[2]
+            assert out[1] == out[3]
+            assert out[0] != out[1]
+            # The same slots hit the same workers on a later run.
+            again = pool.run_tasks([(_pid, 0), (_pid, 1)], slots=[0, 1])
+            assert again == [out[0], out[1]]
+
+    def test_default_slot_is_task_index(self):
+        with WorkerPool(workers=2, affinity=True) as pool:
+            a, b = pool.run_tasks([(_pid, 0), (_pid, 1)])
+            assert a != b
+
+    def test_slots_length_validated(self):
+        with WorkerPool(workers=2, affinity=True) as pool:
+            with pytest.raises(ValueError, match="slots"):
+                pool.run_tasks([(_double, 1)], slots=[0, 1])
+
+    def test_crash_respawns_in_the_same_slot(self, tmp_path):
+        flag = str(tmp_path / "slot.flag")
+        with WorkerPool(workers=2, affinity=True) as pool:
+            pool.run_tasks([(_double, 0), (_double, 1)], slots=[0, 1])
+            before = pool.slot_pids()
+            out = pool.run_tasks(
+                [(_kill_once, flag), (_double, 9)], slots=[0, 1]
+            )
+            assert out == ["survived", 18]
+            after = pool.slot_pids()
+            assert len(after) == 2
+            assert after[1] == before[1]  # untouched slot kept its pid
+            assert after[0] != before[0]  # crashed slot respawned
+            assert pool.respawns >= 1
+
+    def test_stale_worker_gauges_pruned_after_respawn(self, tmp_path):
+        from repro.obs.events import EventLog
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel.shm import publish_pool_metrics
+
+        reg = MetricsRegistry()
+        events = EventLog()
+        flag = str(tmp_path / "prune.flag")
+        with WorkerPool(workers=2, affinity=True) as pool:
+            pool.run_tasks([(_double, 1), (_double, 2)], slots=[0, 1])
+            publish_pool_metrics(pool, reg, events)
+            first_pids = set(pool._published_pids)
+            pool.run_tasks([(_kill_once, flag)], slots=[0])
+            publish_pool_metrics(pool, reg, events)
+            second_pids = set(pool._published_pids)
+            dead = first_pids - second_pids
+            assert dead  # the killed worker's pid left the roster
+            snap = reg.snapshot()["metrics"]
+            for pid in dead:
+                assert not any(f'pid="{pid}"' in name for name in snap)
+            for pid in second_pids:
+                assert f'pool_worker_alive{{pid="{pid}"}}' in snap
+            respawn_events = [
+                e for e in events.tail() if e["kind"] == "worker_respawn"
+            ]
+            assert len(respawn_events) == 1
+
+
 class TestSharedPool:
     def test_process_wide_reuse(self):
         a = shared_pool(2)
@@ -188,6 +258,13 @@ class TestSharedPool:
         b = shared_pool(2)
         assert b is a
         assert a.reuse_hits == hits + 1
+
+    def test_affinity_pools_keyed_separately(self):
+        a = shared_pool(2)
+        b = shared_pool(2, affinity=True)
+        assert a is not b
+        assert b.affinity and not a.affinity
+        assert shared_pool(2, affinity=True) is b
 
     def test_closed_pool_replaced(self):
         a = shared_pool(2)

@@ -1,0 +1,132 @@
+"""Unit tests for :class:`ShardedIndex` mechanics: placement/routing,
+id-space coherence, handoff validation and telemetry."""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.mutable import MutableIndex
+from repro.serve.shard import ShardedIndex
+
+WORDS = ["a", "ab", "abc", "abcd", "abcde", "b", "bc", "bcd"]
+
+
+class TestPlacement:
+    def test_placement_is_by_length_mod_shards(self):
+        idx = ShardedIndex(WORDS, n_shards=3, scheme="alpha")
+        for sid, s in idx.items():
+            assert idx.shard_of(s) == len(s) % 3
+            assert idx._locate[sid] == idx.shard_of(s)
+
+    def test_route_covers_the_length_window(self):
+        idx = ShardedIndex(n_shards=4, scheme="alpha")
+        assert idx.route(5, 0) == (1,)
+        assert set(idx.route(5, 1)) == {0, 1, 2}
+        # 2k+1 >= n_shards: every shard is routed.
+        assert idx.route(5, 2) == (0, 1, 2, 3)
+
+    def test_route_never_misses_a_match(self):
+        idx = ShardedIndex(WORDS, n_shards=3, scheme="alpha")
+        for query in ("abc", "x", "abcdef", ""):
+            for k in (0, 1, 2):
+                routed = idx.route(len(query), k)
+                for si, shard in enumerate(idx.shards):
+                    if si not in routed:
+                        assert shard.search(query, k) == []
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedIndex(n_shards=0)
+
+
+class TestIdSpace:
+    def test_global_ids_match_single_index_assignment(self):
+        sharded = ShardedIndex(scheme="alpha", n_shards=3)
+        single = MutableIndex(scheme="alpha")
+        for s in WORDS:
+            assert sharded.add(s) == single.add(s)
+
+    def test_explicit_id_below_high_water_mark_rejected(self):
+        idx = MutableIndex(["x", "y"], scheme="alpha")
+        with pytest.raises(ValueError, match="high-water"):
+            idx.add("z", sid=1)
+
+    def test_ids_survive_shard_compaction(self):
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha",
+                           compact_ratio=None)
+        idx.remove(0)
+        idx.remove(5)
+        idx.compact()
+        assert sorted(dict(idx.items())) == [1, 2, 3, 4, 6, 7]
+        assert idx.add("zz") == len(WORDS)  # counter never reused
+
+
+class TestHandoff:
+    def test_export_adopt_roundtrip_preserves_answers(self):
+        idx = ShardedIndex(WORDS, n_shards=3, scheme="alpha")
+        before = {q: idx.search(q, 1) for q in WORDS}
+        for si in range(3):
+            idx.adopt_shard(si, idx.export_shard(si))
+        assert {q: idx.search(q, 1) for q in WORDS} == before
+
+    def test_adopt_bumps_generation_monotonically(self):
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha")
+        blob = idx.export_shard(0)
+        g0 = idx.generation
+        idx.adopt_shard(0, blob)
+        assert idx.generation > g0
+
+    def test_adopt_rejects_foreign_ids(self):
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha")
+        blob = idx.export_shard(0)
+        with pytest.raises(ValueError, match="owned by shard"):
+            idx.adopt_shard(1, blob)
+
+    def test_adopt_restores_lost_state(self):
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha")
+        blob = idx.export_shard(0)
+        victims = [sid for sid, si in idx._locate.items() if si == 0]
+        for sid in victims:
+            idx.remove(sid)
+        idx.adopt_shard(0, blob)  # crash-recovery: ids were unknown
+        assert sorted(sid for sid, si in idx._locate.items() if si == 0) \
+            == sorted(victims)
+
+
+class TestTelemetry:
+    def test_per_shard_gauges_and_aggregates(self):
+        metrics = MetricsRegistry()
+        events = EventLog()
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha",
+                           compact_ratio=None)
+        idx.instrument(metrics, events)
+        snap = metrics.snapshot()["metrics"]
+        assert snap["index_size"]["value"] == len(WORDS)
+        shard_sizes = [
+            v["value"]
+            for name, v in snap.items()
+            if name.startswith("shard_size{")
+        ]
+        assert len(shard_sizes) == 2
+        assert sum(shard_sizes) == len(WORDS)
+
+    def test_shard_compaction_event_carries_shard_id(self):
+        metrics = MetricsRegistry()
+        events = EventLog()
+        idx = ShardedIndex(WORDS, n_shards=2, scheme="alpha",
+                           compact_ratio=None)
+        idx.instrument(metrics, events)
+        idx.remove(0)
+        idx.compact()
+        kinds = [e for e in events.tail() if e["kind"] == "compaction"]
+        assert kinds and "shard" in kinds[0]
+
+    def test_generation_is_sum_of_shard_generations(self):
+        idx = ShardedIndex(WORDS, n_shards=3, scheme="alpha")
+        assert idx.generation == sum(
+            s.generation for s in idx.shards
+        )
+        idx.remove(0)
+        assert idx.generation == sum(
+            s.generation for s in idx.shards
+        )
