@@ -18,10 +18,12 @@ bench-quick:
 	$(PYTHON) -m pytest benchmarks/test_ablation_collapse.py -q --benchmark-disable
 
 # Machine-readable artifacts: BENCH_hybrid.json (backend trajectory;
-# the committed artifact was produced with REPRO_HYBRID_N=10000) and
-# BENCH_metrics.json (serve-telemetry overhead), plus the .txt tables.
+# the committed artifact was produced with REPRO_HYBRID_N=10000),
+# BENCH_metrics.json (serve-telemetry overhead) and BENCH_passjoin.json
+# (candidate-generator trajectory; committed with
+# REPRO_PASSJOIN_N=100000), plus the .txt tables.
 bench-json:
-	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py benchmarks/test_serve_sharded.py -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py benchmarks/test_serve_sharded.py benchmarks/test_ablation_passjoin.py -q -s --benchmark-disable
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

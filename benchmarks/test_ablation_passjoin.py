@@ -1,0 +1,166 @@
+"""Ablation: sub-quadratic candidate generation (PASS-JOIN / prefix).
+
+The same warm FPDL last-names join through the three exact index-backed
+generators — ``pass-join`` (segment partition index), ``prefix``
+(q-gram prefix + position filter) and ``fbf-index`` (signature probes
+inside length windows) — plus the cost model's routing story:
+
+* at ``k=1`` the partition probe touches a few hash buckets per window
+  and the sampled collision count is small: auto must route to a
+  partition generator and the forced run must beat the signature walk
+  (>= 5x at the committed n = 100,000);
+* at ``k=2`` the 2-3-character name segments lose their selectivity
+  (~5e8 collisions at n = 1e5) and the sampled estimate prices that in:
+  auto must route *away* from the partition indexes.  The blown-up runs
+  themselves are never timed — that is the point of the cost model.
+
+Artefacts: ``ablation_passjoin.txt`` and the machine-readable
+``BENCH_passjoin.json`` (one record per generator with wall-clock,
+emitted candidates and matches, plus the auto picks at k = 1 and 2).
+The committed artifacts use ``REPRO_PASSJOIN_N=100000``; CI smoke runs
+the default 10,000.  Matches are asserted identical across generators,
+against the all-pairs reference up to n = 20,000, and the funnel
+conserves for every forced plan.
+"""
+
+import json
+import os
+
+from _common import RESULTS_DIR, save_result
+
+from repro.core.plan import JoinPlanner
+from repro.data.datasets import dataset_for_family
+from repro.eval.tables import format_table
+from repro.eval.timing import TimingProtocol, time_callable
+from repro.obs import StatsCollector
+
+N = int(os.environ.get("REPRO_PASSJOIN_N", "10000"))
+PARTITION = ("pass-join", "prefix")
+
+
+def test_ablation_passjoin(benchmark):
+    dp = dataset_for_family("LN", N, seed=5)
+    left, right = dp.error, dp.clean
+    product = len(left) * len(right)
+
+    # -- cost-model routing at k=1 vs k=2 -----------------------------------
+    picks = {}
+    for k in (1, 2):
+        p = JoinPlanner(left, right, k=k, collapse="off")
+        plan = p.plan("FPDL")
+        picks[k] = plan.generator.name
+        print(f"k={k}: auto -> {plan.generator.name} ({plan.reason})")
+    if N >= 10_000:
+        assert picks[1] in PARTITION, picks
+        assert picks[2] not in PARTITION, (
+            f"k=2 collision blow-up not priced in: auto picked {picks[2]}"
+        )
+
+    # -- head-to-head at k=1, warm planner state ----------------------------
+    planner = JoinPlanner(left, right, k=1, collapse="off")
+    planner.prepare("vectorized")
+    planner.index()
+    planner.passjoin_index()
+    planner.prefix_index()
+
+    timings = {}
+    results = {}
+    funnels = {}
+    for gen, runs in (("pass-join", 3), ("prefix", 1), ("fbf-index", 1)):
+        c = StatsCollector(gen)
+
+        def run(gen=gen):
+            return planner.run("FPDL", generator=gen, backend="vectorized")
+
+        timings[gen], results[gen] = time_callable(run, TimingProtocol(runs=runs))
+        # One instrumented run for the funnel; counters, not the clock.
+        r = planner.run(
+            "FPDL", generator=gen, backend="vectorized", collector=c
+        )
+        assert c.conserved, f"{gen} leaked pairs"
+        assert c.pairs_considered == product
+        funnels[gen] = c.stages[gen].passed
+        assert c.stages[gen].tested == product
+        assert r.match_count == results[gen].match_count
+
+    # Exact generators: identical match sets, zero false negatives.
+    counts = {r.match_count for r in results.values()}
+    assert len(counts) == 1, counts
+    if N <= 20_000:
+        ref = planner.run("FPDL", generator="all-pairs", backend="vectorized")
+        assert ref.match_count == results["pass-join"].match_count
+
+    t_pj = timings["pass-join"].best_ms
+    t_fbf = timings["fbf-index"].best_ms
+    if N >= 100_000:
+        assert t_pj * 5 <= t_fbf, (
+            f"pass-join ({t_pj:.0f} ms) must be >= 5x faster than "
+            f"fbf-index ({t_fbf:.0f} ms) at n={N:,}"
+        )
+    elif N >= 10_000:
+        assert t_pj < t_fbf, (t_pj, t_fbf)
+
+    # -- artefacts -----------------------------------------------------------
+    records = []
+    rows = []
+    for gen in ("pass-join", "prefix", "fbf-index"):
+        timing = timings[gen]
+        wall_s = timing.best_ms / 1000.0
+        emitted = funnels[gen]
+        rows.append(
+            [
+                gen,
+                round(timing.best_ms, 1),
+                f"{emitted:,}",
+                f"{100.0 * emitted / product:.2f}%",
+                round(t_fbf / timing.best_ms, 2),
+            ]
+        )
+        records.append(
+            {
+                "n": N,
+                "method": "FPDL",
+                "k": 1,
+                "generator": gen,
+                "wall_s": round(wall_s, 4),
+                "candidates": int(emitted),
+                "candidate_fraction": round(emitted / product, 6),
+                "matches": results[gen].match_count,
+                "pairs_per_s": round(product / wall_s, 1),
+            }
+        )
+    table = format_table(
+        ["generator", "ms (best)", "candidates", "of product", "speedup vs fbf"],
+        rows,
+        title=f"Ablation — FPDL candidate generators, LN n={N}, k=1",
+    )
+    save_result("ablation_passjoin", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    bench_path = RESULTS_DIR / "BENCH_passjoin.json"
+    bench_path.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "family": "LN",
+                    "n": N,
+                    "method": "FPDL",
+                    "k": 1,
+                    "backend": "vectorized",
+                    "pairs": product,
+                },
+                "auto_picks": {f"k={k}": name for k, name in picks.items()},
+                "results": records,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"[saved to {bench_path}]")
+
+    # Timing distribution: the partition-index join at a bounded scale.
+    small_n = min(N, 10_000)
+    small = JoinPlanner(left[:small_n], right[:small_n], k=1, collapse="off")
+    small.prepare("vectorized")
+    small.passjoin_index()
+    benchmark(lambda: small.run("FPDL", generator="pass-join"))

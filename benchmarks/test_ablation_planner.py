@@ -4,9 +4,10 @@ Two artefacts:
 
 * the cost model's picks for FPDL (and the unprunable Jaro) at
   n = 100 / 1,000 / 10,000 on the Table-3 last-names family, showing
-  the scalar -> vectorized -> index-backed progression;
-* a head-to-head at n = 10,000: the auto plan (FBF-index candidate
-  generation) against the forced all-pairs vectorized join, both warm
+  the scalar -> vectorized -> index-backed progression (the PASS-JOIN
+  partition index wins the index tier at this scale and k=1);
+* a head-to-head at n = 10,000: the auto plan (partition-index
+  candidate generation) against the forced all-pairs vectorized join, both warm
   (prepared state built outside the clock).  The index-backed plan must
   win — that reduction is the point of planning — and must return the
   identical match count.
@@ -39,7 +40,7 @@ def test_ablation_planner(benchmark):
             )
     assert picks[(100, "FPDL")] == ("all-pairs", "scalar")
     assert picks[(1_000, "FPDL")] == ("all-pairs", "vectorized")
-    assert picks[(10_000, "FPDL")] == ("fbf-index", "vectorized")
+    assert picks[(10_000, "FPDL")] == ("pass-join", "vectorized")
     # Jaro bounds neither length nor signature bits: never pruned.
     for n in PICK_NS:
         assert picks[(n, "Jaro")][0] == "all-pairs"
@@ -47,7 +48,7 @@ def test_ablation_planner(benchmark):
     # -- head-to-head at n = 10,000, warm on both sides
     planner = JoinPlanner(dp.clean, dp.error, k=1)
     planner.prepare("vectorized")
-    planner.index()
+    planner.passjoin_index()
 
     def auto_plan():
         return planner.run("FPDL")
@@ -63,7 +64,7 @@ def test_ablation_planner(benchmark):
         *pick_rows,
         [
             f"{HEAD_TO_HEAD_N:,}",
-            "FPDL auto (fbf-index)",
+            "FPDL auto (pass-join)",
             f"{r_auto.pairs_compared:,} pairs verified",
             f"{t_auto.mean_ms:.0f} ms",
         ],

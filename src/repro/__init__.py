@@ -78,7 +78,7 @@ from repro.obs import StatsCollector, render_funnel
 from repro.parallel.chunked import ChunkedJoin, VectorEngine
 from repro.serve import MatchService, MutableIndex, QueryResult
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ChunkedJoin",

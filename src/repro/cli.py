@@ -55,7 +55,12 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.matchers import METHOD_NAMES
-from repro.core.plan import BACKEND_NAMES, GENERATOR_NAMES, JoinPlanner
+from repro.core.plan import (
+    BACKEND_NAMES,
+    GENERATOR_NAMES,
+    GENERATOR_SUMMARIES,
+    JoinPlanner,
+)
 from repro.linkage.resolution import resolve
 from repro.obs import (
     StatsCollector,
@@ -280,9 +285,10 @@ def _common_join_args(sub: argparse.ArgumentParser) -> None:
         "--generator",
         default="auto",
         choices=["auto", *GENERATOR_NAMES],
-        help=(
-            "candidate generator (auto: cost model; 'blocking' is "
-            "Soundex standard blocking — lossy)"
+        help="candidate generator (auto: cost model). "
+        + "; ".join(
+            f"{name}: {summary}"
+            for name, summary in GENERATOR_SUMMARIES.items()
         ),
     )
     sub.add_argument(
@@ -393,14 +399,13 @@ def _stats_args(sub: argparse.ArgumentParser) -> None:
 
 
 def _plan_overrides(args: argparse.Namespace):
-    """Map the --generator/--backend flags to planner arguments."""
-    generator = None if args.generator == "auto" else args.generator
-    if generator == "blocking":
-        from repro.core.plan import BlockingKeyGenerator
-        from repro.distance.soundex import soundex
-        from repro.linkage.blocking import StandardBlocking
+    """Map the --generator/--backend flags to planner arguments.
 
-        generator = BlockingKeyGenerator(StandardBlocking(key=soundex))
+    Names pass straight through: the planner's generator registry
+    instantiates every registered generator, including the default
+    Soundex standard blocking.
+    """
+    generator = None if args.generator == "auto" else args.generator
     backend = None if args.backend == "auto" else args.backend
     return generator, backend
 
@@ -425,6 +430,13 @@ def _planned_join(args: argparse.Namespace, left, right, collector):
     if args.plan:
         plan = planner.plan(args.method, generator=generator, backend=backend)
         print(f"# plan: {plan.describe()}", file=sys.stderr)
+        for cost in planner.generator_costs(args.method):
+            score = "lossy" if cost.cost == float("inf") else f"{cost.cost:,.0f}"
+            mark = "*" if cost.name == plan.generator.name else " "
+            print(
+                f"# cost{mark} {cost.name:<14s} {score:>18s}  {cost.detail}",
+                file=sys.stderr,
+            )
     return planner.run(args.method, generator=generator, backend=backend)
 
 

@@ -11,7 +11,11 @@ py_stringsimjoin) decouples:
   :class:`AllPairsGenerator` (the paper's product),
   :class:`LengthBucketGenerator` (length-window group products),
   :class:`FBFIndexGenerator` (bucket + signature filtering via
-  :class:`repro.core.index.FBFIndex`), or
+  :class:`repro.core.index.FBFIndex`),
+  :class:`PassJoinGenerator` (PASS-JOIN segment partition index,
+  :mod:`repro.core.passjoin`),
+  :class:`PrefixQgramGenerator` (q-gram prefix + position inverted
+  index, :mod:`repro.core.prefix`), or
   :class:`BlockingKeyGenerator` (traditional key blocking — *lossy*,
   never auto-picked);
 * an :class:`ExecutionBackend` decides *how to verify them* —
@@ -90,11 +94,16 @@ from repro.parallel.pool import multiprocess_join
 __all__ = [
     "EDIT_BOUNDED",
     "GENERATOR_NAMES",
+    "GENERATOR_FACTORIES",
+    "GENERATOR_SUMMARIES",
+    "GeneratorCost",
     "BACKEND_NAMES",
     "CandidateGenerator",
     "AllPairsGenerator",
     "LengthBucketGenerator",
     "FBFIndexGenerator",
+    "PassJoinGenerator",
+    "PrefixQgramGenerator",
     "BlockingKeyGenerator",
     "ExecutionBackend",
     "HybridBackend",
@@ -112,10 +121,29 @@ _log = get_logger("core.plan")
 #: ``Ham <= k`` does imply both.
 EDIT_BOUNDED = frozenset({"dl", "pdl", "ham"})
 
-GENERATOR_NAMES = ("all-pairs", "length-bucket", "fbf-index", "blocking")
 BACKEND_NAMES = ("scalar", "vectorized", "multiprocess", "hybrid")
 
 Block = tuple[np.ndarray, np.ndarray]
+
+# -- cost-model constants (pair-units) --------------------------------------
+# 1.0 pair-unit = one gathered candidate flowing through the vectorized
+# filter + verify funnel; everything else is calibrated relative to it
+# from the n=1e4-1e5 LN ablations.  Dense all-pairs blocks avoid the
+# gather, signature probes inside length windows touch two packed words,
+# and index builds/probes are per-string NumPy sweeps.
+_COST_DENSE = 0.35
+_COST_WINDOW = 1.0
+_COST_SIG_PROBE = 0.15
+_COST_BUILD_FBF = 6.0
+_COST_BUILD_SEG = 8.0
+_COST_BUILD_GRAM = 14.0
+_COST_PROBE_SEG = 4.0
+_COST_PROBE_GRAM = 10.0
+# Each inverted-list collision costs more than a verified candidate:
+# range expansion, the dedup sort, and the downstream verify all touch
+# it (measured ~3x on the 1e5 LN ablation, where k=2 emits 5e8).
+_COST_COLLISION_SEG = 3.0
+_COST_COLLISION_GRAM = 2.0
 
 
 # ---------------------------------------------------------------------------
@@ -136,6 +164,10 @@ class CandidateGenerator:
     is_full_product = False
     #: guaranteed to emit every pair any method could match
     lossless = True
+    #: one-line description for --help and --plan output
+    summary = ""
+    #: what a method must provide for this generator to be safe
+    requirement = "nothing"
 
     def is_safe_for(self, spec: MethodSpec) -> bool:
         """May this generator prune without dropping matches of ``spec``?"""
@@ -144,12 +176,19 @@ class CandidateGenerator:
     def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
         raise NotImplementedError
 
+    def estimate_cost(
+        self, planner: "JoinPlanner", spec: MethodSpec
+    ) -> tuple[float, str]:
+        """(pair-unit cost estimate, one-line how) for the cost model."""
+        raise NotImplementedError
+
 
 class AllPairsGenerator(CandidateGenerator):
     """The paper's full Cartesian product — safe for everything."""
 
     name = "all-pairs"
     is_full_product = True
+    summary = "full Cartesian product (the paper's driver; always safe)"
 
     def is_safe_for(self, spec: MethodSpec) -> bool:
         return True
@@ -158,6 +197,10 @@ class AllPairsGenerator(CandidateGenerator):
         return iter_pair_blocks(
             len(planner.left), len(planner.right), planner.block_pairs
         )
+
+    def estimate_cost(self, planner, spec):
+        product = len(planner.left) * len(planner.right)
+        return product * _COST_DENSE, f"dense product of {product:,} pairs"
 
 
 class LengthBucketGenerator(CandidateGenerator):
@@ -170,9 +213,18 @@ class LengthBucketGenerator(CandidateGenerator):
     """
 
     name = "length-bucket"
+    summary = "length-window bucket products"
+    requirement = (
+        "an edit-bounded verifier (dl/pdl/ham) or the method's own "
+        "length filter"
+    )
 
     def is_safe_for(self, spec: MethodSpec) -> bool:
         return spec.verifier in EDIT_BOUNDED or "length" in spec.filters
+
+    def estimate_cost(self, planner, spec):
+        window = planner.window_pairs()
+        return window * _COST_WINDOW, f"{window:,} length-window pairs"
 
     def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
         groups_l, groups_r = planner.length_groups()
@@ -204,6 +256,11 @@ class FBFIndexGenerator(CandidateGenerator):
     """
 
     name = "fbf-index"
+    summary = "FBF signature probes inside length windows"
+    requirement = (
+        "an edit-bounded verifier (dl/pdl/ham) or the method's own "
+        "length+fbf filters"
+    )
 
     def is_safe_for(self, spec: MethodSpec) -> bool:
         if spec.verifier in EDIT_BOUNDED:
@@ -214,6 +271,73 @@ class FBFIndexGenerator(CandidateGenerator):
         return planner.index().candidate_blocks(
             planner.left, planner.k, max_pairs=planner.block_pairs
         )
+
+    def estimate_cost(self, planner, spec):
+        window = planner.window_pairs()
+        cost = (
+            len(planner.right) * _COST_BUILD_FBF + window * _COST_SIG_PROBE
+        )
+        return cost, f"signature probes over {window:,} window pairs"
+
+
+class PassJoinGenerator(CandidateGenerator):
+    """PASS-JOIN segment partition index (:mod:`repro.core.passjoin`).
+
+    Exact for edit-bounded verifiers: candidates come from inverted
+    segment-index collisions, so generation cost tracks collisions, not
+    the n x m product.  OSA-complete via boundary-transposition probe
+    variants (see the module docstring).
+    """
+
+    name = "pass-join"
+    summary = "PASS-JOIN segment partition index (exact, sub-quadratic)"
+    requirement = "an edit-bounded verifier (dl/pdl/ham)"
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        return spec.verifier in EDIT_BOUNDED
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        return planner.passjoin_index().candidate_blocks(
+            planner.left, max_pairs=planner.block_pairs
+        )
+
+    def estimate_cost(self, planner, spec):
+        emitted = planner.sampled_emit("pass-join")
+        cost = (
+            len(planner.right) * _COST_BUILD_SEG
+            + len(planner.left) * _COST_PROBE_SEG
+            + emitted * _COST_COLLISION_SEG
+        )
+        return cost, f"~{emitted:,.0f} sampled segment collisions"
+
+
+class PrefixQgramGenerator(CandidateGenerator):
+    """q-gram prefix + position filter (:mod:`repro.core.prefix`).
+
+    Exact for edit-bounded verifiers; generation cost tracks
+    inverted-list collisions of the rarest-first gram prefixes.
+    """
+
+    name = "prefix"
+    summary = "q-gram prefix+position inverted index (exact, sub-quadratic)"
+    requirement = "an edit-bounded verifier (dl/pdl/ham)"
+
+    def is_safe_for(self, spec: MethodSpec) -> bool:
+        return spec.verifier in EDIT_BOUNDED
+
+    def blocks(self, planner: "JoinPlanner") -> Iterator[Block]:
+        return planner.prefix_index().candidate_blocks(
+            planner.left, max_pairs=planner.block_pairs
+        )
+
+    def estimate_cost(self, planner, spec):
+        emitted = planner.sampled_emit("prefix")
+        cost = (
+            len(planner.right) * _COST_BUILD_GRAM
+            + len(planner.left) * _COST_PROBE_GRAM
+            + emitted * _COST_COLLISION_GRAM
+        )
+        return cost, f"~{emitted:,.0f} sampled gram collisions"
 
 
 class BlockingKeyGenerator(CandidateGenerator):
@@ -233,6 +357,8 @@ class BlockingKeyGenerator(CandidateGenerator):
 
     is_full_product = False
     lossless = False
+    summary = "traditional key blocking (lossy — never auto-picked)"
+    requirement = "nothing — key blocking is lossy by design"
 
     def __init__(
         self,
@@ -282,6 +408,55 @@ class BlockingKeyGenerator(CandidateGenerator):
                 np.asarray(buf_i, dtype=np.int64),
                 np.asarray(buf_j, dtype=np.int64),
             )
+
+    def estimate_cost(self, planner, spec):
+        return float("inf"), "lossy by design — never auto-picked"
+
+
+def _default_blocking() -> BlockingKeyGenerator:
+    """The registry's ``"blocking"`` entry: Soundex standard blocking
+    (the configuration the CLI and the recall benchmarks use).  Lazy so
+    the plan layer never imports the linkage layer unless asked."""
+    from repro.distance.soundex import soundex
+    from repro.linkage.blocking import StandardBlocking
+
+    return BlockingKeyGenerator(StandardBlocking(key=soundex))
+
+
+_default_blocking.summary = BlockingKeyGenerator.summary
+
+#: name -> zero-arg factory for every registered generator.  The CLI
+#: derives its ``--generator`` choices and help text from this mapping,
+#: and :meth:`JoinPlanner.generator` instantiates entries lazily — so a
+#: new generator registers here once and appears everywhere.
+GENERATOR_FACTORIES: dict[str, type | object] = {
+    "all-pairs": AllPairsGenerator,
+    "length-bucket": LengthBucketGenerator,
+    "fbf-index": FBFIndexGenerator,
+    "pass-join": PassJoinGenerator,
+    "prefix": PrefixQgramGenerator,
+    "blocking": _default_blocking,
+}
+
+GENERATOR_NAMES = tuple(GENERATOR_FACTORIES)
+
+GENERATOR_SUMMARIES = {
+    name: factory.summary for name, factory in GENERATOR_FACTORIES.items()
+}
+
+
+@dataclass(frozen=True)
+class GeneratorCost:
+    """One generator's cost-model score for a method (see
+    :meth:`JoinPlanner.generator_costs`)."""
+
+    name: str
+    generator: CandidateGenerator
+    #: estimated pair-units; ``inf`` for lossy generators
+    cost: float
+    #: may the cost model pick it (lossless and safe for the method)?
+    safe: bool
+    detail: str
 
 
 # ---------------------------------------------------------------------------
@@ -562,16 +737,15 @@ class JoinPlanner:
         self._scheme = None
         self._engine: VectorEngine | None = None
         self._index = None
+        self._passjoin = None
+        self._prefix = None
         self._shm_datasets = None
         self._len_groups: tuple[dict, dict] | None = None
-        self._generators = {
-            g.name: g
-            for g in (
-                AllPairsGenerator(),
-                LengthBucketGenerator(),
-                FBFIndexGenerator(),
-            )
-        }
+        self._len_hist: tuple[dict, dict] | None = None
+        self._window_pairs: int | None = None
+        self._cost_samples: dict[str, float] = {}
+        #: lazily instantiated from GENERATOR_FACTORIES (see generator())
+        self._generators: dict[str, CandidateGenerator] = {}
         self._backends = {
             b.name: b
             for b in (
@@ -618,6 +792,34 @@ class JoinPlanner:
 
             self._index = FBFIndex(self.right, scheme=self.scheme())
         return self._index
+
+    def passjoin_index(self):
+        """The PASS-JOIN segment index over the right side (cached per
+        planner, like :meth:`index`)."""
+        if self._passjoin is None:
+            from repro.core.passjoin import PassJoinIndex
+
+            self._passjoin = PassJoinIndex(self.right, k=self.k)
+        return self._passjoin
+
+    def prefix_index(self):
+        """The q-gram prefix index over the right side (cached)."""
+        if self._prefix is None:
+            from repro.core.prefix import PrefixQgramIndex
+
+            self._prefix = PrefixQgramIndex(self.right, k=self.k)
+        return self._prefix
+
+    def generator(self, name: str) -> CandidateGenerator | None:
+        """The registered generator instance for ``name`` (lazily built
+        from :data:`GENERATOR_FACTORIES`), or ``None`` if unknown."""
+        gen = self._generators.get(name)
+        if gen is None:
+            factory = GENERATOR_FACTORIES.get(name)
+            if factory is None:
+                return None
+            gen = self._generators[name] = factory()
+        return gen
 
     def shared_datasets(self, *, need_sdx: bool = False):
         """Both sides published through shared memory (hybrid backend).
@@ -774,36 +976,103 @@ class JoinPlanner:
 
     # -- plan selection -----------------------------------------------------
 
+    #: stride-sample sizes for the collision estimates in sampled_emit
+    COST_SAMPLE_LEFT = 256
+    COST_SAMPLE_RIGHT = 512
+
+    def window_pairs(self) -> int:
+        """Exact count of pairs within the ``k`` length window, from the
+        per-side length histograms (cheap: one ``len()`` pass)."""
+        if self._window_pairs is None:
+            if self._len_hist is None:
+                from collections import Counter
+
+                self._len_hist = (
+                    Counter(len(s) for s in self.left),
+                    Counter(len(s) for s in self.right),
+                )
+            hist_l, hist_r = self._len_hist
+            self._window_pairs = sum(
+                cl * cr
+                for lv, cl in hist_l.items()
+                for rv, cr in hist_r.items()
+                if abs(lv - rv) <= self.k
+            )
+        return self._window_pairs
+
+    def sampled_emit(self, kind: str) -> float:
+        """Estimated candidates an inverted index would emit, from a
+        stride-sampled build + probe (collisions are a pair-level
+        phenomenon, so the sample count scales by both side ratios)."""
+        est = self._cost_samples.get(kind)
+        if est is None:
+            n_l, n_r = len(self.left), len(self.right)
+            stride_l = max(1, n_l // self.COST_SAMPLE_LEFT)
+            stride_r = max(1, n_r // self.COST_SAMPLE_RIGHT)
+            left = self.left[::stride_l]
+            right = self.right[::stride_r]
+            if kind == "pass-join":
+                from repro.core.passjoin import PassJoinIndex
+
+                index = PassJoinIndex(right, k=self.k)
+            elif kind == "prefix":
+                from repro.core.prefix import PrefixQgramIndex
+
+                index = PrefixQgramIndex(right, k=self.k)
+            else:
+                raise ValueError(f"no sampler for generator {kind!r}")
+            emitted = sum(
+                len(qi) for qi, _ in index.candidate_blocks(left)
+            )
+            scale = (n_l / max(1, len(left))) * (n_r / max(1, len(right)))
+            est = self._cost_samples[kind] = emitted * scale
+        return est
+
+    def generator_costs(self, method: str) -> list[GeneratorCost]:
+        """Every registered generator's cost-model score for ``method``,
+        cheapest first (what ``--plan`` prints and auto picks from)."""
+        spec = method_registry().get(method)
+        if spec is None:
+            raise ValueError(f"unknown method {method!r}")
+        scores = []
+        for name in GENERATOR_NAMES:
+            gen = self.generator(name)
+            cost, detail = gen.estimate_cost(self, spec)
+            safe = gen.lossless and (
+                gen.is_full_product or gen.is_safe_for(spec)
+            )
+            scores.append(GeneratorCost(name, gen, cost, safe, detail))
+        return sorted(scores, key=lambda c: (c.cost, c.name))
+
     def _resolve_generator(
         self, generator, spec: MethodSpec
     ) -> tuple[CandidateGenerator, str]:
         if isinstance(generator, CandidateGenerator):
             return generator, "explicit"
         if generator is not None and generator != "auto":
-            gen = self._generators.get(generator)
+            gen = self.generator(generator)
             if gen is None:
                 raise ValueError(
                     f"unknown generator {generator!r}; expected one of "
-                    f"{GENERATOR_NAMES} or a CandidateGenerator instance"
+                    f"{', '.join(sorted(GENERATOR_NAMES))} or a "
+                    "CandidateGenerator instance"
                 )
             return gen, "explicit"
         product = len(self.left) * len(self.right)
-        if product >= self.index_min_pairs and self.k <= self.max_index_k:
-            fbf = self._generators["fbf-index"]
-            if fbf.is_safe_for(spec):
-                return fbf, (
-                    f"product {product:,} >= {self.index_min_pairs:,} and "
-                    f"k={self.k} <= {self.max_index_k}: index pays for itself"
-                )
-            lb = self._generators["length-bucket"]
-            if lb.is_safe_for(spec):
-                return lb, (
-                    f"product {product:,} large but {spec.name} not "
-                    "FBF-prunable: length window only"
-                )
-        return self._generators["all-pairs"], (
-            f"product {product:,} below index threshold or "
-            f"{spec.name} not prunable"
+        if product < self.index_min_pairs or self.k > self.max_index_k:
+            # Small products never amortize an index build (and large k
+            # degrades every pruning structure): skip the samplers.
+            reason = (
+                f"product {product:,} below index threshold "
+                f"{self.index_min_pairs:,}"
+                if product < self.index_min_pairs
+                else f"k={self.k} > {self.max_index_k}: pruning degrades"
+            )
+            return self.generator("all-pairs"), reason
+        best = next(c for c in self.generator_costs(spec.name) if c.safe)
+        return best.generator, (
+            f"cost model: {best.name} ~ {best.cost:,.0f} pair-units "
+            f"({best.detail})"
         )
 
     def _resolve_backend(self, backend) -> tuple[ExecutionBackend, str]:
@@ -874,7 +1143,9 @@ class JoinPlanner:
                 "(%s)",
                 gen.name,
                 method,
-                "lossy by design" if not gen.lossless else "unsafe pruning",
+                "lossy by design"
+                if not gen.lossless
+                else f"requires {gen.requirement}",
             )
         reason = gen_reason if gen_reason == be_reason else (
             f"{gen_reason}; {be_reason}"

@@ -1,0 +1,206 @@
+"""Prefix + position q-gram filter: inverted-list candidates for OSA <= k.
+
+The classic prefix-filter construction (ed-join / py_stringsimjoin's
+PrefixIndex + PositionIndex): tokenize every string into padded
+positional q-grams, order all grams by ascending global frequency
+(rarest first, gram string as tie-break), and index only each string's
+*prefix* — its first ``P`` gram occurrences under that order.  If two
+strings are within edit distance ``k`` their prefixes must share a
+gram, so probing touches only the inverted lists of a query's prefix
+grams instead of any length-bucket product.
+
+Two deviations from the Levenshtein textbook version, both forced by
+this repo's OSA verifiers (``dl``/``pdl`` count an adjacent
+transposition as *one* edit):
+
+* **Prefix length.**  A substitution/insertion/deletion destroys at
+  most ``q`` padded grams, but a transposition touches two adjacent
+  characters and destroys up to ``q + 1``.  The safe prefix length is
+  therefore ``P = (q + 1) * k + 1`` rather than ``q * k + 1``.
+* **Short strings.**  A string with at most ``(q + 1) * k`` gram
+  occurrences (``len(s) <= (q + 1) * k - q + 1``) can lose *all* of
+  them to ``k`` edits — e.g. ``osa("", "a") = 1`` with disjoint gram
+  sets — so the prefix argument says nothing about it.  Short strings
+  are kept out of the inverted lists and matched through per-length id
+  tables instead: a short *query* scans every indexed length within
+  the ``k`` window, and a long query adds the short *indexed* strings
+  in its window.  Both directions stay exact because the length filter
+  is implied by ``osa <= k``.
+
+The position filter rides along unchanged: edits shift a preserved
+gram by at most ``k`` positions (transpositions shift none), so an
+inverted-list entry only survives when ``|pos_query - pos_indexed| <=
+k`` — and the length filter ``|len_query - len_indexed| <= k`` prunes
+the rest.  Candidates are deduplicated per query; the verifier keeps
+the final say, so spurious candidates cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.passjoin import dedup_sorted
+from repro.distance.qgram import PAD_CHAR
+
+__all__ = ["PrefixQgramIndex", "positional_qgrams"]
+
+
+def positional_qgrams(s: str, q: int) -> list[tuple[str, int]]:
+    """Padded q-grams of ``s`` with their start positions.
+
+    Same convention as :func:`repro.distance.qgram.qgram_profile`
+    (``q - 1`` pad characters each side), but positional: a string of
+    length ``n`` yields ``n + q - 1`` occurrences.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    padded = PAD_CHAR * (q - 1) + s + PAD_CHAR * (q - 1)
+    return [(padded[i : i + q], i) for i in range(len(s) + q - 1)]
+
+
+class PrefixQgramIndex:
+    """Inverted prefix-gram index over one side of a join.
+
+    Same block contract as :class:`repro.core.passjoin.PassJoinIndex`:
+    ``candidate_blocks(queries)`` yields deduplicated ``(query_idx,
+    ids)`` int64 array pairs containing every OSA-``<= k`` pair.
+    """
+
+    def __init__(self, strings: Sequence[str], *, k: int = 1, q: int = 2):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.strings = list(strings)
+        self.k = k
+        self.q = q
+        #: first P gram occurrences under the global order
+        self.prefix_len = (q + 1) * k + 1
+        #: strings this short can lose every gram to k edits
+        self.short_max_len = (q + 1) * k - q + 1
+        n = len(self.strings)
+        lens = np.fromiter((len(s) for s in self.strings), dtype=np.int64, count=n)
+        self._lens = lens
+        #: length -> all indexed ids of that length (short-query fallback)
+        self._by_len: dict[int, np.ndarray] = {
+            int(v): np.flatnonzero(lens == v).astype(np.int64)
+            for v in dedup_sorted(lens)
+        }
+        #: length -> short indexed ids of that length (long-query add-on)
+        self._short_by_len: dict[int, np.ndarray] = {
+            v: ids
+            for v, ids in self._by_len.items()
+            if v <= self.short_max_len
+        }
+        occs = [positional_qgrams(s, q) for s in self.strings]
+        # Global order: ascending frequency over the *indexed* side,
+        # gram string as tie-break.  Query grams absent from the index
+        # sort before everything (frequency 0) — they hit empty lists,
+        # but both sides must rank them identically for the prefix
+        # guarantee, hence the explicit two-level key in _prefix_occs.
+        freq = Counter(g for string_occs in occs for g, _ in string_occs)
+        self._rank = {
+            g: r for r, (g, _) in enumerate(sorted(freq.items(), key=lambda kv: (kv[1], kv[0])))
+        }
+        grams: dict[str, tuple[list[int], list[int], list[int]]] = {}
+        for sid, string_occs in enumerate(occs):
+            if lens[sid] <= self.short_max_len:
+                continue
+            for g, pos in self._prefix_occs(string_occs):
+                ids, positions, lengths = grams.setdefault(g, ([], [], []))
+                ids.append(sid)
+                positions.append(pos)
+                lengths.append(int(lens[sid]))
+        #: gram -> (ids, positions, lengths) as parallel int64 arrays
+        self._inverted = {
+            g: (
+                np.asarray(ids, dtype=np.int64),
+                np.asarray(positions, dtype=np.int64),
+                np.asarray(lengths, dtype=np.int64),
+            )
+            for g, (ids, positions, lengths) in grams.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def _prefix_occs(
+        self, string_occs: list[tuple[str, int]]
+    ) -> list[tuple[str, int]]:
+        """The first ``prefix_len`` occurrences under the global order
+        (unknown grams first by gram string, then position)."""
+        rank = self._rank
+        # rank.get(g, -1) puts index-unseen grams below every known
+        # rank; the (rank, gram, position) key keeps the order total
+        # and identical on both sides, which the prefix lemma needs.
+        ordered = sorted(
+            string_occs, key=lambda occ: (rank.get(occ[0], -1), occ[0], occ[1])
+        )
+        return ordered[: self.prefix_len]
+
+    # -- probing -------------------------------------------------------------
+
+    def _length_window_ids(
+        self, table: dict[int, np.ndarray], qlen: int
+    ) -> list[np.ndarray]:
+        return [
+            ids
+            for length, ids in table.items()
+            if abs(length - qlen) <= self.k
+        ]
+
+    def _probe(self, query: str) -> list[np.ndarray]:
+        k = self.k
+        qlen = len(query)
+        if qlen <= self.short_max_len:
+            # Too short for the prefix guarantee in either direction:
+            # take everything in the length window (small by design —
+            # only lengths within k of a short string qualify).
+            return self._length_window_ids(self._by_len, qlen)
+        parts = self._length_window_ids(self._short_by_len, qlen)
+        for g, pos in self._prefix_occs(positional_qgrams(query, self.q)):
+            entry = self._inverted.get(g)
+            if entry is None:
+                continue
+            ids, positions, lengths = entry
+            keep = (np.abs(positions - pos) <= k) & (
+                np.abs(lengths - qlen) <= k
+            )
+            if keep.any():
+                parts.append(ids[keep])
+        return parts
+
+    def candidate_blocks(
+        self,
+        queries: Sequence[str],
+        *,
+        max_pairs: int = 1 << 20,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield deduplicated ``(query_idx, ids)`` candidate blocks,
+        queries in input order, blocks capped at ``max_pairs`` pairs."""
+        if not len(self.strings):
+            return
+        buf_q: list[np.ndarray] = []
+        buf_id: list[np.ndarray] = []
+        buffered = 0
+        for qi, query in enumerate(queries):
+            parts = self._probe(query)
+            if not parts:
+                continue
+            ids = dedup_sorted(np.concatenate(parts))
+            buf_q.append(np.full(len(ids), qi, dtype=np.int64))
+            buf_id.append(ids)
+            buffered += len(ids)
+            if buffered >= max_pairs:
+                yield np.concatenate(buf_q), np.concatenate(buf_id)
+                buf_q, buf_id, buffered = [], [], 0
+        if buffered:
+            yield np.concatenate(buf_q), np.concatenate(buf_id)
+
+    def candidates(self, query: str) -> np.ndarray:
+        """Candidate ids for one probe string (sorted ascending)."""
+        parts = self._probe(query)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return dedup_sorted(np.concatenate(parts))

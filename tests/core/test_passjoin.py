@@ -1,0 +1,149 @@
+"""PASS-JOIN partition index: layout, completeness, OSA boundary swaps.
+
+The load-bearing property is *completeness for OSA*: for every pair
+within edit distance ``k`` (restricted Damerau-Levenshtein — the repo's
+``dl``/``pdl`` metric), the probe must emit the pair.  The classic
+Levenshtein partition probe is incomplete under transpositions that
+straddle a segment boundary, so the exhaustive small-universe sweep
+here is the regression net for the boundary-swap variants.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.passjoin import PassJoinIndex, dedup_sorted, segment_layout
+from repro.distance.damerau import damerau_levenshtein
+
+
+def universe(alphabet, max_len):
+    return [
+        "".join(t)
+        for n in range(max_len + 1)
+        for t in itertools.product(alphabet, repeat=n)
+    ]
+
+
+class TestSegmentLayout:
+    def test_even_partition_covers_string(self):
+        for length in range(0, 25):
+            for parts in range(1, 6):
+                layout = segment_layout(length, parts)
+                assert len(layout) == parts
+                pos = 0
+                for start, seg_len in layout:
+                    assert start == pos
+                    pos += seg_len
+                assert pos == length
+
+    def test_lengths_differ_by_at_most_one_and_long_last(self):
+        layout = segment_layout(10, 3)
+        assert layout == [(0, 3), (3, 3), (6, 4)]
+        sizes = [seg_len for _, seg_len in segment_layout(11, 4)]
+        assert max(sizes) - min(sizes) == 1
+        assert sizes == sorted(sizes)  # remainder lands on the tail
+
+    def test_zero_length_segments_when_short(self):
+        layout = segment_layout(1, 3)
+        assert [seg_len for _, seg_len in layout] == [0, 0, 1]
+        assert segment_layout(0, 2) == [(0, 0), (0, 0)]
+
+
+class TestDedupSorted:
+    def test_matches_numpy_unique(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 50, size=500)
+        np.testing.assert_array_equal(
+            dedup_sorted(values), np.unique(values)
+        )
+
+    def test_empty(self):
+        out = dedup_sorted(np.empty(0, dtype=np.int64))
+        assert len(out) == 0
+
+
+class TestCompleteness:
+    """Exhaustive sweep: every OSA <= k pair is emitted."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_dense_universe(self, k):
+        strings = universe("ab", 4)
+        index = PassJoinIndex(strings, k=k)
+        emitted = {
+            (int(qi), int(sid))
+            for qs, ids in index.candidate_blocks(strings)
+            for qi, sid in zip(qs, ids)
+        }
+        for qi, q in enumerate(strings):
+            for sid, s in enumerate(strings):
+                if damerau_levenshtein(q, s) <= k:
+                    assert (qi, sid) in emitted, (
+                        f"missed {q!r} ~ {s!r} at k={k}"
+                    )
+
+    def test_boundary_transposition_regression(self):
+        # osa("AB", "BA") == 1 but the transposition straddles the
+        # "A"|"B" segment boundary — the classic probe misses it.
+        index = PassJoinIndex(["AB"], k=1)
+        assert 0 in index.candidates("BA")
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_unicode(self, k):
+        strings = ["", "a", "é漢字", "漢é字", "naïve", "naive", "nàive", "AB"]
+        index = PassJoinIndex(strings, k=k)
+        probes = strings + ["BAX", "éAB", "n\x00ive"]
+        for q in probes:
+            got = set(index.candidates(q).tolist())
+            for sid, s in enumerate(strings):
+                if damerau_levenshtein(q, s) <= k:
+                    assert sid in got, f"missed {q!r} ~ {s!r} at k={k}"
+
+    def test_empty_strings_reachable(self):
+        index = PassJoinIndex(["", "a", "ab"], k=1)
+        assert set(index.candidates("").tolist()) >= {0, 1}
+        assert 0 in index.candidates("x")
+
+    def test_k0_is_exact_lookup(self):
+        strings = ["abc", "abd", "abc", ""]
+        index = PassJoinIndex(strings, k=0)
+        assert set(index.candidates("abc").tolist()) == {0, 2}
+        assert set(index.candidates("").tolist()) == {3}
+        assert len(index.candidates("zzz")) == 0
+
+
+class TestBlocks:
+    def test_blocks_are_deduplicated(self):
+        strings = universe("ab", 3)
+        index = PassJoinIndex(strings, k=2)
+        seen = set()
+        for qs, ids in index.candidate_blocks(strings):
+            for pair in zip(qs.tolist(), ids.tolist()):
+                assert pair not in seen, f"duplicate candidate {pair}"
+                seen.add(pair)
+
+    def test_max_pairs_caps_blocks(self):
+        strings = universe("ab", 3)
+        index = PassJoinIndex(strings, k=2)
+        blocks = list(index.candidate_blocks(strings, max_pairs=64))
+        assert len(blocks) > 1
+        assert all(len(qs) <= 64 for qs, _ in blocks)
+        capped = {
+            (int(qi), int(sid))
+            for qs, ids in blocks
+            for qi, sid in zip(qs, ids)
+        }
+        full = {
+            (int(qi), int(sid))
+            for qs, ids in index.candidate_blocks(strings)
+            for qi, sid in zip(qs, ids)
+        }
+        assert capped == full
+
+    def test_empty_sides(self):
+        assert list(PassJoinIndex([], k=1).candidate_blocks(["a"])) == []
+        assert list(PassJoinIndex(["a"], k=1).candidate_blocks([])) == []
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            PassJoinIndex(["a"], k=-1)

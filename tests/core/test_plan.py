@@ -23,12 +23,16 @@ from repro.core.matchers import method_registry
 from repro.core.plan import (
     BACKEND_NAMES,
     EDIT_BOUNDED,
+    GENERATOR_FACTORIES,
     GENERATOR_NAMES,
+    GENERATOR_SUMMARIES,
     AllPairsGenerator,
     BlockingKeyGenerator,
     FBFIndexGenerator,
     JoinPlanner,
     LengthBucketGenerator,
+    PassJoinGenerator,
+    PrefixQgramGenerator,
     join,
 )
 from repro.data.datasets import dataset_for_family
@@ -86,8 +90,11 @@ class TestCostModel:
 
     def test_length_only_method_gets_length_bucket(self):
         # LF filters on length but carries no FBF filter or edit-bounded
-        # verifier: the index would prune unsafely, buckets are exact.
-        p = JoinPlanner(_fake_strings(1100), _fake_strings(1100), k=1)
+        # verifier: every index generator would prune unsafely, buckets
+        # are exact.  Lengths must vary for the window to prune at all —
+        # on same-length data the dense product is genuinely cheaper.
+        strings = [f"{i:0{6 + i % 12}d}" for i in range(1100)]
+        p = JoinPlanner(strings, list(strings), k=1)
         assert p.plan("LF").generator.name == "length-bucket"
 
     def test_multiprocess_never_auto_picked(self):
@@ -104,6 +111,81 @@ class TestCostModel:
         p = JoinPlanner(_fake_strings(100), _fake_strings(100), k=1)
         text = p.plan("FPDL").describe()
         assert "FPDL" in text and "all-pairs" in text and "100 x 100" in text
+
+
+class TestGeneratorRegistry:
+    def test_registry_is_the_name_source(self):
+        assert GENERATOR_NAMES == tuple(GENERATOR_FACTORIES)
+        assert set(GENERATOR_SUMMARIES) == set(GENERATOR_NAMES)
+        assert all(GENERATOR_SUMMARIES.values())
+
+    def test_planner_instantiates_lazily_and_caches(self):
+        p = JoinPlanner(_fake_strings(10), _fake_strings(10), k=1)
+        gen = p.generator("pass-join")
+        assert isinstance(gen, PassJoinGenerator)
+        assert p.generator("pass-join") is gen
+        assert p.generator("bogus") is None
+
+    def test_default_blocking_is_soundex(self):
+        p = JoinPlanner(["SMITH"], ["SMYTH"], k=1)
+        gen = p.generator("blocking")
+        assert not gen.lossless
+        assert gen.name.startswith("blocking")
+
+    def test_costs_cover_every_generator(self):
+        p = JoinPlanner(_fake_strings(50), _fake_strings(50), k=1)
+        costs = p.generator_costs("FPDL")
+        assert [c.name for c in costs] != []
+        assert {c.name for c in costs} == set(GENERATOR_NAMES)
+        # sorted ascending, lossy last at +inf and never safe
+        values = [c.cost for c in costs]
+        assert values == sorted(values)
+        by_name = {c.name: c for c in costs}
+        assert by_name["blocking"].cost == float("inf")
+        assert not by_name["blocking"].safe
+        assert all(c.detail for c in costs)
+
+    def test_unsafe_methods_scored_but_not_safe(self):
+        p = JoinPlanner(_fake_strings(50), _fake_strings(50), k=1)
+        by_name = {c.name: c for c in p.generator_costs("Jaro")}
+        assert by_name["all-pairs"].safe
+        assert not by_name["pass-join"].safe
+        assert not by_name["prefix"].safe
+        assert not by_name["fbf-index"].safe
+
+
+class TestPartitionRouting:
+    """The cost model routes between the partition indexes and the
+    signature walk by sampled collision counts."""
+
+    @pytest.fixture(scope="class")
+    def ln_names(self):
+        pair = dataset_for_family("LN", 2000, seed=3)
+        return list(pair.clean), list(pair.error)
+
+    def test_k1_prefers_passjoin_over_window_walks(self, ln_names):
+        clean, err = ln_names
+        p = JoinPlanner(err, clean, k=1, collapse="off")
+        by_name = {c.name: c for c in p.generator_costs("FPDL")}
+        assert by_name["pass-join"].cost < by_name["fbf-index"].cost
+        assert by_name["pass-join"].cost < by_name["length-bucket"].cost
+
+    def test_k2_collision_blowup_is_priced_in(self, ln_names):
+        # Short name segments lose selectivity at k=2: the sampled
+        # collision count must price pass-join above the signature walk
+        # (at n=1e5 this is a 5e8-candidate difference).
+        clean, err = ln_names
+        p = JoinPlanner(err, clean, k=2, collapse="off")
+        by_name = {c.name: c for c in p.generator_costs("FPDL")}
+        assert by_name["fbf-index"].cost < by_name["pass-join"].cost
+        assert by_name["fbf-index"].cost < by_name["prefix"].cost
+
+    def test_reason_names_the_winner_and_its_cost(self, ln_names):
+        clean, err = ln_names
+        p = JoinPlanner(err, clean, k=1, collapse="off")
+        plan = p.plan("FPDL")
+        assert "cost model" in plan.reason
+        assert plan.generator.name in plan.reason
 
 
 class TestSafety:
@@ -137,6 +219,23 @@ class TestOverrides:
         p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
         with pytest.raises(ValueError, match="unknown generator"):
             p.plan("FPDL", generator="bogus")
+
+    def test_unknown_generator_lists_registered_names(self, ssn_pair):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        with pytest.raises(ValueError) as exc:
+            p.plan("FPDL", generator="bogus")
+        assert ", ".join(sorted(GENERATOR_NAMES)) in str(exc.value)
+
+    def test_unsafe_override_warning_names_the_requirement(
+        self, ssn_pair, caplog
+    ):
+        p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
+        with caplog.at_level("WARNING", logger="repro.core.plan"):
+            p.plan("Jaro", generator="pass-join")
+        assert any(
+            "requires an edit-bounded verifier" in rec.message
+            for rec in caplog.records
+        )
 
     def test_unknown_backend_raises(self, ssn_pair):
         p = JoinPlanner(ssn_pair.clean, ssn_pair.error, k=1)
@@ -381,7 +480,8 @@ class TestDeprecatedShims:
 
     def test_names_stay_exported(self):
         assert set(GENERATOR_NAMES) == {
-            "all-pairs", "length-bucket", "fbf-index", "blocking",
+            "all-pairs", "length-bucket", "fbf-index", "pass-join",
+            "prefix", "blocking",
         }
         assert set(BACKEND_NAMES) == {
             "scalar", "vectorized", "multiprocess", "hybrid",

@@ -20,6 +20,8 @@ from repro.core.plan import (
     FBFIndexGenerator,
     JoinPlanner,
     LengthBucketGenerator,
+    PassJoinGenerator,
+    PrefixQgramGenerator,
 )
 from repro.data.datasets import dataset_for_family
 from repro.obs import StatsCollector
@@ -38,6 +40,10 @@ def _safe_generators(method: str) -> list[str]:
         names.append("length-bucket")
     if FBFIndexGenerator().is_safe_for(spec):
         names.append("fbf-index")
+    if PassJoinGenerator().is_safe_for(spec):
+        names.append("pass-join")
+    if PrefixQgramGenerator().is_safe_for(spec):
+        names.append("prefix")
     return names
 
 
@@ -117,6 +123,52 @@ def test_self_join_plans_match_reference(method, data):
         assert c.pairs_considered == len(data) ** 2
         assert c.conserved, f"{method} self-join/{collapse} leaked pairs"
         assert c.matched == ref.match_count
+
+
+@pytest.mark.parametrize("generator", ["pass-join", "prefix"])
+@settings(max_examples=10)
+@given(left=dup_strings, right=dup_strings)
+def test_partition_generators_compose_with_collapse(generator, left, right):
+    """The partition indexes ride the unique-space planner under
+    collapse exactly like the other generators — identical matches and
+    conserved original-pair accounting."""
+    ref = JoinPlanner(
+        left, right, k=1, record_matches=True,
+        collapse="off", self_join=False, memo="off",
+    ).run("FPDL", generator="all-pairs", backend="scalar")
+    for collapse in ("on", "off"):
+        c = StatsCollector(f"{generator}/collapse={collapse}")
+        r = JoinPlanner(
+            left, right, k=1, record_matches=True, collapse=collapse,
+        ).run("FPDL", generator=generator, backend="vectorized", collector=c)
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.match_count == ref.match_count
+        assert r.diagonal_matches == ref.diagonal_matches
+        assert c.pairs_considered == len(left) * len(right)
+        assert c.conserved, f"{generator}/collapse={collapse} leaked pairs"
+
+
+@pytest.mark.parametrize("generator", ["pass-join", "prefix"])
+@settings(max_examples=10)
+@given(data=dup_strings)
+def test_partition_generators_compose_with_self_join(generator, data):
+    """Triangle enumeration over partition-index candidates equals the
+    full product."""
+    ref = JoinPlanner(
+        data, list(data), k=1, record_matches=True,
+        collapse="off", self_join=False, memo="off",
+    ).run("FPDL", generator="all-pairs", backend="scalar")
+    for collapse in ("on", "off"):
+        c = StatsCollector(f"{generator}/self-join/{collapse}")
+        r = JoinPlanner(
+            data, data, k=1, record_matches=True,
+            collapse=collapse, self_join=True,
+        ).run("FPDL", generator=generator, backend="vectorized", collector=c)
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.match_count == ref.match_count
+        assert r.diagonal_matches == ref.diagonal_matches
+        assert c.pairs_considered == len(data) ** 2
+        assert c.conserved
 
 
 class TestMultiprocessEquivalence:

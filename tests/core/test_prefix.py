@@ -1,0 +1,131 @@
+"""Prefix + position q-gram filter: tokenization, completeness, shorts.
+
+Mirrors the PASS-JOIN suite: the exhaustive small-universe sweeps pin
+the two OSA-specific deviations — the widened ``(q + 1) * k + 1``
+prefix (a transposition destroys up to ``q + 1`` padded grams) and the
+short-string fallback through per-length id tables.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.prefix import PrefixQgramIndex, positional_qgrams
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.qgram import PAD_CHAR
+
+
+def universe(alphabet, max_len):
+    return [
+        "".join(t)
+        for n in range(max_len + 1)
+        for t in itertools.product(alphabet, repeat=n)
+    ]
+
+
+class TestPositionalQgrams:
+    def test_padded_occurrences(self):
+        occs = positional_qgrams("ab", 2)
+        assert occs == [
+            (PAD_CHAR + "a", 0),
+            ("ab", 1),
+            ("b" + PAD_CHAR, 2),
+        ]
+
+    def test_empty_string_yields_one_pad_gram(self):
+        # n + q - 1 occurrences, same as qgram_profile's padding
+        # convention — the empty string contributes the all-pad gram.
+        assert positional_qgrams("", 2) == [(PAD_CHAR * 2, 0)]
+
+    def test_q1_is_characters(self):
+        assert positional_qgrams("ab", 1) == [("a", 0), ("b", 1)]
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="q must be >= 1"):
+            positional_qgrams("a", 0)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_dense_universe(self, k):
+        strings = universe("ab", 4)
+        index = PrefixQgramIndex(strings, k=k)
+        emitted = {
+            (int(qi), int(sid))
+            for qs, ids in index.candidate_blocks(strings)
+            for qi, sid in zip(qs, ids)
+        }
+        for qi, q in enumerate(strings):
+            for sid, s in enumerate(strings):
+                if damerau_levenshtein(q, s) <= k:
+                    assert (qi, sid) in emitted, (
+                        f"missed {q!r} ~ {s!r} at k={k}"
+                    )
+
+    def test_boundary_transposition(self):
+        # One transposition rewrites every interior gram of a 2-char
+        # string; the (q + 1) * k + 1 prefix still has to surface it.
+        index = PrefixQgramIndex(["AB"], k=1)
+        assert 0 in index.candidates("BA")
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_unicode(self, k):
+        strings = ["", "a", "é漢字", "漢é字", "naïve", "naive", "nàive", "AB"]
+        index = PrefixQgramIndex(strings, k=k)
+        probes = strings + ["BAX", "éAB", "n ive"]
+        for q in probes:
+            got = set(index.candidates(q).tolist())
+            for sid, s in enumerate(strings):
+                if damerau_levenshtein(q, s) <= k:
+                    assert sid in got, f"missed {q!r} ~ {s!r} at k={k}"
+
+    def test_short_strings_fall_back_to_length_tables(self):
+        # "" and "a" carry too few grams for the prefix argument; they
+        # must still reach (and be reachable from) the long side.
+        strings = ["", "a", "ab", "abc", "abcd"]
+        index = PrefixQgramIndex(strings, k=1)
+        assert set(index.candidates("").tolist()) >= {0, 1}
+        assert 1 in index.candidates("ab")  # long query, short indexed
+        assert 2 in index.candidates("a")  # short query, long indexed
+
+    def test_k0_only_window(self):
+        index = PrefixQgramIndex(["abc", "abd", "xyz"], k=0)
+        got = set(index.candidates("abc").tolist())
+        assert 0 in got
+        assert 2 not in got
+
+
+class TestBlocks:
+    def test_blocks_are_deduplicated(self):
+        strings = universe("ab", 3)
+        index = PrefixQgramIndex(strings, k=2)
+        seen = set()
+        for qs, ids in index.candidate_blocks(strings):
+            for pair in zip(qs.tolist(), ids.tolist()):
+                assert pair not in seen, f"duplicate candidate {pair}"
+                seen.add(pair)
+
+    def test_max_pairs_caps_blocks(self):
+        strings = universe("ab", 3)
+        index = PrefixQgramIndex(strings, k=1)
+        blocks = list(index.candidate_blocks(strings, max_pairs=32))
+        assert len(blocks) > 1
+        capped = {
+            (int(qi), int(sid))
+            for qs, ids in blocks
+            for qi, sid in zip(qs, ids)
+        }
+        full = {
+            (int(qi), int(sid))
+            for qs, ids in index.candidate_blocks(strings)
+            for qi, sid in zip(qs, ids)
+        }
+        assert capped == full
+
+    def test_empty_sides(self):
+        assert list(PrefixQgramIndex([], k=1).candidate_blocks(["a"])) == []
+        assert list(PrefixQgramIndex(["a"], k=1).candidate_blocks([])) == []
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            PrefixQgramIndex(["a"], k=-1)

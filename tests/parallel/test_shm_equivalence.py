@@ -21,6 +21,8 @@ from repro.core.plan import (
     FBFIndexGenerator,
     JoinPlanner,
     LengthBucketGenerator,
+    PassJoinGenerator,
+    PrefixQgramGenerator,
 )
 from repro.obs import StatsCollector
 from repro.parallel.shm import close_shared_pools
@@ -39,6 +41,10 @@ def _safe_generators(method: str) -> list[str]:
         names.append("length-bucket")
     if FBFIndexGenerator().is_safe_for(spec):
         names.append("fbf-index")
+    if PassJoinGenerator().is_safe_for(spec):
+        names.append("pass-join")
+    if PrefixQgramGenerator().is_safe_for(spec):
+        names.append("prefix")
     return names
 
 

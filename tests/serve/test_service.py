@@ -113,6 +113,58 @@ class TestQueryBatch:
         assert obs.pairs_considered == before
 
 
+class TestCandidateModes:
+    """The candidates knob is execution strategy, never semantics."""
+
+    def test_passjoin_equals_fbf(self, ln_pair):
+        population = list(ln_pair.clean)
+        queries = list(ln_pair.error)[:60]
+        pj = MatchService(
+            population, k=1, cache_size=0, candidates="pass-join"
+        )
+        fbf = MatchService(population, k=1, cache_size=0, candidates="fbf")
+        for a, b in zip(pj.query_batch(queries), fbf.query_batch(queries)):
+            assert a.ids == b.ids, a.value
+
+    def test_passjoin_respects_tombstones(self):
+        svc = MatchService(
+            NAMES, k=1, compact_ratio=None, cache_size=0,
+            candidates="pass-join",
+        )
+        svc.remove(1)
+        assert svc.query_batch(["SMITH"])[0].ids == (0,)
+
+    def test_passjoin_index_rebuilds_on_generation_bump(self):
+        svc = MatchService(NAMES, k=1, cache_size=0, candidates="pass-join")
+        assert svc.query_batch(["SMITH"])[0].ids == (0, 1)
+        first = svc._pj_indexes[("base", 1)]
+        svc.add("SMITG")
+        assert svc.query_batch(["SMITH"])[0].ids == (0, 1, 6)
+        second = svc._pj_indexes[("base", 1)]
+        assert second[0] != first[0]
+        assert second[1] is not first[1]
+
+    def test_passjoin_funnel_stage_name(self):
+        obs = StatsCollector()
+        svc = MatchService(
+            NAMES, k=1, collector=obs, candidates="pass-join"
+        )
+        svc.query_batch(["SMITH", "JONES"])
+        assert "pass-join" in obs.stages
+        assert obs.conserved
+
+    def test_auto_stays_on_fbf_below_threshold(self):
+        obs = StatsCollector()
+        svc = MatchService(NAMES, k=1, collector=obs, candidates="auto")
+        svc.query_batch(["SMITH"])
+        assert "fbf-index" in obs.stages
+        assert not svc._pj_indexes
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="candidates mode"):
+            MatchService(NAMES, candidates="bogus")
+
+
 class TestObservability:
     def test_cache_counters(self):
         obs = StatsCollector()
