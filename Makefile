@@ -19,11 +19,13 @@ bench-quick:
 
 # Machine-readable artifacts: BENCH_hybrid.json (backend trajectory;
 # the committed artifact was produced with REPRO_HYBRID_N=10000),
-# BENCH_metrics.json (serve-telemetry overhead) and BENCH_passjoin.json
+# BENCH_metrics.json (serve-telemetry overhead), BENCH_passjoin.json
 # (candidate-generator trajectory; committed with
-# REPRO_PASSJOIN_N=100000), plus the .txt tables.
+# REPRO_PASSJOIN_N=100000) and BENCH_outofcore.json (streamed join;
+# committed with REPRO_OUTOFCORE_ROWS=10000000
+# REPRO_OUTOFCORE_ROSTER=100000), plus the .txt tables.
 bench-json:
-	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py benchmarks/test_serve_sharded.py benchmarks/test_ablation_passjoin.py -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_ablation_hybrid_backend.py benchmarks/test_ablation_obs_overhead.py benchmarks/test_serve_sharded.py benchmarks/test_ablation_passjoin.py benchmarks/test_bench_outofcore.py -q -s --benchmark-disable
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

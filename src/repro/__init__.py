@@ -43,6 +43,9 @@ Package map (details in DESIGN.md):
 * :mod:`repro.serve` — online match serving: mutable indexes with
   stable ids, query micro-batching, result caching and snapshots
   (``repro-fbf serve``).
+* :mod:`repro.stream` — out-of-core streaming joins: chunked disk
+  scans broadcast-joined against an in-memory roster, with disk spill
+  and crash-resumable checkpoints (``repro-fbf join-stream``).
 * :mod:`repro.obs` — observability: filter-funnel counters, wall-time
   spans, exporters and the ``repro.*`` logger hierarchy.
 """
@@ -77,8 +80,9 @@ from repro.distance import (
 from repro.obs import StatsCollector, render_funnel
 from repro.parallel.chunked import ChunkedJoin, VectorEngine
 from repro.serve import MatchService, MutableIndex, QueryResult
+from repro.stream import StreamResult, join_stream
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ChunkedJoin",
@@ -95,6 +99,7 @@ __all__ = [
     "QueryResult",
     "SignatureScheme",
     "StatsCollector",
+    "StreamResult",
     "VectorEngine",
     "VerificationMemo",
     "__version__",
@@ -108,6 +113,7 @@ __all__ = [
     "jaro",
     "jaro_winkler",
     "join",
+    "join_stream",
     "levenshtein",
     "match_strings",
     "num_signature",

@@ -62,6 +62,7 @@ from repro.core.plan import (
     JoinPlanner,
 )
 from repro.linkage.resolution import resolve
+from repro.stream.driver import STREAM_GENERATORS
 from repro.obs import (
     StatsCollector,
     configure_logging,
@@ -115,6 +116,116 @@ def build_parser() -> argparse.ArgumentParser:
     dedupe = sub.add_parser("dedupe", help="find duplicate clusters in one file")
     dedupe.add_argument("path", type=Path, help="newline-delimited strings")
     _common_join_args(dedupe)
+
+    stream = sub.add_parser(
+        "join-stream",
+        help="out-of-core join: stream a disk dataset against a roster",
+        description=(
+            "Join a disk-resident dataset of any size against an "
+            "in-memory roster under a bounded footprint: the roster is "
+            "indexed once, the big side streams in chunks, matches "
+            "spill to disk, and --checkpoint makes a killed run "
+            "resumable with --resume."
+        ),
+    )
+    stream.add_argument(
+        "source", type=Path, help="big side: text/CSV(.gz) or parquet file"
+    )
+    stream.add_argument(
+        "roster", type=Path, help="small side: newline-delimited strings"
+    )
+    stream.add_argument("--k", type=int, default=1, help="edit threshold")
+    stream.add_argument(
+        "--method",
+        default="FPDL",
+        choices=list(METHOD_NAMES),
+        help="method stack (paper name)",
+    )
+    stream.add_argument(
+        "--generator",
+        default="auto",
+        choices=["auto", *STREAM_GENERATORS],
+        help="candidate generator (auto: cost model over the first chunk)",
+    )
+    stream.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "scalar", "vectorized", "hybrid"],
+        help="execution backend (auto: hybrid when --workers > 1)",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the hybrid backend",
+    )
+    stream.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="big-side rows per chunk (overrides --memory-budget)",
+    )
+    stream.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="derive the chunk size from a memory budget in MiB",
+    )
+    stream.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "text", "csv", "parquet"],
+        help="source format (auto: by file suffix)",
+    )
+    stream.add_argument(
+        "--column",
+        default=None,
+        metavar="NAME",
+        help="CSV/parquet column holding the strings (CSV: first)",
+    )
+    stream.add_argument(
+        "--spill",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="spill matches to this file instead of RAM",
+    )
+    stream.add_argument(
+        "--spill-format",
+        default="jsonl",
+        choices=["jsonl", "csv"],
+        help="spill file format",
+    )
+    stream.add_argument(
+        "--spill-values",
+        action="store_true",
+        help="spill the matched strings, not just row numbers",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a resume checkpoint after every chunk (needs --spill)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
+    stream.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pause after N chunks (checkpoint stays; resume later)",
+    )
+    stream.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    _stats_args(stream)
 
     exp = sub.add_parser("experiment", help="run one paper string experiment")
     exp.add_argument(
@@ -485,15 +596,14 @@ def _emit_stats(
 
 
 def _read_lines(path: Path) -> list[str]:
+    from repro.io import read_strings
+
     try:
-        text = path.read_text()
+        return read_strings(path)
     except OSError as exc:
         raise SystemExit(f"error: cannot read {path}: {exc}") from exc
-    lines = [line.strip() for line in text.splitlines()]
-    lines = [line for line in lines if line]
-    if not lines:
-        raise SystemExit(f"error: {path} contains no strings")
-    return lines
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
@@ -534,6 +644,68 @@ def _cmd_dedupe(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     _emit_stats(args, collector)
+    return 0
+
+
+def _cmd_join_stream(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.stream import join_stream
+
+    roster = _read_lines(args.roster)
+    collector = _collector_for(args)
+    registry = (
+        MetricsRegistry() if args.metrics_json is not None else None
+    )
+    try:
+        result = join_stream(
+            args.source,
+            roster,
+            args.method,
+            k=args.k,
+            generator=args.generator,
+            backend=args.backend,
+            workers=args.workers,
+            chunk_rows=args.chunk_rows,
+            memory_budget_mb=args.memory_budget,
+            fmt=args.format,
+            column=args.column,
+            spill=args.spill,
+            spill_format=args.spill_format,
+            spill_values=args.spill_values,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            max_chunks=args.max_chunks,
+            collector=collector,
+            metrics=registry,
+        )
+    except (ValueError, OSError, RuntimeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if result.matches is not None and not args.quiet:
+        for row, rid in result.matches:
+            print(f"{row}\t{roster[rid]}")
+    resumed = (
+        f", resumed after chunk {result.resumed_after}"
+        if result.resumed_after is not None
+        else ""
+    )
+    state = "complete" if result.completed else "paused (checkpoint kept)"
+    spill_note = (
+        f", spilled {result.spill_bytes:,} B to {result.spill}"
+        if result.spill is not None
+        else ""
+    )
+    print(
+        f"# {result.match_count} matches over {result.rows:,} x "
+        f"{result.n_roster:,} rows in {result.chunks} chunks "
+        f"({args.method}, k={args.k}, {result.generator} -> "
+        f"{result.backend}){spill_note}{resumed}; {state}",
+        file=sys.stderr,
+    )
+    if registry is not None and collector is not None:
+        from repro.obs.metrics import registry_from_collector
+
+        registry.merge(registry_from_collector(collector))
+    _emit_stats(args, collector, registry=registry)
     return 0
 
 
@@ -742,6 +914,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_match(args)
     if args.command == "dedupe":
         return _cmd_dedupe(args)
+    if args.command == "join-stream":
+        return _cmd_join_stream(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "link":

@@ -8,8 +8,13 @@ minimal, dependency-free I/O a downstream user needs:
   with the paper's seven-field schema.  Unknown columns are ignored,
   missing columns become empty fields (the comparators' missing-value
   convention), so partial extracts load cleanly.
-* :func:`read_strings` / :func:`write_strings` — newline-delimited
-  string lists (what the ``match``/``dedupe`` CLI commands consume).
+* :func:`read_strings` / :func:`iter_strings` / :func:`write_strings` —
+  newline-delimited string lists (what the ``match``/``dedupe`` CLI
+  commands consume).  ``iter_strings`` is the lazy form: it yields one
+  stripped non-empty line at a time, so a roster larger than RAM can
+  stream through :mod:`repro.stream` without ever materializing.  Both
+  readers are gzip-aware: a ``.gz`` suffix (or the gzip magic bytes)
+  transparently decompresses.
 * :func:`write_matches_csv` — match pairs with their records side by
   side, the file a review workflow consumes.
 """
@@ -17,8 +22,9 @@ minimal, dependency-free I/O a downstream user needs:
 from __future__ import annotations
 
 import csv
+import gzip
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import IO, Iterable, Iterator, Sequence
 
 from repro.linkage.records import FIELDS, Record
 
@@ -26,9 +32,39 @@ __all__ = [
     "read_records_csv",
     "write_records_csv",
     "read_strings",
+    "iter_strings",
+    "open_text",
     "write_strings",
     "write_matches_csv",
 ]
+
+#: first two bytes of every gzip stream (RFC 1952)
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gzip(path: Path) -> bool:
+    if path.suffix == ".gz":
+        return True
+    try:
+        with path.open("rb") as fh:
+            return fh.read(2) == _GZIP_MAGIC
+    except OSError:
+        return False
+
+
+def open_text(path: Path | str) -> IO[str]:
+    """Open ``path`` for text reading, transparently gunzipping.
+
+    Gzip is detected by the ``.gz`` suffix or the stream's magic bytes,
+    so renamed compressed extracts still load.  The returned handle
+    supports ``tell()``/``seek()`` in *uncompressed* coordinates (for
+    gzip, seeking rewinds and re-decompresses — linear, but correct —
+    which is what the streaming checkpoint layer relies on).
+    """
+    path = Path(path)
+    if _is_gzip(path):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
 
 
 def read_records_csv(path: Path | str) -> list[Record]:
@@ -74,11 +110,25 @@ def write_records_csv(path: Path | str, records: Sequence[Record]) -> None:
             writer.writerow([r[field] for field in FIELDS])
 
 
+def iter_strings(path: Path | str) -> Iterator[str]:
+    """Lazily yield the non-empty stripped lines of a text file.
+
+    The streaming twin of :func:`read_strings`: one line is resident at
+    a time, so arbitrarily large rosters can feed the out-of-core join
+    driver (:mod:`repro.stream`) or any other incremental consumer.
+    Gzip-compressed files are decompressed transparently.
+    """
+    with open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield line
+
+
 def read_strings(path: Path | str) -> list[str]:
-    """Non-empty stripped lines of a text file."""
+    """Non-empty stripped lines of a text file (gzip-aware)."""
     path = Path(path)
-    lines = [line.strip() for line in path.read_text().splitlines()]
-    lines = [line for line in lines if line]
+    lines = list(iter_strings(path))
     if not lines:
         raise ValueError(f"{path}: contains no strings")
     return lines

@@ -1,0 +1,60 @@
+"""Out-of-core streaming joins: datasets bigger than RAM.
+
+The in-memory planner (:mod:`repro.core.plan`) assumes both sides are
+lists; this package removes that assumption for the *big* side.  The
+roster (small side) is prepared once — index, vectorized encodings, or
+a shared-memory publication broadcast to the persistent worker pool —
+and the big side streams from disk in bounded chunks, with matches
+spilling to disk and a checkpoint making killed runs resumable.
+
+Layers (each usable on its own):
+
+* :mod:`repro.stream.source` — resumable chunk readers (text / CSV /
+  parquet, gzip-aware) with byte-offset resume tokens;
+* :mod:`repro.stream.spill` — the bounded-buffer match spill writer and
+  its reader;
+* :mod:`repro.stream.checkpoint` — atomic checkpoint files carrying
+  stream position, spill size and the merged funnel;
+* :mod:`repro.stream.driver` — :func:`join_stream`, the chunked-scan
+  broadcast-join driver tying them together.
+"""
+
+from repro.stream.checkpoint import Checkpoint, load_checkpoint, roster_digest
+from repro.stream.driver import (
+    DEFAULT_CHUNK_ROWS,
+    ROW_FOOTPRINT,
+    STREAM_GENERATORS,
+    StreamResult,
+    join_stream,
+    resolve_chunk_rows,
+)
+from repro.stream.source import (
+    Chunk,
+    ChunkSource,
+    CsvChunkSource,
+    ParquetChunkSource,
+    TextChunkSource,
+    source_for,
+)
+from repro.stream.spill import SPILL_FORMATS, SpillWriter, read_spill
+
+__all__ = [
+    "join_stream",
+    "StreamResult",
+    "resolve_chunk_rows",
+    "DEFAULT_CHUNK_ROWS",
+    "ROW_FOOTPRINT",
+    "STREAM_GENERATORS",
+    "Chunk",
+    "ChunkSource",
+    "TextChunkSource",
+    "CsvChunkSource",
+    "ParquetChunkSource",
+    "source_for",
+    "SpillWriter",
+    "read_spill",
+    "SPILL_FORMATS",
+    "Checkpoint",
+    "load_checkpoint",
+    "roster_digest",
+]

@@ -1,0 +1,211 @@
+"""Incremental match spill with a bounded in-memory buffer.
+
+The out-of-core driver cannot keep 1e7-row joins' matches in RAM, so
+matches stream to disk as they are produced.  :class:`SpillWriter`
+follows py_stringsimjoin's ``data_limit`` idiom: rows accumulate in an
+in-memory buffer and flush to the output file whenever the buffered
+payload exceeds ``data_limit`` bytes (and at every chunk boundary, so
+the file never lags a checkpoint).
+
+Two formats:
+
+* ``jsonl`` — one ``[left_row, right_row]`` (or ``[left_row,
+  right_row, left_string, right_string]`` with ``values=True``) JSON
+  array per line;
+* ``csv`` — the same columns with a header row.
+
+Crash-consistency contract: the driver checkpoints ``writer.bytes``
+after flushing each chunk.  On resume, :meth:`SpillWriter.truncate_to`
+cuts the file back to the last checkpointed byte count, erasing any
+rows a dying run appended past its final checkpoint — the resumed
+stream re-emits exactly those rows, so the finished file is
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["SpillWriter", "read_spill", "truncate_to", "SPILL_FORMATS"]
+
+SPILL_FORMATS = ("jsonl", "csv")
+
+_CSV_HEADER = "left_row,right_row\n"
+_CSV_HEADER_VALUES = "left_row,right_row,left,right\n"
+
+
+class SpillWriter:
+    """Append match rows to ``path``, flushing on a byte budget.
+
+    Parameters
+    ----------
+    path:
+        Output file.  Created (with its header, for CSV) on open;
+        ``resume=True`` reopens an existing file for append instead.
+    fmt:
+        ``"jsonl"`` or ``"csv"``.
+    data_limit:
+        Flush the buffer once its encoded payload reaches this many
+        bytes (default 8 MiB).  This bounds spill memory, not file
+        size.
+    values:
+        Also record the matched strings, not just row numbers.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        fmt: str = "jsonl",
+        data_limit: int = 8 << 20,
+        values: bool = False,
+        resume: bool = False,
+    ):
+        if fmt not in SPILL_FORMATS:
+            raise ValueError(
+                f"unknown spill format {fmt!r}; expected one of {SPILL_FORMATS}"
+            )
+        if data_limit < 1:
+            raise ValueError(f"data_limit must be positive, got {data_limit}")
+        self.path = Path(path)
+        self.fmt = fmt
+        self.data_limit = int(data_limit)
+        self.values = bool(values)
+        self._buffer: list[str] = []
+        self._buffered_bytes = 0
+        self._final_bytes = 0
+        self._closed = False
+        if resume and self.path.exists():
+            self._fh = self.path.open("a", encoding="utf-8")
+        else:
+            self._fh = self.path.open("w", encoding="utf-8")
+            if fmt == "csv":
+                self._fh.write(
+                    _CSV_HEADER_VALUES if values else _CSV_HEADER
+                )
+                self._fh.flush()
+
+    # -- writing -------------------------------------------------------
+
+    def _encode(
+        self, left_row: int, right_row: int, left: str | None, right: str | None
+    ) -> str:
+        if self.fmt == "jsonl":
+            rec: list = [left_row, right_row]
+            if self.values:
+                rec += [left, right]
+            return json.dumps(rec, ensure_ascii=False) + "\n"
+        if self.values:
+            lq = (left or "").replace('"', '""')
+            rq = (right or "").replace('"', '""')
+            return f'{left_row},{right_row},"{lq}","{rq}"\n'
+        return f"{left_row},{right_row}\n"
+
+    def write(
+        self,
+        left_row: int,
+        right_row: int,
+        left: str | None = None,
+        right: str | None = None,
+    ) -> None:
+        """Buffer one match row; flushes when ``data_limit`` is hit."""
+        line = self._encode(left_row, right_row, left, right)
+        self._buffer.append(line)
+        self._buffered_bytes += len(line.encode("utf-8"))
+        if self._buffered_bytes >= self.data_limit:
+            self.flush()
+
+    def write_rows(self, rows, *, base: int = 0) -> int:
+        """Buffer ``(left, right)`` pairs, offsetting left by ``base``."""
+        n = 0
+        for i, j in rows:
+            self.write(int(i) + base, int(j))
+            n += 1
+        return n
+
+    def flush(self) -> None:
+        """Flush the buffer and fsync so a checkpoint can trust it."""
+        if self._buffer:
+            self._fh.write("".join(self._buffer))
+            self._buffer.clear()
+            self._buffered_bytes = 0
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    @property
+    def bytes(self) -> int:
+        """Durable file size (flushed bytes; excludes the buffer)."""
+        if self._closed:
+            return self._final_bytes
+        return self._fh.tell()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._final_bytes = self._fh.tell()
+        self._fh.close()
+        self._closed = True
+
+    def abort(self, keep_bytes: int | None = None) -> None:
+        """Drop buffered rows and roll the file back.
+
+        ``keep_bytes`` is the last checkpointed size (the file is
+        truncated to it); ``None`` means no checkpoint exists and the
+        file is removed outright.
+        """
+        self._buffer.clear()
+        self._buffered_bytes = 0
+        if self._closed:
+            return
+        self._fh.close()
+        self._closed = True
+        self._final_bytes = keep_bytes or 0
+        if keep_bytes is None:
+            self.path.unlink(missing_ok=True)
+        else:
+            truncate_to(self.path, keep_bytes)
+
+    def __enter__(self) -> "SpillWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def truncate_to(path: Path | str, size: int) -> None:
+    """Truncate ``path`` to exactly ``size`` bytes (resume rollback)."""
+    path = Path(path)
+    if path.stat().st_size < size:
+        raise ValueError(
+            f"{path}: {path.stat().st_size} bytes on disk but the "
+            f"checkpoint recorded {size}; refusing to resume from a "
+            "spill file that lost data"
+        )
+    with path.open("r+b") as fh:
+        fh.truncate(size)
+
+
+def read_spill(
+    path: Path | str, *, fmt: str = "jsonl"
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(left_row, right_row)`` pairs back out of a spill file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        if fmt == "csv":
+            next(fh, None)  # header
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if fmt == "jsonl":
+                rec = json.loads(line)
+                yield int(rec[0]), int(rec[1])
+            else:
+                parts = line.split(",", 2)
+                yield int(parts[0]), int(parts[1])

@@ -83,6 +83,103 @@ class TestDedupeCommand:
         assert "0 duplicate clusters" in captured.err
 
 
+class TestJoinStreamCommand:
+    @pytest.fixture
+    def stream_files(self, tmp_path):
+        big = tmp_path / "big.txt"
+        big.write_text("SMITH\nSMYTH\nJONES\nGARCIA\nMILLER\nSMITH\n" * 20)
+        roster = tmp_path / "roster.txt"
+        roster.write_text("SMITH\nJONES\nWILSON\n")
+        return big, roster
+
+    def test_in_memory_run_prints_matches(self, stream_files, capsys):
+        big, roster = stream_files
+        assert main(
+            ["join-stream", str(big), str(roster), "--k", "1",
+             "--chunk-rows", "40"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "SMITH" in captured.out
+        assert "chunks" in captured.err
+        assert "complete" in captured.err
+
+    def test_spill_checkpoint_pause_resume(
+        self, stream_files, tmp_path, capsys
+    ):
+        big, roster = stream_files
+        spill = tmp_path / "m.jsonl"
+        ck = tmp_path / "ck.json"
+        assert main(
+            ["join-stream", str(big), str(roster), "--k", "1",
+             "--chunk-rows", "40", "--spill", str(spill),
+             "--checkpoint", str(ck), "--max-chunks", "1", "--quiet"]
+        ) == 0
+        assert "paused" in capsys.readouterr().err
+        assert ck.exists()
+        assert main(
+            ["join-stream", str(big), str(roster), "--k", "1",
+             "--chunk-rows", "40", "--spill", str(spill),
+             "--checkpoint", str(ck), "--resume", "--quiet"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "resumed after chunk 0" in err
+        assert "complete" in err
+        assert not ck.exists()
+        assert spill.stat().st_size > 0
+
+    def test_memory_budget_flag(self, stream_files, capsys):
+        big, roster = stream_files
+        assert main(
+            ["join-stream", str(big), str(roster), "--memory-budget", "8",
+             "--quiet"]
+        ) == 0
+        assert "1 chunks" in capsys.readouterr().err
+
+    def test_stats_funnel_conserved_output(self, stream_files, capsys):
+        big, roster = stream_files
+        assert main(
+            ["join-stream", str(big), str(roster), "--k", "1",
+             "--chunk-rows", "40", "--stats", "--quiet"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "conserved: yes" in err
+
+    def test_checkpoint_without_spill_fails(self, stream_files, tmp_path):
+        big, roster = stream_files
+        with pytest.raises(SystemExit, match="spill"):
+            main(
+                ["join-stream", str(big), str(roster),
+                 "--checkpoint", str(tmp_path / "ck.json")]
+            )
+
+    def test_gzip_inputs(self, tmp_path, capsys):
+        import gzip
+
+        big = tmp_path / "big.txt.gz"
+        with gzip.open(big, "wt") as fh:
+            fh.write("SMITH\nJONES\n" * 10)
+        roster = tmp_path / "roster.txt.gz"
+        with gzip.open(roster, "wt") as fh:
+            fh.write("SMITH\n")
+        assert main(
+            ["join-stream", str(big), str(roster), "--quiet"]
+        ) == 0
+        assert "matches" in capsys.readouterr().err
+
+
+class TestMatchGzipInput:
+    def test_match_reads_gzip_files(self, tmp_path, capsys):
+        import gzip
+
+        left = tmp_path / "left.txt.gz"
+        with gzip.open(left, "wt") as fh:
+            fh.write("123456789\n555443333\n")
+        right = tmp_path / "right.txt"
+        right.write_text("123456780\n555443333\n")
+        assert main(["match", str(left), str(right), "--k", "1"]) == 0
+        assert "2 matches" in capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_writes_report(self, tmp_path, capsys):
         results = tmp_path / "results"

@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import main
 from repro.io import (
+    iter_strings,
+    open_text,
     read_records_csv,
     read_strings,
     write_matches_csv,
@@ -85,6 +87,44 @@ class TestStringsIO:
         path.write_text("\n")
         with pytest.raises(ValueError):
             read_strings(path)
+
+    def test_iter_strings_is_lazy_and_agrees(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("A\n\nB\nC\n")
+        it = iter_strings(path)
+        assert next(it) == "A"
+        assert list(it) == ["B", "C"]
+        assert list(iter_strings(path)) == read_strings(path)
+
+    def test_gzip_by_suffix(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "s.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("A\nB\n")
+        assert read_strings(path) == ["A", "B"]
+
+    def test_gzip_by_magic_bytes(self, tmp_path):
+        """A renamed compressed extract (no .gz suffix) still loads."""
+        import gzip
+
+        path = tmp_path / "s.txt"
+        with gzip.open(path, "wt") as fh:
+            fh.write("A\nB\n")
+        assert read_strings(path) == ["A", "B"]
+
+    def test_open_text_tell_in_uncompressed_coordinates(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "s.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("AA\nBB\n")
+        with open_text(path) as fh:
+            assert fh.readline() == "AA\n"
+            token = fh.tell()
+            assert token == 3
+            fh.seek(token)
+            assert fh.readline() == "BB\n"
 
 
 class TestMatchesCSV:

@@ -1,0 +1,30 @@
+"""Shared fixtures for the streaming-join suite."""
+
+import random
+
+import pytest
+
+from repro.data.errors import inject_error
+from repro.data.names import build_last_name_pool
+
+
+@pytest.fixture(scope="session")
+def stream_data():
+    """(roster, big-side strings) with a realistic hit/miss/typo mix."""
+    rng = random.Random(20120816)
+    roster = build_last_name_pool(400, rng)
+    big = []
+    for _ in range(2500):
+        s = rng.choice(roster)
+        if rng.random() < 0.35:
+            s = inject_error(s, rng)
+        big.append(s)
+    return roster, big
+
+
+@pytest.fixture
+def big_file(stream_data, tmp_path):
+    roster, big = stream_data
+    path = tmp_path / "big.txt"
+    path.write_text("".join(f"{s}\n" for s in big))
+    return path

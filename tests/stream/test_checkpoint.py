@@ -1,0 +1,108 @@
+"""Checkpoint files: atomicity, fingerprint validation, funnel restore."""
+
+import json
+
+import pytest
+
+from repro.obs.stats import StatsCollector
+from repro.stream.checkpoint import Checkpoint, load_checkpoint, roster_digest
+
+
+def _collector_with_state() -> StatsCollector:
+    obs = StatsCollector("t")
+    obs.add_pairs(1000)
+    obs.stage("pass-join")
+    obs.add_stage("pass-join", 1000, 100)
+    obs.add_stage("fbf", 100, 40)
+    obs.add_survivors(40)
+    obs.add_verified(40)
+    obs.add_matched(25)
+    obs.verifier_counters["early_exit"] += 7
+    obs.add_counter("shm_tasks_dispatched", 3)
+    return obs
+
+
+class TestCheckpointRoundtrip:
+    def test_save_load_restore(self, tmp_path):
+        obs = _collector_with_state()
+        ck = Checkpoint(
+            path=tmp_path / "ck.json",
+            fingerprint={"method": "FPDL", "k": 1},
+            chunk=4,
+            next_token=12345,
+            rows=5000,
+            spill_bytes=777,
+            match_count=25,
+        )
+        ck.save(obs)
+        loaded = load_checkpoint(tmp_path / "ck.json")
+        assert loaded.chunk == 4
+        assert loaded.next_token == 12345
+        assert loaded.rows == 5000
+        assert loaded.spill_bytes == 777
+        assert loaded.match_count == 25
+
+        fresh = StatsCollector("resumed")
+        loaded.restore_funnel(fresh)
+        assert fresh.pairs_considered == obs.pairs_considered
+        assert fresh.survivors == obs.survivors
+        assert fresh.matched == obs.matched
+        assert {
+            n: (s.tested, s.passed) for n, s in fresh.stages.items()
+        } == {n: (s.tested, s.passed) for n, s in obs.stages.items()}
+        assert fresh.verifier_counters["early_exit"] == 7
+        assert fresh.counters["shm_tasks_dispatched"] == 3
+        assert fresh.conserved == obs.conserved
+
+    def test_restored_funnel_keeps_accumulating_conserved(self, tmp_path):
+        obs = _collector_with_state()
+        assert obs.conserved
+        ck = Checkpoint(path=tmp_path / "ck.json", fingerprint={})
+        ck.save(obs)
+        fresh = StatsCollector("resumed")
+        load_checkpoint(tmp_path / "ck.json").restore_funnel(fresh)
+        # Another chunk's worth of additive updates stays conserved.
+        fresh.add_pairs(500)
+        fresh.add_stage("pass-join", 500, 50)
+        fresh.add_stage("fbf", 50, 10)
+        fresh.add_survivors(10)
+        assert fresh.conserved
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.json") is None
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        ck = Checkpoint(path=tmp_path / "ck.json", fingerprint={})
+        ck.save(StatsCollector("t"))
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "fingerprint": {}}))
+        with pytest.raises(ValueError, match="version 99"):
+            load_checkpoint(path)
+
+
+class TestFingerprint:
+    def test_mismatch_names_the_offending_keys(self, tmp_path):
+        ck = Checkpoint(
+            path=tmp_path / "ck.json",
+            fingerprint={"method": "FPDL", "k": 1},
+        )
+        with pytest.raises(ValueError, match="k: checkpoint=1 run=2"):
+            ck.validate({"method": "FPDL", "k": 2})
+
+    def test_match_passes(self, tmp_path):
+        ck = Checkpoint(
+            path=tmp_path / "ck.json", fingerprint={"method": "FPDL"}
+        )
+        ck.validate({"method": "FPDL"})
+
+    def test_roster_digest_sensitive_to_edits(self):
+        roster = [f"NAME{i}" for i in range(200)]
+        base = roster_digest(roster)
+        assert roster_digest(list(roster)) == base
+        assert roster_digest(roster[:-1]) != base
+        changed = list(roster)
+        changed[0] = "OTHER"
+        assert roster_digest(changed) != base

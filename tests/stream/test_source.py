@@ -1,0 +1,147 @@
+"""Chunk sources: chunking, resume tokens, formats, gzip."""
+
+import csv
+import gzip
+
+import pytest
+
+from repro.stream.source import (
+    CsvChunkSource,
+    TextChunkSource,
+    source_for,
+)
+
+NAMES = ["SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER"]
+
+
+def _write_text(path, strings):
+    path.write_text("".join(f"{s}\n" for s in strings))
+
+
+class TestTextChunkSource:
+    def test_chunks_cover_all_rows_in_order(self, tmp_path):
+        path = tmp_path / "s.txt"
+        _write_text(path, NAMES)
+        chunks = list(TextChunkSource(path).chunks(3))
+        assert [c.ordinal for c in chunks] == [0, 1, 2]
+        assert [c.row_start for c in chunks] == [0, 3, 6]
+        assert [s for c in chunks for s in c.strings] == NAMES
+
+    def test_blank_lines_skipped_like_read_strings(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("A\n\n  \nB\nC\n")
+        (chunk,) = TextChunkSource(path).chunks(10)
+        assert chunk.strings == ["A", "B", "C"]
+
+    def test_resume_token_replays_identically(self, tmp_path):
+        path = tmp_path / "s.txt"
+        _write_text(path, NAMES)
+        src = TextChunkSource(path)
+        full = list(src.chunks(2))
+        mid = full[1]
+        resumed = list(
+            src.chunks(
+                2,
+                start_token=mid.token,
+                start_ordinal=mid.ordinal,
+                start_row=mid.row_start,
+            )
+        )
+        assert [(c.ordinal, c.row_start, c.strings) for c in resumed] == [
+            (c.ordinal, c.row_start, c.strings) for c in full[1:]
+        ]
+
+    def test_gzip_source_has_usable_tokens(self, tmp_path):
+        path = tmp_path / "s.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("".join(f"{s}\n" for s in NAMES))
+        src = TextChunkSource(path)
+        full = list(src.chunks(2))
+        assert [s for c in full for s in c.strings] == NAMES
+        mid = full[2]
+        resumed = list(src.chunks(2, start_token=mid.token))
+        assert resumed[0].strings == mid.strings
+
+    def test_chunk_rows_validated(self, tmp_path):
+        path = tmp_path / "s.txt"
+        _write_text(path, NAMES)
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(TextChunkSource(path).chunks(0))
+
+
+class TestCsvChunkSource:
+    def _write_csv(self, path, rows, header=("id", "name")):
+        with path.open("w", newline="") as fh:
+            w = csv.writer(fh)
+            if header:
+                w.writerow(header)
+            w.writerows(rows)
+
+    def test_named_column_case_insensitive(self, tmp_path):
+        path = tmp_path / "d.csv"
+        self._write_csv(path, [(i, s) for i, s in enumerate(NAMES)])
+        (chunk,) = CsvChunkSource(path, "NAME").chunks(100)
+        assert chunk.strings == NAMES
+
+    def test_headerless_positional_column(self, tmp_path):
+        path = tmp_path / "d.csv"
+        self._write_csv(path, [(s, i) for i, s in enumerate(NAMES)], header=None)
+        (chunk,) = CsvChunkSource(path, 0, header=False).chunks(100)
+        assert chunk.strings == NAMES
+
+    def test_quoted_fields_and_empty_values_skipped(self, tmp_path):
+        path = tmp_path / "d.csv"
+        self._write_csv(
+            path, [(0, 'O"BRIEN'), (1, ""), (2, "SMITH, JR")]
+        )
+        (chunk,) = CsvChunkSource(path, "name").chunks(100)
+        assert chunk.strings == ['O"BRIEN', "SMITH, JR"]
+
+    def test_resume_token_replays(self, tmp_path):
+        path = tmp_path / "d.csv"
+        self._write_csv(path, [(i, s) for i, s in enumerate(NAMES)])
+        src = CsvChunkSource(path, "name")
+        full = list(src.chunks(2))
+        mid = full[1]
+        resumed = list(src.chunks(2, start_token=mid.token))
+        assert resumed[0].strings == mid.strings
+
+    def test_unknown_column_raises(self, tmp_path):
+        path = tmp_path / "d.csv"
+        self._write_csv(path, [(0, "A")])
+        with pytest.raises(ValueError, match="no column"):
+            list(CsvChunkSource(path, "nope").chunks(10))
+
+    def test_multiline_quoted_row_rejected(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text('id,name\n0,"A\nB"\n')
+        with pytest.raises(ValueError, match="spans lines"):
+            list(CsvChunkSource(path, "name").chunks(10))
+
+
+class TestSourceFor:
+    def test_routing_by_suffix(self, tmp_path):
+        text = tmp_path / "a.txt"
+        _write_text(text, NAMES)
+        assert isinstance(source_for(text), TextChunkSource)
+        csvp = tmp_path / "a.csv"
+        csvp.write_text("name\nA\n")
+        assert isinstance(source_for(csvp), CsvChunkSource)
+        gz = tmp_path / "a.csv.gz"
+        with gzip.open(gz, "wt") as fh:
+            fh.write("name\nA\n")
+        assert isinstance(source_for(gz), CsvChunkSource)
+
+    def test_parquet_without_pyarrow_raises_clearly(self, tmp_path):
+        try:
+            import pyarrow  # noqa: F401
+
+            pytest.skip("pyarrow installed; the guard is not reachable")
+        except ImportError:
+            pass
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            source_for(tmp_path / "a.parquet", column="name")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown stream format"):
+            source_for(tmp_path / "a.txt", fmt="xml")

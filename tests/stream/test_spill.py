@@ -1,0 +1,102 @@
+"""Spill writer: formats, buffering, truncation, abort semantics."""
+
+import json
+
+import pytest
+
+from repro.stream.spill import SpillWriter, read_spill, truncate_to
+
+
+class TestSpillWriter:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with SpillWriter(path) as w:
+            w.write(5, 7)
+            w.write(1000000, 3)
+        assert list(read_spill(path)) == [(5, 7), (1000000, 3)]
+
+    def test_csv_roundtrip_with_header(self, tmp_path):
+        path = tmp_path / "m.csv"
+        with SpillWriter(path, fmt="csv") as w:
+            w.write(5, 7)
+        assert path.read_text().splitlines()[0] == "left_row,right_row"
+        assert list(read_spill(path, fmt="csv")) == [(5, 7)]
+
+    def test_values_recorded_when_requested(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with SpillWriter(path, values=True) as w:
+            w.write(0, 1, "SMITH", "SMYTH")
+        rec = json.loads(path.read_text())
+        assert rec == [0, 1, "SMITH", "SMYTH"]
+
+    def test_data_limit_bounds_the_buffer(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        w = SpillWriter(path, data_limit=64)
+        for i in range(20):
+            w.write(i, i)
+        # With a 64-byte limit most rows must already be on disk.
+        assert path.stat().st_size > 0
+        assert w._buffered_bytes < 64
+        w.close()
+        assert len(list(read_spill(path))) == 20
+
+    def test_bytes_survives_close(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        w = SpillWriter(path)
+        w.write(1, 2)
+        w.flush()
+        size = w.bytes
+        w.close()
+        assert w.bytes == size == path.stat().st_size
+
+    def test_write_rows_rebases_left(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with SpillWriter(path) as w:
+            n = w.write_rows([(0, 9), (1, 8)], base=100)
+        assert n == 2
+        assert list(read_spill(path)) == [(100, 9), (101, 8)]
+
+    def test_abort_without_checkpoint_removes_file(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        w = SpillWriter(path)
+        w.write(1, 2)
+        w.abort(None)
+        assert not path.exists()
+
+    def test_abort_truncates_to_checkpoint(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        w = SpillWriter(path)
+        w.write(1, 2)
+        w.flush()
+        kept = w.bytes
+        w.write(3, 4)
+        w.flush()
+        w.abort(kept)
+        assert path.stat().st_size == kept
+        assert list(read_spill(path)) == [(1, 2)]
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with SpillWriter(path) as w:
+            w.write(1, 2)
+        with SpillWriter(path, resume=True) as w:
+            w.write(3, 4)
+        assert list(read_spill(path)) == [(1, 2), (3, 4)]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="spill format"):
+            SpillWriter(tmp_path / "m.bin", fmt="bin")
+
+
+class TestTruncateTo:
+    def test_refuses_shrunken_file(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="lost data"):
+            truncate_to(path, 1000)
+
+    def test_truncates_exactly(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("[1, 2]\n[3, 4]\n")
+        truncate_to(path, 7)
+        assert path.read_text() == "[1, 2]\n"
