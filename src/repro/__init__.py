@@ -82,7 +82,7 @@ from repro.parallel.chunked import ChunkedJoin, VectorEngine
 from repro.serve import MatchService, MutableIndex, QueryResult
 from repro.stream import StreamResult, join_stream
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ChunkedJoin",

@@ -539,8 +539,21 @@ def _planned_join(args: argparse.Namespace, left, right, collector):
         raise SystemExit(f"error: {exc}") from exc
     generator, backend = _plan_overrides(args)
     if args.plan:
+        from repro.native import native_status
+
         plan = planner.plan(args.method, generator=generator, backend=backend)
         print(f"# plan: {plan.describe()}", file=sys.stderr)
+        status = native_status()
+        if status["available"]:
+            native_line = f"loaded ({status['kind']})"
+        elif status["disabled"]:
+            native_line = "disabled (REPRO_NO_NATIVE=1)"
+        else:
+            reasons = "; ".join(
+                f"{name}: {why}" for name, why in status["providers"].items()
+            )
+            native_line = f"unavailable ({reasons or 'no providers'})"
+        print(f"# native kernels: {native_line}", file=sys.stderr)
         for cost in planner.generator_costs(args.method):
             score = "lossy" if cost.cost == float("inf") else f"{cost.cost:,.0f}"
             mark = "*" if cost.name == plan.generator.name else " "

@@ -85,6 +85,9 @@ from repro.core.multiplicity import (
     positional_diagonal,
 )
 from repro.core.signatures import detect_kind, scheme_for
+from repro.native import available as native_available
+from repro.native import kind as native_kind
+from repro.native import resolve_kernels
 from repro.obs.log import get_logger
 from repro.obs.stats import NULL_COLLECTOR
 from repro.parallel.chunked import VectorEngine, _group_by_value
@@ -107,6 +110,7 @@ __all__ = [
     "BlockingKeyGenerator",
     "ExecutionBackend",
     "HybridBackend",
+    "NativeBackend",
     "JoinPlan",
     "JoinPlanner",
     "join",
@@ -121,7 +125,7 @@ _log = get_logger("core.plan")
 #: ``Ham <= k`` does imply both.
 EDIT_BOUNDED = frozenset({"dl", "pdl", "ham"})
 
-BACKEND_NAMES = ("scalar", "vectorized", "multiprocess", "hybrid")
+BACKEND_NAMES = ("scalar", "vectorized", "multiprocess", "hybrid", "native")
 
 Block = tuple[np.ndarray, np.ndarray]
 
@@ -547,6 +551,42 @@ class VectorizedBackend(ExecutionBackend):
         return result
 
 
+class NativeBackend(VectorizedBackend):
+    """The vectorized engine with compiled inner kernels.
+
+    Identical dataflow, chunking and funnel accounting to
+    :class:`VectorizedBackend` — the planner's cached engine is
+    temporarily armed with the :mod:`repro.native` kernel set (numba or
+    the ctypes/cc provider, whichever loaded), which swaps only the
+    innermost loops: the fused XOR+popcount candidate scan and the
+    batched bit-parallel/banded OSA verifier.  Decisions are
+    bit-identical by construction (providers must pass the native
+    self-check) and pinned by the plan-equivalence suite.  When no
+    provider is available the run degrades to the plain vectorized
+    tier with a once-per-process warning.
+    """
+
+    name = "native"
+
+    def run(self, planner, method, blocks, *, collector, record_matches):
+        kernels = resolve_kernels("native", warn_key="backend")
+        if kernels is None:
+            return planner._backends["vectorized"].run(
+                planner, method, blocks,
+                collector=collector, record_matches=record_matches,
+            )
+        engine = planner.engine()
+        prev = engine._native
+        engine._native = kernels
+        try:
+            return super().run(
+                planner, method, blocks,
+                collector=collector, record_matches=record_matches,
+            )
+        finally:
+            engine._native = prev
+
+
 class MultiprocessBackend(ExecutionBackend):
     """The scalar loop fanned out over a process pool."""
 
@@ -656,7 +696,10 @@ class JoinPlanner:
     probes); the scalar backend is only right for products small enough
     that NumPy setup dominates (``scalar_max_pairs``); multiprocess is
     explicit-only, since process startup dwarfs any product the
-    vectorized engine can't already handle in-core.
+    vectorized engine can't already handle in-core.  Products above the
+    scalar cutoff prefer the native backend (same dataflow, compiled
+    constants) whenever a :mod:`repro.native` provider validated —
+    otherwise vectorized.
     """
 
     def __init__(
@@ -751,6 +794,7 @@ class JoinPlanner:
             for b in (
                 ScalarBackend(),
                 VectorizedBackend(),
+                NativeBackend(),
                 MultiprocessBackend(),
                 HybridBackend(),
             )
@@ -1104,6 +1148,13 @@ class JoinPlanner:
             return self._backends["hybrid"], (
                 f"workers={self.workers} and product {product:,} >= "
                 f"{self.hybrid_min_pairs:,}: shared-memory pool amortizes"
+            )
+        # Same dataflow as vectorized, strictly better constants: prefer
+        # the compiled kernels whenever a validated provider loaded.
+        if native_available():
+            return self._backends["native"], (
+                f"product {product:,} > {self.scalar_max_pairs:,}; "
+                f"compiled kernels loaded ({native_kind()})"
             )
         return self._backends["vectorized"], (
             f"product {product:,} > {self.scalar_max_pairs:,}"

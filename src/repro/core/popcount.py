@@ -36,6 +36,8 @@ __all__ = [
     "popcount_parallel",
     "popcount_batch_u32",
     "popcount_batch_u64",
+    "popcount_batch_table_u32",
+    "popcount_batch_table_u64",
     "POPCOUNT_KERNELS",
 ]
 
@@ -137,6 +139,9 @@ POPCOUNT_KERNELS = {
 # Batch (NumPy) kernels
 # ---------------------------------------------------------------------------
 
+#: byte -> popcount lookup table, built once at import; shared by the
+#: batch fallback here and pinned against the compiled kernels' SWAR
+#: popcount in ``tests/native/test_kernels.py``
 _NP_TABLE8 = np.array(_TABLE8, dtype=np.uint8)
 
 #: NumPy >= 2.0 ships a native popcount ufunc (vectorized POPCNT);
@@ -145,25 +150,40 @@ _NP_TABLE8 = np.array(_TABLE8, dtype=np.uint8)
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 
-def popcount_batch_u32(arr: np.ndarray) -> np.ndarray:
-    """Per-element popcount of a ``uint32`` array, any shape.
+def popcount_batch_table_u32(arr: np.ndarray) -> np.ndarray:
+    """Byte-table popcount of a ``uint32`` array, any shape.
 
-    Uses ``np.bitwise_count`` when available; otherwise views the array
-    as bytes and sums byte-table lookups along the byte axis.  Output
-    dtype is ``uint8`` in the input shape (a uint32 has at most 32 set
-    bits).
+    The explicit table path: views the array as bytes and sums
+    byte-table lookups along the byte axis.  :func:`popcount_batch_u32`
+    routes here only when ``np.bitwise_count`` is missing, so tests call
+    this directly to pin both paths on every NumPy version.
     """
     a = np.ascontiguousarray(arr, dtype=np.uint32)
-    if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(a)
     by = a.view(np.uint8).reshape(a.shape + (4,))
     return _NP_TABLE8[by].sum(axis=-1, dtype=np.uint8)
 
 
-def popcount_batch_u64(arr: np.ndarray) -> np.ndarray:
-    """Per-element popcount of a ``uint64`` array, any shape."""
+def popcount_batch_table_u64(arr: np.ndarray) -> np.ndarray:
+    """Byte-table popcount of a ``uint64`` array, any shape."""
     a = np.ascontiguousarray(arr, dtype=np.uint64)
-    if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(a)
     by = a.view(np.uint8).reshape(a.shape + (8,))
     return _NP_TABLE8[by].sum(axis=-1, dtype=np.uint8)
+
+
+def popcount_batch_u32(arr: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint32`` array, any shape.
+
+    Uses ``np.bitwise_count`` when available; otherwise the byte-table
+    path.  Output dtype is ``uint8`` in the input shape (a uint32 has
+    at most 32 set bits).
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(np.ascontiguousarray(arr, dtype=np.uint32))
+    return popcount_batch_table_u32(arr)
+
+
+def popcount_batch_u64(arr: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array, any shape."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(np.ascontiguousarray(arr, dtype=np.uint64))
+    return popcount_batch_table_u64(arr)

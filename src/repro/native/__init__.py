@@ -1,0 +1,501 @@
+"""Compiled kernel tier: JIT'd hot kernels behind the backend protocol.
+
+The paper's constant factors come from signatures living in machine
+words — one XOR + POPCNT per pair — and from the verifier being a tight
+band of word operations.  The NumPy tier restores those constants *per
+batch* but still pays intermediate-array traffic on the candidate
+matrix and per-pair Python dispatch in the bit-parallel verifier.  This
+package closes that gap with three compiled kernels:
+
+1. a fused XOR+popcount+threshold candidate scan (no
+   ``(chunk, n_right, width)`` intermediates),
+2. a batched bounded-OSA verifier (bit-parallel Hyyro recurrence for
+   patterns up to 64 chars, mirroring ``distance/bitparallel.py``),
+3. a banded-DP kernel for longer strings, mirroring
+   ``distance/pruned.py::_banded_osa``.
+
+Two interchangeable providers implement them:
+
+* ``numba`` — ``@njit(parallel=True)`` twins, used when numba is
+  importable (``pip install repro[native]``).
+* ``cc`` — a C translation unit compiled on first use with the host's
+  C compiler and loaded via ctypes (content-addressed on-disk cache).
+
+Provider selection is automatic (numba first, then cc) and every
+provider must pass a bit-exactness self-check against the scalar
+references before it is offered; a provider that fails validation is
+treated as absent.  When neither provider loads, callers fall back to
+the NumPy tier — ``resolve_kernels("native")`` warns once (via
+:func:`repro._compat.warn_once`) instead of raising, so
+``backend="native"`` degrades gracefully on machines without numba or
+a C toolchain.
+
+Environment knobs:
+
+* ``REPRO_NO_NATIVE=1`` — force the NumPy fallback deterministically
+  (CI fallback legs, bug reports).
+* ``REPRO_NATIVE=numba|cc`` — pin a specific provider.
+* ``REPRO_NATIVE_CACHE=<dir>`` — where the cc provider caches builds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro._compat import warn_once
+
+__all__ = [
+    "KernelSet",
+    "MODE_DL",
+    "MODE_PDL",
+    "available",
+    "kind",
+    "load_kernels",
+    "native_status",
+    "require_native",
+    "reset",
+    "resolve_kernels",
+]
+
+#: verifier modes — DL compares empty strings by length, PDL applies the
+#: paper's Step 1 (any empty side rejects)
+MODE_DL = 0
+MODE_PDL = 1
+
+_PROVIDERS = ("numba", "cc")
+
+_FILTER_CODES = {"length": 0, "fbf": 1}
+
+
+def _sig2d(sigs: np.ndarray, dtype) -> np.ndarray:
+    """Coerce signatures to a C-contiguous ``(n, width)`` matrix.
+
+    Mirrors ``core/vectorized.py::_as_sig_matrix``: a 1-D input is a
+    width-1 signature column.
+    """
+    arr = np.ascontiguousarray(sigs, dtype=dtype)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"signatures must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def _idx(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+class KernelSet:
+    """The compiled kernels of one provider, at NumPy call level.
+
+    Instances are cheap handles; the heavy state (jitted functions or
+    the loaded shared library) lives in the provider module.  Methods
+    coerce inputs to the layouts the kernels require and return plain
+    NumPy arrays, bit-identical to the NumPy-tier equivalents.
+    """
+
+    __slots__ = ("kind", "_p")
+
+    def __init__(self, kind: str, prims: dict[str, Callable]):
+        self.kind = kind
+        self._p = prims
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelSet(kind={self.kind!r})"
+
+    # -- candidate generation ------------------------------------------
+
+    def fbf_candidates(
+        self, left_sigs: np.ndarray, right_sigs: np.ndarray, bound: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused scan over uint32 signature matrices; row-major order
+        identical to ``core/vectorized.py::fbf_candidates``."""
+        L = _sig2d(left_sigs, np.uint32)
+        R = _sig2d(right_sigs, np.uint32)
+        if L.shape[1] != R.shape[1]:
+            raise ValueError(
+                f"signature widths differ: {L.shape[1]} vs {R.shape[1]}"
+            )
+        return self._p["fbf_scan_u32"](L, R, int(bound))
+
+    def fbf_candidates_u64(
+        self, left_sigs: np.ndarray, right_sigs: np.ndarray, bound: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Same scan over packed uint64 signatures (the hybrid layout)."""
+        L = _sig2d(left_sigs, np.uint64)
+        R = _sig2d(right_sigs, np.uint64)
+        return self._p["fbf_scan_u64"](L, R, int(bound))
+
+    # -- gathered pair filters -----------------------------------------
+
+    def sig_pair_mask(
+        self, left_sigs, right_sigs, ii, jj, bound: int
+    ) -> np.ndarray:
+        L = _sig2d(left_sigs, np.uint32)
+        R = _sig2d(right_sigs, np.uint32)
+        out = self._p["pair_mask_u32"](L, R, _idx(ii), _idx(jj), int(bound))
+        return out.view(bool)
+
+    def sig_pair_mask_u64(
+        self, left_sigs, right_sigs, ii, jj, bound: int
+    ) -> np.ndarray:
+        L = _sig2d(left_sigs, np.uint64)
+        R = _sig2d(right_sigs, np.uint64)
+        out = self._p["pair_mask_u64"](L, R, _idx(ii), _idx(jj), int(bound))
+        return out.view(bool)
+
+    # -- verification --------------------------------------------------
+
+    def osa_decisions(
+        self,
+        codes_l: np.ndarray,
+        len_l: np.ndarray,
+        codes_r: np.ndarray,
+        len_r: np.ndarray,
+        ii: np.ndarray,
+        jj: np.ndarray,
+        k: int,
+        *,
+        mode: int,
+    ) -> np.ndarray:
+        """Boolean ``OSA(left[i], right[j]) <= k`` per candidate pair.
+
+        ``mode`` is :data:`MODE_DL` or :data:`MODE_PDL`; they differ
+        only on empty strings (the paper's Step 1).
+        """
+        cl = np.ascontiguousarray(codes_l, dtype=np.uint8)
+        cr = np.ascontiguousarray(codes_r, dtype=np.uint8)
+        if cl.ndim != 2 or cr.ndim != 2:
+            raise ValueError("code matrices must be 2-D")
+        out = self._p["osa_mask"](
+            cl, _idx(len_l), cr, _idx(len_r), _idx(ii), _idx(jj),
+            int(k), int(mode),
+        )
+        return out.view(bool)
+
+    # -- hybrid dense sweep --------------------------------------------
+
+    @staticmethod
+    def supports_filters(filters) -> bool:
+        """Whether :meth:`fused_rows_u64` covers this filter chain."""
+        return all(f in _FILTER_CODES for f in filters)
+
+    def fused_rows_u64(
+        self,
+        left_sigs: np.ndarray,
+        right_sigs: np.ndarray,
+        len_l: np.ndarray,
+        len_r: np.ndarray,
+        row0: int,
+        row1: int,
+        *,
+        bound: int,
+        k: int,
+        filters,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Length+FBF filters fused with candidate emission over rows
+        ``[row0, row1)``; returns ``(ii, jj, passed_per_filter)`` with
+        the cumulative-AND survivor counts funnel accounting needs."""
+        L = _sig2d(left_sigs, np.uint64)
+        R = _sig2d(right_sigs, np.uint64)
+        codes = np.array([_FILTER_CODES[f] for f in filters], dtype=np.int32)
+        return self._p["fused_rows_u64"](
+            L, R, _idx(len_l), _idx(len_r), int(row0), int(row1),
+            int(bound), int(k), codes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Provider resolution
+# ---------------------------------------------------------------------------
+
+#: provider name -> KernelSet (loaded + validated) or None (unavailable)
+_CACHE: dict[str, KernelSet | None] = {}
+#: provider name -> human-readable load outcome
+_REASONS: dict[str, str] = {}
+
+
+def _disabled() -> bool:
+    return os.environ.get("REPRO_NO_NATIVE", "").strip() not in ("", "0")
+
+
+def _provider_order() -> tuple[str, ...]:
+    forced = os.environ.get("REPRO_NATIVE", "").strip().lower()
+    if forced in _PROVIDERS:
+        return (forced,)
+    return _PROVIDERS
+
+
+def _load_provider(name: str) -> KernelSet | None:
+    if name in _CACHE:
+        return _CACHE[name]
+    ks: KernelSet | None = None
+    try:
+        if name == "numba":
+            from repro.native import _nb
+
+            ks = KernelSet("numba", _nb.load())
+        else:
+            from repro.native import _cc
+
+            ks = KernelSet("cc", _cc.load())
+    except Exception as exc:
+        _REASONS[name] = f"unavailable ({exc})"
+        ks = None
+    if ks is not None:
+        err = _self_check(ks)
+        if err is None:
+            _REASONS[name] = "loaded"
+        else:
+            _REASONS[name] = f"rejected by self-check ({err})"
+            ks = None
+    _CACHE[name] = ks
+    return ks
+
+
+def load_kernels() -> KernelSet | None:
+    """The best available validated provider, or ``None``.
+
+    Honors ``REPRO_NO_NATIVE`` and ``REPRO_NATIVE``; never raises and
+    never warns — this is the quiet probe used by auto-selection.
+    """
+    if _disabled():
+        return None
+    for name in _provider_order():
+        ks = _load_provider(name)
+        if ks is not None:
+            return ks
+    return None
+
+
+def resolve_kernels(
+    request: str | None, *, warn_key: str = "backend"
+) -> KernelSet | None:
+    """Resolve a kernel request string to a :class:`KernelSet` or ``None``.
+
+    ``request`` semantics:
+
+    * ``None``/``"numpy"`` — never use compiled kernels.
+    * ``"auto"`` — compiled kernels if available, silently otherwise.
+    * ``"native"`` — compiled kernels expected: when unavailable (or
+      disabled via ``REPRO_NO_NATIVE``), warn once and fall back.
+    * ``"numba"``/``"cc"`` — pin one provider, same warn-once fallback.
+    """
+    if request is None or request == "numpy":
+        return None
+    if request not in ("auto", "native", *_PROVIDERS):
+        raise ValueError(
+            f"unknown kernels request {request!r}; expected 'numpy', "
+            f"'auto', 'native', 'numba' or 'cc'"
+        )
+    if _disabled():
+        if request != "auto":
+            warn_once(
+                f"native-disabled:{warn_key}",
+                "compiled kernels disabled by REPRO_NO_NATIVE=1; "
+                "falling back to the NumPy (vectorized) path",
+                category=RuntimeWarning,
+            )
+        return None
+    if request in _PROVIDERS:
+        ks = _load_provider(request)
+    else:
+        ks = load_kernels()
+    if ks is None and request != "auto":
+        detail = "; ".join(
+            f"{name}: {_REASONS.get(name, 'not probed')}"
+            for name in _provider_order()
+        )
+        warn_once(
+            f"native-unavailable:{warn_key}",
+            "compiled kernels requested but no provider loaded "
+            f"({detail}); falling back to the NumPy (vectorized) path "
+            "— install the extra with `pip install repro[native]`",
+            category=RuntimeWarning,
+        )
+    return ks
+
+
+def available() -> bool:
+    """True when a validated compiled provider can serve requests."""
+    return load_kernels() is not None
+
+
+def kind() -> str | None:
+    """Name of the active provider (``"numba"``/``"cc"``) or ``None``."""
+    ks = load_kernels()
+    return ks.kind if ks is not None else None
+
+
+def require_native() -> KernelSet:
+    """The active provider, or a hard error explaining why there is none.
+
+    CI smoke jobs use this to assert the compiled tier actually loaded
+    instead of silently falling back.
+    """
+    ks = load_kernels()
+    if ks is not None:
+        return ks
+    if _disabled():
+        raise RuntimeError("compiled kernels disabled by REPRO_NO_NATIVE=1")
+    for name in _provider_order():
+        _load_provider(name)
+    detail = "; ".join(
+        f"{name}: {_REASONS.get(name, 'not probed')}"
+        for name in _provider_order()
+    )
+    raise RuntimeError(f"no compiled kernel provider available ({detail})")
+
+
+def native_status() -> dict:
+    """Availability report for diagnostics and ``repro-fbf --plan``."""
+    disabled = _disabled()
+    if not disabled:
+        for name in _provider_order():
+            _load_provider(name)
+    active = None if disabled else kind()
+    return {
+        "available": active is not None,
+        "kind": active,
+        "disabled": disabled,
+        "providers": {
+            name: _REASONS.get(
+                name, "disabled" if disabled else "not probed"
+            )
+            for name in _PROVIDERS
+        },
+    }
+
+
+def reset() -> None:
+    """Forget cached provider probes (test-isolation hook).
+
+    Needed after monkeypatching ``REPRO_NO_NATIVE``/``REPRO_NATIVE``:
+    resolution caches per provider, not per environment.
+    """
+    _CACHE.clear()
+    _REASONS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Bit-exactness self-check
+# ---------------------------------------------------------------------------
+
+
+def _self_check(ks: KernelSet) -> str | None:
+    """Validate a provider against the scalar/NumPy references.
+
+    Returns ``None`` on success, else a short failure description.  The
+    check covers every kernel, the 63/64/65 bit-parallel/banded
+    boundary, empty strings, and both verifier modes — a provider that
+    computes anything differently from the reference implementations is
+    rejected rather than trusted.
+    """
+    try:
+        from repro.core.popcount import popcount_batch_u32, popcount_batch_u64
+        from repro.distance.codec import encode_raw
+        from repro.distance.damerau import damerau_levenshtein
+        from repro.distance.pruned import pdl
+
+        rng = np.random.default_rng(0x5EED)
+
+        # -- signature kernels ----------------------------------------
+        L32 = rng.integers(0, 1 << 32, size=(13, 2), dtype=np.uint32)
+        R32 = rng.integers(0, 1 << 32, size=(9, 2), dtype=np.uint32)
+        L64 = rng.integers(0, 1 << 63, size=(11, 1), dtype=np.uint64)
+        R64 = rng.integers(0, 1 << 63, size=(7, 1), dtype=np.uint64)
+        for tag, L, R, pc, scan, mask_fn in (
+            ("u32", L32, R32, popcount_batch_u32,
+             ks.fbf_candidates, ks.sig_pair_mask),
+            ("u64", L64, R64, popcount_batch_u64,
+             ks.fbf_candidates_u64, ks.sig_pair_mask_u64),
+        ):
+            db = np.zeros((L.shape[0], R.shape[0]), dtype=np.int64)
+            for w in range(L.shape[1]):
+                db += pc(L[:, w][:, None] ^ R[:, w][None, :])
+            for bound in (0, 20, 34):
+                ri, rj = np.nonzero(db <= bound)
+                gi, gj = scan(L, R, bound)
+                if not (
+                    np.array_equal(gi, ri.astype(np.int64))
+                    and np.array_equal(gj, rj.astype(np.int64))
+                ):
+                    return f"fbf scan {tag} bound={bound} mismatch"
+                pi = np.repeat(np.arange(L.shape[0]), R.shape[0])
+                pj = np.tile(np.arange(R.shape[0]), L.shape[0])
+                got = mask_fn(L, R, pi, pj, bound)
+                if not np.array_equal(got, db.ravel() <= bound):
+                    return f"pair mask {tag} bound={bound} mismatch"
+
+        # -- verifier kernels -----------------------------------------
+        alpha = "abAB \xe9"
+        strings = ["", "a", "ab", "ba"]
+        for length in (2, 5, 17, 63, 64, 65, 70):
+            for _ in range(3):
+                chars = rng.integers(0, len(alpha), size=length)
+                strings.append("".join(alpha[c] for c in chars))
+            # near-duplicates exercising substitutions + transpositions
+            base = list(strings[-1])
+            if length >= 2:
+                base[0], base[1] = base[1], base[0]
+            strings.append("".join(base))
+        codes, lengths = encode_raw(strings)
+        n = len(strings)
+        ii = rng.integers(0, n, size=220).astype(np.int64)
+        jj = rng.integers(0, n, size=220).astype(np.int64)
+        # force same-length long pairs onto the banded path
+        long_idx = [i for i, s in enumerate(strings) if len(s) > 64]
+        for a in long_idx:
+            for b in long_idx:
+                ii = np.append(ii, a)
+                jj = np.append(jj, b)
+        for k in (0, 1, 2, 3):
+            for mode in (MODE_DL, MODE_PDL):
+                got = ks.osa_decisions(
+                    codes, lengths, codes, lengths, ii, jj, k, mode=mode
+                )
+                for p in range(len(ii)):
+                    s, t = strings[ii[p]], strings[jj[p]]
+                    if mode == MODE_PDL:
+                        want = pdl(s, t, k)
+                    else:
+                        want = damerau_levenshtein(s, t) <= k
+                    if bool(got[p]) != want:
+                        return (
+                            f"osa mode={mode} k={k} mismatch on "
+                            f"({len(s)},{len(t)})-char pair"
+                        )
+
+        # -- fused dense sweep ----------------------------------------
+        sl = rng.integers(0, 1 << 63, size=(12, 2), dtype=np.uint64)
+        sr = rng.integers(0, 1 << 63, size=(8, 2), dtype=np.uint64)
+        ll = rng.integers(0, 9, size=12).astype(np.int64)
+        lr = rng.integers(0, 9, size=8).astype(np.int64)
+        dbits = np.zeros((12, 8), dtype=np.int64)
+        for w in range(2):
+            dbits += popcount_batch_u64(sl[:, w][:, None] ^ sr[:, w][None, :])
+        for filters in (("length",), ("fbf",), ("length", "fbf")):
+            k, bound = 2, 40
+            lmask = np.abs(ll[:, None] - lr[None, :]) <= k
+            fmask = dbits <= bound
+            mask = np.ones((12, 8), dtype=bool)
+            want_passed = []
+            for f in filters:
+                mask &= lmask if f == "length" else fmask
+                want_passed.append(int(mask[3:11].sum()))
+            wi, wj = np.nonzero(mask[3:11])
+            gi, gj, passed = ks.fused_rows_u64(
+                sl, sr, ll, lr, 3, 11, bound=bound, k=k, filters=filters
+            )
+            if not (
+                np.array_equal(gi, wi.astype(np.int64) + 3)
+                and np.array_equal(gj, wj.astype(np.int64))
+                and list(passed) == want_passed
+            ):
+                return f"fused rows mismatch for filters={filters}"
+    except Exception as exc:  # pragma: no cover - defensive
+        return repr(exc)
+    return None

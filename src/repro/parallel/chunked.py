@@ -47,6 +47,7 @@ from repro.core.vectorized import (
 )
 from repro.distance.codec import encode_raw
 from repro.distance.soundex import soundex
+from repro.native import MODE_DL, MODE_PDL, resolve_kernels
 from repro.distance.vectorized import (
     hamming_pairs,
     jaro_pairs,
@@ -139,6 +140,13 @@ class VectorEngine:
         left-side "Gen" work.  This is the serve layer's micro-batching
         hook: one prepared engine per index generation, one cheap
         per-batch engine over the queries.
+    kernels:
+        Inner-kernel selection: ``"numpy"`` (default) keeps the pure
+        NumPy tier; ``"native"`` uses the compiled kernels of
+        :mod:`repro.native` (warn-once NumPy fallback when no provider
+        loads); ``"auto"`` uses them silently when available.  Every
+        kernel choice produces bit-identical decisions — only the
+        constant factors change.
     """
 
     def __init__(
@@ -156,6 +164,7 @@ class VectorEngine:
         record_matches: bool = False,
         collector=None,
         share_right: "VectorEngine | None" = None,
+        kernels: str | None = "numpy",
     ):
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -172,6 +181,8 @@ class VectorEngine:
         self.variant = variant
         self.record_matches = record_matches
         self.collector = collector
+        self.kernels = kernels or "numpy"
+        self._native = resolve_kernels(self.kernels, warn_key="engine")
         obs = collector if collector else NULL_COLLECTOR
         self._obs = NULL_COLLECTOR  # run-scoped; set by run()
         with obs.span("gen.encode"):
@@ -246,12 +257,22 @@ class VectorEngine:
     # -- verifiers ----------------------------------------------------------
 
     def _verify_dl(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        if self._native is not None:
+            return self._native.osa_decisions(
+                self.codes_l, self.len_l, self.codes_r, self.len_r,
+                ii, jj, self.k, mode=MODE_DL,
+            )
         return (
             osa_pairs(self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj)
             <= self.k
         )
 
     def _verify_pdl(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        if self._native is not None:
+            return self._native.osa_decisions(
+                self.codes_l, self.len_l, self.codes_r, self.len_r,
+                ii, jj, self.k, mode=MODE_PDL,
+            )
         return osa_within_k_pairs(
             self.codes_l, self.len_l, self.codes_r, self.len_r, ii, jj, self.k
         )
@@ -337,13 +358,25 @@ class VectorEngine:
 
     # -- candidate generators --------------------------------------------------
 
+    def _fbf_scan(
+        self, sigs_l: np.ndarray, sigs_r: np.ndarray, n_right: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One XOR+popcount+threshold sweep, native kernel when armed.
+
+        Both paths emit candidates in identical row-major order, so
+        downstream match lists are bit-identical either way.
+        """
+        if self._native is not None:
+            return self._native.fbf_candidates(sigs_l, sigs_r, self.fbf_bound)
+        chunk_rows = max(1, self.filter_chunk // max(1, n_right))
+        return fbf_candidates(
+            sigs_l, sigs_r, self.fbf_bound, chunk_rows=chunk_rows
+        )
+
     def _fbf_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         obs = self._obs
-        chunk_rows = max(1, self.filter_chunk // max(1, len(self.right)))
         with obs.span("fbf.filter"):
-            ii, jj = fbf_candidates(
-                self.sigs_l, self.sigs_r, self.fbf_bound, chunk_rows=chunk_rows
-            )
+            ii, jj = self._fbf_scan(self.sigs_l, self.sigs_r, len(self.right))
         obs.add_stage("fbf", len(self.left) * len(self.right), len(ii))
         return ii, jj
 
@@ -404,12 +437,10 @@ class VectorEngine:
         with obs.span("fbf.filter"):
             for left_idx, right_idx in self._length_group_blocks():
                 length_passed += len(left_idx) * len(right_idx)
-                chunk_rows = max(1, self.filter_chunk // max(1, len(right_idx)))
-                bi, bj = fbf_candidates(
+                bi, bj = self._fbf_scan(
                     self.sigs_l[left_idx],
                     self.sigs_r[right_idx],
-                    self.fbf_bound,
-                    chunk_rows=chunk_rows,
+                    len(right_idx),
                 )
                 keep_i.append(left_idx[bi])
                 keep_j.append(right_idx[bj])
@@ -440,6 +471,10 @@ class VectorEngine:
         if name == "length":
             return np.abs(self.len_l[ii] - self.len_r[jj]) <= self.k
         if name == "fbf":
+            if self._native is not None:
+                return self._native.sig_pair_mask(
+                    self.sigs_l, self.sigs_r, ii, jj, self.fbf_bound
+                )
             db = np.zeros(len(ii), dtype=np.uint16)
             sigs_l, sigs_r = self.sigs_l, self.sigs_r
             for w in range(sigs_l.shape[1]):

@@ -86,6 +86,7 @@ from repro.distance.vectorized import (
     osa_pairs,
     osa_within_k_pairs,
 )
+from repro.native import MODE_DL, MODE_PDL, resolve_kernels
 from repro.obs.log import get_logger
 from repro.obs.stats import NULL_COLLECTOR, StatsCollector
 from repro.parallel.partition import balanced_splits
@@ -425,6 +426,8 @@ class _HybridTask:
     w_left: tuple | None = None
     w_right: tuple | None = None
     symmetric: bool = False
+    #: kernel tier request resolved worker-side ("auto" probes quietly)
+    kernels: str = "auto"
 
 
 class _Kernels:
@@ -448,6 +451,7 @@ class _Kernels:
         self_join: bool = False,
         record: bool = False,
         weighter: PairWeighter | None = None,
+        kernels: str = "auto",
     ):
         self.L = L
         self.R = R
@@ -458,6 +462,7 @@ class _Kernels:
         self.self_join = self_join
         self.record = record
         self.weighter = weighter
+        self._native = resolve_kernels(kernels, warn_key="hybrid")
 
     @classmethod
     def from_task(cls, task: _HybridTask) -> "_Kernels":
@@ -477,6 +482,7 @@ class _Kernels:
             self_join=task.self_join,
             record=task.record,
             weighter=weighter,
+            kernels=task.kernels,
         )
 
     # -- pair predicates -----------------------------------------------------
@@ -490,12 +496,23 @@ class _Kernels:
         L, R = self.L, self.R
         if kind is None:
             return None
+        native = self._native
         if kind == "dl":
+            if native is not None:
+                return lambda ii, jj: native.osa_decisions(
+                    L.codes, L.lengths, R.codes, R.lengths, ii, jj,
+                    self.k, mode=MODE_DL,
+                )
             return lambda ii, jj: (
                 osa_pairs(L.codes, L.lengths, R.codes, R.lengths, ii, jj)
                 <= self.k
             )
         if kind == "pdl":
+            if native is not None:
+                return lambda ii, jj: native.osa_decisions(
+                    L.codes, L.lengths, R.codes, R.lengths, ii, jj,
+                    self.k, mode=MODE_PDL,
+                )
             return lambda ii, jj: osa_within_k_pairs(
                 L.codes, L.lengths, R.codes, R.lengths, ii, jj, self.k
             )
@@ -565,6 +582,10 @@ class _Kernels:
             return np.abs(self.L.lengths[ii] - self.R.lengths[jj]) <= self.k
         if name == "fbf":
             pl, pr = self.L.sigs, self.R.sigs
+            if self._native is not None:
+                return self._native.sig_pair_mask_u64(
+                    pl, pr, ii, jj, self.fbf_bound
+                )
             db = np.zeros(len(ii), dtype=np.uint16)
             for w in range(pl.shape[1]):
                 db += popcount_batch_u64(pl[ii, w] ^ pr[jj, w])
@@ -584,6 +605,33 @@ class _Kernels:
             "mj": [],
         }
 
+    def _tally(self, res, ii, jj, verifier, vchunk, obs) -> None:
+        """Survivor → verify → match tail shared by the dense paths."""
+        obs.add_survivors(len(ii))
+        if len(ii) == 0:
+            return
+        if verifier is None:
+            res["match_count"] += len(ii)
+            res["diagonal"] += int(self._diag(ii, jj).sum())
+            if self.record:
+                res["mi"].append(ii)
+                res["mj"].append(jj)
+            obs.add_matched(len(ii))
+            return
+        res["verified"] += len(ii)
+        obs.add_verified(len(ii))
+        for v0 in range(0, len(ii), vchunk):
+            bi = ii[v0 : v0 + vchunk]
+            bj = jj[v0 : v0 + vchunk]
+            hits = verifier(bi, bj)
+            n_hits = int(hits.sum())
+            res["match_count"] += n_hits
+            res["diagonal"] += int((hits & self._diag(bi, bj)).sum())
+            if self.record and n_hits:
+                res["mi"].append(bi[hits])
+                res["mj"].append(bj[hits])
+            obs.add_matched(n_hits)
+
     def run_rows(self, spec, r0: int, r1: int, obs) -> dict:
         """Dense sweep of left rows ``r0:r1`` against all of right.
 
@@ -596,6 +644,31 @@ class _Kernels:
             return res
         verifier = self._verifier(spec.verifier)
         vchunk = self._verify_chunk(spec.verifier)
+        if (
+            self._native is not None
+            and spec.filters
+            and self._native.supports_filters(spec.filters)
+            and self.L.sigs is not None
+            and self.R.sigs is not None
+        ):
+            # Fused sweep: filters + candidate emission in one compiled
+            # pass, no dense boolean intermediates.  Stage counters are
+            # cumulative-AND survivor counts, so the merged funnel is
+            # identical to the chunked mask-chain below.
+            block = (r1 - r0) * nr
+            res["compared"] = block
+            obs.add_pairs(block)
+            ii, jj, passed = self._native.fused_rows_u64(
+                self.L.sigs, self.R.sigs, self.L.lengths, self.R.lengths,
+                r0, r1,
+                bound=self.fbf_bound, k=self.k, filters=spec.filters,
+            )
+            tested = block
+            for fname, npass in zip(spec.filters, passed):
+                obs.add_stage(fname, tested, int(npass))
+                tested = int(npass)
+            self._tally(res, ii, jj, verifier, vchunk, obs)
+            return res
         rows_per = max(1, _FILTER_CHUNK // nr)
         for c0 in range(r0, r1, rows_per):
             c1 = min(r1, c0 + rows_per)
@@ -624,30 +697,7 @@ class _Kernels:
                 idx = np.flatnonzero(mask.ravel())
                 ii = idx // nr + c0
                 jj = idx % nr
-            obs.add_survivors(len(ii))
-            if len(ii) == 0:
-                continue
-            if verifier is None:
-                res["match_count"] += len(ii)
-                res["diagonal"] += int(self._diag(ii, jj).sum())
-                if self.record:
-                    res["mi"].append(ii)
-                    res["mj"].append(jj)
-                obs.add_matched(len(ii))
-                continue
-            res["verified"] += len(ii)
-            obs.add_verified(len(ii))
-            for v0 in range(0, len(ii), vchunk):
-                bi = ii[v0 : v0 + vchunk]
-                bj = jj[v0 : v0 + vchunk]
-                hits = verifier(bi, bj)
-                n_hits = int(hits.sum())
-                res["match_count"] += n_hits
-                res["diagonal"] += int((hits & self._diag(bi, bj)).sum())
-                if self.record and n_hits:
-                    res["mi"].append(bi[hits])
-                    res["mj"].append(bj[hits])
-                obs.add_matched(n_hits)
+            self._tally(res, ii, jj, verifier, vchunk, obs)
         return res
 
     def run_pairs(self, spec, ii: np.ndarray, jj: np.ndarray, obs) -> dict:
@@ -748,6 +798,7 @@ class _ShardQueryTask:
     k: int
     fbf_bound: int
     collect: bool
+    kernels: str = "auto"
 
 
 #: worker-side shard ownership: shard id -> (generation, resolved side)
@@ -778,6 +829,7 @@ def _exec_shard_query(task: _ShardQueryTask) -> dict:
         k=task.k,
         fbf_bound=task.fbf_bound,
         record=True,
+        kernels=task.kernels,
     )
     wc = StatsCollector("shm-shard") if task.collect else None
     obs = wc if wc is not None else NULL_COLLECTOR
@@ -798,6 +850,7 @@ def shard_query_call(
     k: int,
     method: str = "FPDL",
     collect: bool = False,
+    kernels: str = "auto",
 ) -> tuple:
     """Build one ``(fn, payload)`` pool call for a shard query slice."""
     return (
@@ -811,6 +864,7 @@ def shard_query_call(
             k=k,
             fbf_bound=scheme.safe_threshold(k),
             collect=collect,
+            kernels=kernels,
         ),
     )
 
@@ -1398,6 +1452,7 @@ def run_hybrid(
     weighter: PairWeighter | None = None,
     shared_source=None,
     task_pairs: int | None = None,
+    kernels: str = "auto",
 ) -> JoinResult:
     """One hybrid join over already-published sides.
 
@@ -1408,7 +1463,10 @@ def run_hybrid(
     bytes to the collector exactly once over its lifetime — which is the
     "datasets cross the boundary at most once" evidence.  ``weighter``
     requires an explicit candidate stream, as in
-    :func:`repro.parallel.pool.multiprocess_join`.
+    :func:`repro.parallel.pool.multiprocess_join`.  ``kernels`` picks
+    the worker-side kernel tier: ``"auto"`` (default) uses compiled
+    kernels when a provider loads, ``"numpy"`` pins pure NumPy, and
+    ``"native"`` warns once per worker if no provider is available.
     """
     spec = method_registry().get(method)
     if spec is None:
@@ -1485,6 +1543,7 @@ def run_hybrid(
                 w_left=w_left_ref,
                 w_right=w_right_ref,
                 symmetric=symmetric,
+                kernels=kernels,
             ),
         )
         for work in works
@@ -1555,6 +1614,7 @@ def hybrid_join(
     workers: int | None = None,
     record_matches: bool = False,
     collector=None,
+    kernels: str = "auto",
 ) -> JoinResult:
     """Convenience one-shot: publish, run on the warm pool, unlink.
 
@@ -1592,6 +1652,7 @@ def hybrid_join(
             collector=collector,
             record_matches=record_matches,
             shared_source=datasets,
+            kernels=kernels,
         )
     finally:
         datasets.close()

@@ -91,7 +91,7 @@ STREAM_GENERATORS = (
     "prefix",
 )
 
-_STREAM_BACKENDS = ("scalar", "vectorized", "hybrid")
+_STREAM_BACKENDS = ("scalar", "vectorized", "hybrid", "native")
 
 #: test hook: sleep this many ms after each chunk (makes "SIGKILL lands
 #: mid-run" deterministic for the kill-and-resume suite)
@@ -310,7 +310,9 @@ class _ChunkRunner:
         planner._index = self._fbf
         planner._passjoin = self._passjoin
         planner._prefix = self._prefix
-        if self.backend == "vectorized":
+        if self.backend in ("vectorized", "native"):
+            # Same cached-engine reuse for both tiers; the native
+            # backend flips the planner engine's kernel set per run.
             planner._engine = self._engine_for(planner.left)
         elif self.backend == "hybrid":
             from repro.parallel import shm
@@ -567,7 +569,12 @@ def join_stream(
             kind=kind,
         )
     if backend == "auto":
-        backend = "hybrid" if (workers or 0) > 1 else "vectorized"
+        if (workers or 0) > 1:
+            backend = "hybrid"
+        else:
+            from repro.native import available as _native_available
+
+            backend = "native" if _native_available() else "vectorized"
 
     fingerprint = {
         "source": source.describe,

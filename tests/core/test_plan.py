@@ -18,6 +18,7 @@ The planner's contract has four parts, each covered here:
 import pytest
 
 import repro
+from repro import native
 from repro.core.join import JoinResult
 from repro.core.matchers import method_registry
 from repro.core.plan import (
@@ -56,6 +57,11 @@ def _fake_strings(n: int) -> list[str]:
     return [f"{i:09d}" for i in range(n)]
 
 
+#: what auto picks above the scalar cutoff depends on whether a
+#: compiled kernel provider loaded in this environment
+_DENSE_BACKEND = "native" if native.available() else "vectorized"
+
+
 class TestCostModel:
     def test_small_product_scalar_all_pairs(self):
         p = JoinPlanner(_fake_strings(100), _fake_strings(100), k=1)
@@ -67,7 +73,7 @@ class TestCostModel:
         plan = p.plan("FPDL")
         assert (plan.generator.name, plan.backend.name) == (
             "all-pairs",
-            "vectorized",
+            _DENSE_BACKEND,
         )
 
     def test_large_product_picks_index(self):
@@ -75,7 +81,7 @@ class TestCostModel:
         plan = p.plan("FPDL")
         assert (plan.generator.name, plan.backend.name) == (
             "fbf-index",
-            "vectorized",
+            _DENSE_BACKEND,
         )
 
     def test_large_k_disables_index(self):
@@ -484,5 +490,5 @@ class TestDeprecatedShims:
             "prefix", "blocking",
         }
         assert set(BACKEND_NAMES) == {
-            "scalar", "vectorized", "multiprocess", "hybrid",
+            "scalar", "vectorized", "multiprocess", "hybrid", "native",
         }

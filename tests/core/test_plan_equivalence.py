@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import native
 from repro.core.matchers import METHOD_NAMES, method_registry
 from repro.core.plan import (
     FBFIndexGenerator,
@@ -27,6 +28,12 @@ from repro.data.datasets import dataset_for_family
 from repro.obs import StatsCollector
 
 REGISTRY = method_registry()
+
+#: the native tier joins the sweep wherever a compiled provider loaded;
+#: elsewhere it is exercised only as a (warning) fallback
+_BACKENDS = ("scalar", "vectorized") + (
+    ("native",) if native.available() else ()
+)
 
 strings = st.lists(
     st.text(alphabet="ab12", max_size=6), min_size=0, max_size=12
@@ -56,7 +63,7 @@ def test_safe_plans_match_reference(method, left, right):
     )
     expected = sorted(ref.matches)
     for generator in _safe_generators(method):
-        for backend in ("scalar", "vectorized"):
+        for backend in _BACKENDS:
             c = StatsCollector(f"{generator}/{backend}")
             planner = JoinPlanner(left, right, k=1, record_matches=True)
             r = planner.run(
@@ -89,7 +96,7 @@ def test_collapsed_plans_match_reference(method, left, right):
         left, right, k=1, record_matches=True,
         collapse="off", self_join=False, memo="off",
     ).run(method, generator="all-pairs", backend="scalar")
-    for backend in ("scalar", "vectorized"):
+    for backend in _BACKENDS:
         c = StatsCollector(f"collapse/{backend}")
         r = JoinPlanner(
             left, right, k=1, record_matches=True, collapse="on",

@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.core.popcount import (
     POPCOUNT_KERNELS,
     popcount,
+    popcount_batch_table_u32,
+    popcount_batch_table_u64,
     popcount_batch_u32,
     popcount_batch_u64,
     popcount_kernighan,
@@ -97,3 +99,34 @@ class TestBatchKernels:
     def test_output_dtype_bounded(self):
         got = popcount_batch_u32(np.array([0xFFFFFFFF], dtype=np.uint32))
         assert got[0] == 32
+
+
+class TestBothBatchPaths:
+    """Pin the ufunc path and the byte-table path against each other.
+
+    ``popcount_batch_*`` dispatches on NumPy version, so on any one
+    installation only one branch runs implicitly; calling the table
+    path explicitly keeps both pinned everywhere.
+    """
+
+    @given(st.lists(u32, min_size=1, max_size=50))
+    def test_u32_paths_agree(self, values):
+        arr = np.array(values, dtype=np.uint32)
+        table = popcount_batch_table_u32(arr)
+        assert table.tolist() == popcount_batch_u32(arr).tolist()
+        assert table.tolist() == [bin(v).count("1") for v in values]
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=30))
+    def test_u64_paths_agree(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        table = popcount_batch_table_u64(arr)
+        assert table.tolist() == popcount_batch_u64(arr).tolist()
+        assert table.tolist() == [bin(v).count("1") for v in values]
+
+    def test_table_path_boundary_words(self):
+        full32 = np.array([0, 1, 0x80000000, 0xFFFFFFFF], dtype=np.uint32)
+        assert popcount_batch_table_u32(full32).tolist() == [0, 1, 1, 32]
+        full64 = np.array(
+            [0, 1, 1 << 63, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64
+        )
+        assert popcount_batch_table_u64(full64).tolist() == [0, 1, 1, 64]

@@ -20,7 +20,12 @@ MODULES = sorted(
 
 @pytest.mark.parametrize("module_name", MODULES)
 def test_module_doctests(module_name):
-    module = importlib.import_module(module_name)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        # Import-guarded optional tiers (e.g. repro.native._nb needs
+        # numba); their docs are exercised where the extra is installed.
+        pytest.skip(f"optional dependency missing: {exc}")
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
 
@@ -29,7 +34,10 @@ def test_package_has_doctests_somewhere():
     # Sanity: the suite actually exercises examples, not just imports.
     total = 0
     for module_name in MODULES:
-        module = importlib.import_module(module_name)
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
         finder = doctest.DocTestFinder()
         total += sum(len(t.examples) for t in finder.find(module))
     assert total >= 10

@@ -1,0 +1,441 @@
+"""The compiled kernel tier: direct kernel pins, fallback contract,
+backend equivalence.
+
+Two test populations:
+
+* ``needs_native`` tests pin the loaded provider's kernels bit-for-bit
+  against the scalar/NumPy references — including the 63/64/65
+  bit-parallel/banded boundary and empty strings.  They skip when no
+  provider loads (no numba, no C compiler).
+* The fallback tests run everywhere: requesting ``backend="native"``
+  without a provider must warn once and produce the vectorized tier's
+  exact results.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import native
+from repro._compat import reset_deprecation_warnings
+from repro.core.plan import BACKEND_NAMES, JoinPlanner
+from repro.core.popcount import popcount_batch_u32, popcount_batch_u64
+from repro.core.vectorized import fbf_candidates as np_fbf_candidates
+from repro.distance.codec import encode_raw
+from repro.distance.damerau import damerau_levenshtein
+from repro.distance.pruned import pdl
+from repro.obs import StatsCollector
+from repro.parallel.chunked import VectorEngine
+
+HAVE_NATIVE = native.available()
+needs_native = pytest.mark.skipif(
+    not HAVE_NATIVE, reason="no compiled kernel provider in this env"
+)
+
+
+@pytest.fixture
+def fresh_native():
+    """Re-probe providers after env monkeypatching, restore after."""
+    native.reset()
+    reset_deprecation_warnings()
+    yield
+    native.reset()
+    reset_deprecation_warnings()
+
+
+def _strings_with_boundaries(seed: int = 3) -> list[str]:
+    rng = np.random.default_rng(seed)
+    alpha = "abcAB "
+    out = ["", "a", "ab", "ba", "abc"]
+    # 63/64/65 straddle the one-word bit-parallel limit; >64 pairs of
+    # near-duplicates land on the banded path.
+    for length in (5, 17, 63, 64, 65, 70):
+        for _ in range(3):
+            chars = rng.integers(0, len(alpha), size=length)
+            out.append("".join(alpha[c] for c in chars))
+        swapped = list(out[-1])
+        if length >= 2:
+            swapped[0], swapped[1] = swapped[1], swapped[0]
+        out.append("".join(swapped))
+        edited = list(out[-2])
+        edited[length // 2] = "z"
+        out.append("".join(edited))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Direct kernel pins (provider required)
+# ---------------------------------------------------------------------------
+
+
+@needs_native
+class TestSignatureKernels:
+    def test_fbf_candidates_matches_numpy_row_major(self):
+        rng = np.random.default_rng(11)
+        L = rng.integers(0, 1 << 32, size=(37, 2), dtype=np.uint32)
+        R = rng.integers(0, 1 << 32, size=(29, 2), dtype=np.uint32)
+        ks = native.load_kernels()
+        for bound in (0, 8, 24, 40, 64):
+            ri, rj = np_fbf_candidates(L, R, bound)
+            gi, gj = ks.fbf_candidates(L, R, bound)
+            assert np.array_equal(gi, ri)
+            assert np.array_equal(gj, rj)
+
+    def test_fbf_candidates_u64_matches_popcount(self):
+        rng = np.random.default_rng(12)
+        L = rng.integers(0, 1 << 63, size=(21, 2), dtype=np.uint64)
+        R = rng.integers(0, 1 << 63, size=(17, 2), dtype=np.uint64)
+        db = np.zeros((21, 17), dtype=np.int64)
+        for w in range(2):
+            db += popcount_batch_u64(L[:, w][:, None] ^ R[:, w][None, :])
+        ks = native.load_kernels()
+        for bound in (0, 30, 70):
+            ri, rj = np.nonzero(db <= bound)
+            gi, gj = ks.fbf_candidates_u64(L, R, bound)
+            assert np.array_equal(gi, ri.astype(np.int64))
+            assert np.array_equal(gj, rj.astype(np.int64))
+
+    def test_pair_masks_both_widths(self):
+        rng = np.random.default_rng(13)
+        ks = native.load_kernels()
+        L32 = rng.integers(0, 1 << 32, size=(15, 3), dtype=np.uint32)
+        R32 = rng.integers(0, 1 << 32, size=(10, 3), dtype=np.uint32)
+        ii = rng.integers(0, 15, size=120).astype(np.int64)
+        jj = rng.integers(0, 10, size=120).astype(np.int64)
+        db = np.zeros(120, dtype=np.int64)
+        for w in range(3):
+            db += popcount_batch_u32(L32[ii, w] ^ R32[jj, w])
+        got = ks.sig_pair_mask(L32, R32, ii, jj, 30)
+        assert got.dtype == bool
+        assert np.array_equal(got, db <= 30)
+        L64 = L32.astype(np.uint64)
+        R64 = R32.astype(np.uint64)
+        db64 = np.zeros(120, dtype=np.int64)
+        for w in range(3):
+            db64 += popcount_batch_u64(L64[ii, w] ^ R64[jj, w])
+        got64 = ks.sig_pair_mask_u64(L64, R64, ii, jj, 30)
+        assert np.array_equal(got64, db64 <= 30)
+
+    def test_1d_signature_vectors_accepted(self):
+        rng = np.random.default_rng(14)
+        L = rng.integers(0, 1 << 32, size=19, dtype=np.uint32)
+        R = rng.integers(0, 1 << 32, size=13, dtype=np.uint32)
+        ks = native.load_kernels()
+        ri, rj = np_fbf_candidates(L, R, 12)
+        gi, gj = ks.fbf_candidates(L, R, 12)
+        assert np.array_equal(gi, ri) and np.array_equal(gj, rj)
+
+
+@needs_native
+class TestVerifierKernel:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    @pytest.mark.parametrize("mode", [native.MODE_DL, native.MODE_PDL])
+    def test_osa_decisions_match_scalar(self, k, mode):
+        strings = _strings_with_boundaries()
+        codes, lengths = encode_raw(strings)
+        n = len(strings)
+        rng = np.random.default_rng(15)
+        ii = rng.integers(0, n, size=300).astype(np.int64)
+        jj = rng.integers(0, n, size=300).astype(np.int64)
+        # force every long-x-long combination (the banded path)
+        long_idx = [i for i, s in enumerate(strings) if len(s) > 64]
+        for a in long_idx:
+            for b in long_idx:
+                ii = np.append(ii, a)
+                jj = np.append(jj, b)
+        ks = native.load_kernels()
+        got = ks.osa_decisions(codes, lengths, codes, lengths, ii, jj, k,
+                               mode=mode)
+        for p in range(len(ii)):
+            s, t = strings[ii[p]], strings[jj[p]]
+            if mode == native.MODE_PDL:
+                want = pdl(s, t, k)
+            else:
+                want = damerau_levenshtein(s, t) <= k
+            assert bool(got[p]) == want, (s, t, k, mode)
+
+    def test_boundary_lengths_63_64_65(self):
+        # One substitution and one transposition at each boundary
+        # length: 63 (inside one word), 64 (full word), 65 (banded).
+        ks = native.load_kernels()
+        for length in (63, 64, 65):
+            base = "ab" * (length // 2) + ("a" if length % 2 else "")
+            sub = "z" + base[1:]
+            trans = base[1] + base[0] + base[2:]
+            far = "z" * length
+            strings = [base, sub, trans, far]
+            codes, lengths = encode_raw(strings)
+            ii = np.zeros(3, dtype=np.int64)
+            jj = np.arange(1, 4, dtype=np.int64)
+            for k in (1, 2):
+                got = ks.osa_decisions(
+                    codes, lengths, codes, lengths, ii, jj, k,
+                    mode=native.MODE_DL,
+                )
+                want = [
+                    damerau_levenshtein(base, other) <= k
+                    for other in (sub, trans, far)
+                ]
+                assert got.tolist() == want, (length, k)
+
+    def test_empty_string_modes_disagree_as_specified(self):
+        # Step 1 of the paper rejects any pair with an empty side (PDL);
+        # plain DL compares by length.
+        codes, lengths = encode_raw(["", "a", ""])
+        ii = np.array([0, 0, 1], dtype=np.int64)
+        jj = np.array([2, 1, 0], dtype=np.int64)
+        ks = native.load_kernels()
+        dl = ks.osa_decisions(codes, lengths, codes, lengths, ii, jj, 1,
+                              mode=native.MODE_DL)
+        pdl_got = ks.osa_decisions(codes, lengths, codes, lengths, ii, jj, 1,
+                                   mode=native.MODE_PDL)
+        assert dl.tolist() == [True, True, True]
+        assert pdl_got.tolist() == [False, False, False]
+
+
+@needs_native
+class TestFusedRows:
+    @pytest.mark.parametrize(
+        "filters", [("length",), ("fbf",), ("length", "fbf")]
+    )
+    def test_fused_rows_matches_mask_chain(self, filters):
+        rng = np.random.default_rng(16)
+        nl, nr, k, bound = 23, 14, 2, 36
+        sl = rng.integers(0, 1 << 63, size=(nl, 2), dtype=np.uint64)
+        sr = rng.integers(0, 1 << 63, size=(nr, 2), dtype=np.uint64)
+        ll = rng.integers(0, 12, size=nl).astype(np.int64)
+        lr = rng.integers(0, 12, size=nr).astype(np.int64)
+        db = np.zeros((nl, nr), dtype=np.int64)
+        for w in range(2):
+            db += popcount_batch_u64(sl[:, w][:, None] ^ sr[:, w][None, :])
+        r0, r1 = 4, 19
+        mask = np.ones((r1 - r0, nr), dtype=bool)
+        want_passed = []
+        for f in filters:
+            fm = (
+                np.abs(ll[r0:r1, None] - lr[None, :]) <= k
+                if f == "length"
+                else db[r0:r1] <= bound
+            )
+            mask &= fm
+            want_passed.append(int(mask.sum()))
+        wi, wj = np.nonzero(mask)
+        ks = native.load_kernels()
+        gi, gj, passed = ks.fused_rows_u64(
+            sl, sr, ll, lr, r0, r1, bound=bound, k=k, filters=filters
+        )
+        assert np.array_equal(gi, wi.astype(np.int64) + r0)
+        assert np.array_equal(gj, wj.astype(np.int64))
+        assert list(passed) == want_passed
+
+    def test_supports_filters(self):
+        ks = native.load_kernels()
+        assert ks.supports_filters(("length", "fbf"))
+        assert ks.supports_filters(())
+        assert not ks.supports_filters(("length", "soundex"))
+
+
+# ---------------------------------------------------------------------------
+# Engine and backend equivalence (provider required)
+# ---------------------------------------------------------------------------
+
+
+def _mixed_strings(seed: int, n: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    alpha = "abcdef12"
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(0, 80))
+        chars = rng.integers(0, len(alpha), size=length)
+        out.append("".join(alpha[c] for c in chars))
+    return out
+
+
+@needs_native
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("method", ["FPDL", "LFPDL", "FDL", "LPDL"])
+    def test_engine_native_equals_numpy(self, method):
+        left = _mixed_strings(21, 120)
+        right = _mixed_strings(22, 90)
+        rn = VectorEngine(
+            left, right, k=2, record_matches=True, kernels="native"
+        ).run(method)
+        rp = VectorEngine(
+            left, right, k=2, record_matches=True, kernels="numpy"
+        ).run(method)
+        assert sorted(rn.matches) == sorted(rp.matches)
+        assert rn.match_count == rp.match_count
+        assert rn.diagonal_matches == rp.diagonal_matches
+        assert rn.verified_pairs == rp.verified_pairs
+
+    def test_planner_native_backend_matches_scalar(self):
+        left = _mixed_strings(23, 70)
+        right = _mixed_strings(24, 60)
+        ref = JoinPlanner(left, right, k=1, record_matches=True).run(
+            "FPDL", generator="all-pairs", backend="scalar"
+        )
+        c = StatsCollector("native")
+        r = JoinPlanner(left, right, k=1, record_matches=True).run(
+            "FPDL", generator="all-pairs", backend="native", collector=c
+        )
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.backend == "native"
+        assert c.conserved
+        assert c.pairs_considered == len(left) * len(right)
+
+    def test_auto_plan_prefers_native_above_scalar_cutoff(self):
+        strings = [f"{i:09d}" for i in range(1000)]
+        plan = JoinPlanner(strings, list(strings), k=1).plan("FPDL")
+        assert plan.backend.name == "native"
+        assert "compiled kernels loaded" in plan.reason
+
+    def test_self_join_composes_with_native(self):
+        data = _mixed_strings(25, 60) + ["dup"] * 4
+        ref = JoinPlanner(
+            data, list(data), k=1, record_matches=True,
+            collapse="off", self_join=False, memo="off",
+        ).run("FPDL", generator="all-pairs", backend="scalar")
+        for collapse in ("on", "off"):
+            c = StatsCollector(f"native-self/{collapse}")
+            r = JoinPlanner(
+                data, data, k=1, record_matches=True,
+                collapse=collapse, self_join=True,
+            ).run("FPDL", backend="native", collector=c)
+            assert sorted(r.matches) == sorted(ref.matches)
+            assert r.match_count == ref.match_count
+            assert r.diagonal_matches == ref.diagonal_matches
+            assert c.pairs_considered == len(data) ** 2
+            assert c.conserved
+
+    def test_collapse_composes_with_native(self):
+        base = ["", "a1", "a2", "ab", "ba1", "b2", "abab"]
+        left = base * 3
+        right = base * 2
+        ref = JoinPlanner(
+            left, right, k=1, record_matches=True,
+            collapse="off", self_join=False, memo="off",
+        ).run("FPDL", generator="all-pairs", backend="scalar")
+        c = StatsCollector("native-collapse")
+        r = JoinPlanner(
+            left, right, k=1, record_matches=True, collapse="on",
+        ).run("FPDL", backend="native", collector=c)
+        assert sorted(r.matches) == sorted(ref.matches)
+        assert r.match_count == ref.match_count
+        assert c.pairs_considered == len(left) * len(right)
+        assert c.conserved
+
+
+# ---------------------------------------------------------------------------
+# Resolution, fallback and status (run everywhere)
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_auto_never_warns(self, fresh_native, recwarn):
+        native.resolve_kernels("auto")
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_numpy_request_returns_none(self):
+        assert native.resolve_kernels("numpy") is None
+        assert native.resolve_kernels(None) is None
+
+    def test_disabled_by_env(self, fresh_native, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        native.reset()
+        assert native.load_kernels() is None
+        assert not native.available()
+        status = native.native_status()
+        assert status["disabled"] and not status["available"]
+
+    def test_native_request_warns_once_when_disabled(
+        self, fresh_native, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        native.reset()
+        with pytest.warns(RuntimeWarning, match="REPRO_NO_NATIVE"):
+            assert native.resolve_kernels("native") is None
+        # warn-once: the second resolution is silent
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert native.resolve_kernels("native") is None
+
+    def test_engine_falls_back_bit_identically(
+        self, fresh_native, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        native.reset()
+        left = _mixed_strings(31, 40)
+        right = _mixed_strings(32, 30)
+        with pytest.warns(RuntimeWarning):
+            rn = VectorEngine(
+                left, right, k=1, record_matches=True, kernels="native"
+            ).run("FPDL")
+        rp = VectorEngine(
+            left, right, k=1, record_matches=True, kernels="numpy"
+        ).run("FPDL")
+        assert sorted(rn.matches) == sorted(rp.matches)
+        assert rn.match_count == rp.match_count
+
+    def test_backend_native_falls_back_to_vectorized_results(
+        self, fresh_native, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        native.reset()
+        left = _mixed_strings(33, 40)
+        right = _mixed_strings(34, 30)
+        with pytest.warns(RuntimeWarning):
+            rn = JoinPlanner(left, right, k=1, record_matches=True).run(
+                "FPDL", generator="all-pairs", backend="native"
+            )
+        rv = JoinPlanner(left, right, k=1, record_matches=True).run(
+            "FPDL", generator="all-pairs", backend="vectorized"
+        )
+        assert sorted(rn.matches) == sorted(rv.matches)
+
+    def test_require_native_raises_when_disabled(
+        self, fresh_native, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        native.reset()
+        with pytest.raises(RuntimeError, match="REPRO_NO_NATIVE"):
+            native.require_native()
+
+    def test_unknown_provider_pin_ignored(self, fresh_native, monkeypatch):
+        # the quiet probe never raises: a typo'd pin falls back to the
+        # normal provider order rather than crashing imports
+        monkeypatch.setenv("REPRO_NATIVE", "fortran")
+        native.reset()
+        ks = native.load_kernels()
+        assert ks is None or ks.kind in ("numba", "cc")
+
+    def test_unknown_request_string_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels request"):
+            native.resolve_kernels("fortran")
+
+    def test_status_shape(self):
+        status = native.native_status()
+        assert set(status) == {"available", "kind", "disabled", "providers"}
+        assert set(status["providers"]) == {"numba", "cc"}
+
+    def test_native_listed_as_backend(self):
+        assert "native" in BACKEND_NAMES
+
+    @needs_native
+    def test_require_native_returns_kernelset(self):
+        ks = native.require_native()
+        assert ks.kind in ("numba", "cc")
+        assert native.kind() == ks.kind
+
+    @needs_native
+    def test_provider_pin_honored(self, fresh_native, monkeypatch):
+        # pin to whichever provider is actually active; the pin path
+        # must resolve to exactly that provider
+        active = native.kind()
+        monkeypatch.setenv("REPRO_NATIVE", active)
+        native.reset()
+        assert native.kind() == active
